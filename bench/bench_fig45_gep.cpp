@@ -1,0 +1,94 @@
+// Reproduces Figures 4-5 / Theorem 3.4 (GEP is inherently sequential, even
+// on strongly nonsingular matrices): the GEP functional blocks compute NAND
+// through pivot-magnitude contests; the pivot TRACE — the object of the
+// theorem's P-complete language L = {(i,j,A) : GEP uses row i to eliminate
+// column j} — encodes the inputs; and the construction's leading principal
+// minors are (near-)universally nonsingular thanks to the diagonal fillers.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/gep_gadgets.h"
+#include "factor/gaussian.h"
+#include "numeric/rational.h"
+
+namespace {
+
+using namespace pfact;
+
+void print_fig45() {
+  std::printf("=== Figures 4-5 / Theorem 3.4: GEP reduction blocks ===\n");
+  std::printf("Encodings: False=1, True=2 (pivot contests compare "
+              "magnitudes against 3/2).\n\n");
+  std::printf("N block truth table (decoded from the elimination):\n");
+  for (int u : {2, 1}) {
+    for (int w : {2, 1}) {
+      core::GepChain c = core::build_gep_nand_chain(u, w, 0);
+      factor::PivotTrace trace;
+      double out = core::run_gep_chain(c, &trace);
+      std::printf(
+          "  u=%d w=%d -> out=%.6f (expect %d)   pivot rows for cols 0,1: "
+          "(%zu, %zu)\n",
+          u, w, out, (u == 2 && w == 2) ? 1 : 2, trace[0].pivot_row,
+          trace[1].pivot_row);
+    }
+  }
+  std::printf(
+      "\nLanguage L of Theorem 3.4: 'GEP uses row 2 for column 0' iff u is "
+      "True:\n");
+  for (int u : {2, 1}) {
+    core::GepChain c = core::build_gep_nand_chain(u, 2, 0);
+    factor::PivotTrace trace;
+    core::run_gep_chain(c, &trace);
+    std::printf("  u=%d: (2,0,A) in L ? %s\n", u,
+                trace.used_row_for_column(2, 0) ? "yes" : "no");
+  }
+  std::printf("\nNAND through PASS chains (value survives routing):\n");
+  for (std::size_t depth : {1u, 4u, 8u}) {
+    int pass = 0;
+    for (int u : {2, 1})
+      for (int w : {2, 1}) {
+        core::GepChain c = core::build_gep_nand_chain(u, w, depth);
+        double out = core::run_gep_chain(c);
+        double expect = (u == 2 && w == 2) ? 1.0 : 2.0;
+        if (std::abs(out - expect) < 1e-6) ++pass;
+      }
+    std::printf("  depth=%zu: %d/4 cases correct\n", depth, pass);
+  }
+  // Strong nonsingularity (the Fig-5 direction): count singular leading
+  // principal minors of the chain matrix, exactly.
+  core::GepChain c = core::build_gep_nand_chain(2, 1, 2);
+  Matrix<numeric::Rational> a = to_rational(c.matrix);
+  std::size_t singular = 0;
+  for (std::size_t k = 1; k <= a.rows(); ++k) {
+    if (factor::det(a.leading_minor(k)).is_zero()) ++singular;
+  }
+  std::printf(
+      "\nLeading principal minors of the depth-2 NAND chain (order %zu): "
+      "%zu singular of %zu\n",
+      a.rows(), singular, a.rows());
+  std::printf(
+      "(0 singular minors => the chain matrix is STRONGLY NONSINGULAR: the "
+      "class\nTheorem 3.4 extends Vavasis' result to. The paper's Figure 5 "
+      "achieves this\nvia strict diagonal dominance; our tiny diagonal "
+      "fillers achieve it directly.)\n\n");
+}
+
+void BM_GepNandChain(benchmark::State& state) {
+  for (auto _ : state) {
+    core::GepChain c = core::build_gep_nand_chain(
+        2, 1, static_cast<std::size_t>(state.range(0)));
+    double out = core::run_gep_chain(c);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_GepNandChain)->Arg(0)->Arg(4)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig45();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Reproduces Figures 6-8: the D/W/N functional blocks for GQR in the exact
+// real model — +/-1 encodings delivered as (value, companion-1) pairs,
+// fixed rotation counts, value landing on the carrier diagonal.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/gqr_gadgets.h"
+#include "factor/givens.h"
+
+namespace {
+
+using namespace pfact;
+
+void print_blocks() {
+  std::printf("=== Figures 6-8: GQR functional blocks (exact model) ===\n");
+  std::printf("Encodings: False=-1, True=+1 (paper, Section 4).\n\n");
+  std::printf("W (wire/PASS) block — %zu rotations, every case:\n",
+              core::kGqrPassRotations);
+  for (int a : {1, -1}) {
+    Matrix<long double> m = core::gqr_pass_template();
+    m(0, 0) = a;
+    std::size_t rot = factor::givens_steps(m, 100);
+    std::printf("  a=%+d -> carrier (value, companion) = (%+.15Lf, %.15Lf)"
+                "  [%zu rotations]\n",
+                a, m(2, 2), m(2, 3), rot);
+  }
+  std::printf("\nN (NAND) block — %zu rotations, every case:\n",
+              core::kGqrNandRotations);
+  for (int a : {1, -1}) {
+    for (int b : {1, -1}) {
+      Matrix<long double> m = core::gqr_nand_template();
+      m(0, 0) = a;
+      m(2, 2) = b;
+      std::size_t rot = factor::givens_steps(m, 100);
+      std::printf(
+          "  a=%+d b=%+d -> (%+.15Lf, %.15Lf) expect %+d  [%zu rot]\n", a,
+          b, m(4, 4), m(4, 5), (a == 1 && b == 1) ? -1 : 1, rot);
+    }
+  }
+  std::printf(
+      "\nD (duplicator): realized as two W blocks reading one slot pair in "
+      "sequence\n(chains below demonstrate composition):\n");
+  for (std::size_t depth : {1u, 8u}) {
+    for (int a : {1, -1}) {
+      core::GqrChain c = core::build_gqr_pass_chain(a, depth);
+      factor::givens_steps(c.matrix, 1u << 20);
+      std::printf("  depth=%zu a=%+d -> %+.12Lf\n", depth, a,
+                  c.matrix(c.value_pos, c.value_pos));
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_GqrNandBlock(benchmark::State& state) {
+  for (auto _ : state) {
+    Matrix<long double> m = pfact::core::gqr_nand_template();
+    m(0, 0) = 1;
+    m(2, 2) = -1;
+    pfact::factor::givens_steps(m, 100);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_GqrNandBlock);
+
+void BM_GqrChain(benchmark::State& state) {
+  for (auto _ : state) {
+    auto c = pfact::core::build_gqr_nand_chain(
+        1, -1, static_cast<std::size_t>(state.range(0)));
+    pfact::factor::givens_steps(c.matrix, 1u << 24);
+    benchmark::DoNotOptimize(c.matrix);
+  }
+}
+BENCHMARK(BM_GqrChain)->Arg(4)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_blocks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

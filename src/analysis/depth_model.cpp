@@ -1,0 +1,56 @@
+#include "analysis/depth_model.h"
+
+#include <cmath>
+
+namespace pfact::analysis {
+
+namespace {
+std::size_t log2ceil(std::size_t n) {
+  std::size_t l = 0;
+  std::size_t p = 1;
+  while (p < n) {
+    p *= 2;
+    ++l;
+  }
+  return l == 0 ? 1 : l;
+}
+}  // namespace
+
+WorkDepth ge_sequential(std::size_t n) {
+  WorkDepth wd;
+  wd.work = 2 * n * n * n / 3;
+  wd.depth = n == 0 ? 0 : n - 1;
+  return wd;
+}
+
+WorkDepth givens_natural(std::size_t n) {
+  WorkDepth wd;
+  wd.work = 3 * n * n * n;  // ~6 flops per rotated pair entry
+  wd.depth = n * (n - 1) / 2;
+  return wd;
+}
+
+WorkDepth givens_sameh_kuck(std::size_t n) {
+  WorkDepth wd;
+  wd.work = 3 * n * n * n;
+  wd.depth = n < 2 ? 0 : 2 * n - 3;
+  return wd;
+}
+
+WorkDepth csanky_nc(std::size_t n) {
+  WorkDepth wd;
+  wd.work = n * n * n * n;  // n matrix products
+  std::size_t l = log2ceil(n);
+  wd.depth = l * l;  // prefix-product tree of log-depth multiplications
+  return wd;
+}
+
+WorkDepth gems_nc(std::size_t n) {
+  WorkDepth wd;
+  wd.work = n * n * (n * n * n);  // n^2 rank computations, ~n^3 each
+  std::size_t l = log2ceil(n);
+  wd.depth = l * l;
+  return wd;
+}
+
+}  // namespace pfact::analysis

@@ -1,0 +1,47 @@
+#pragma once
+// Work/depth accounting for the parallel-complexity claims of Table 1.
+//
+// The paper's "NC" and "inherently sequential" labels are statements about
+// parallel DEPTH: the length of the longest chain of dependent arithmetic
+// operations. These helpers compute the structural depth of each algorithm
+// family on an n x n input (formulas match the references: [13], [15], [16],
+// [3], [5]); measured stage counts (e.g. Givens orderings) come from the
+// factorizations themselves.
+
+#include <cstddef>
+
+namespace pfact::analysis {
+
+struct WorkDepth {
+  std::size_t work = 0;   // total scalar operations (order of magnitude)
+  std::size_t depth = 0;  // critical path length (stages)
+};
+
+// Sequential GE/GEP/GEM/GEMS: n-1 dependent elimination stages, each a
+// rank-1 update (the pivot decision for stage k depends on stage k-1's
+// output — this dependence is exactly what the P-completeness results say
+// cannot be shortcut for GEP/GEM/GEMS/GQR).
+WorkDepth ge_sequential(std::size_t n);
+
+// Natural-order Givens: n(n-1)/2 dependent rotations.
+WorkDepth givens_natural(std::size_t n);
+
+// Sameh-Kuck parallel Givens [16]: 2n-3 stages of disjoint rotations.
+WorkDepth givens_sameh_kuck(std::size_t n);
+
+// Csanky / Faddeev-Le Verrier [3]: O(log^2 n) matrix-product depth
+// (n matrix products, parallelizable to log n levels of log n -depth
+// multiplications via prefix products).
+WorkDepth csanky_nc(std::size_t n);
+
+// Eberly-style NC PLU / GEMS-NC (Theorem 3.3): O(n^2) independent rank
+// computations, each NC^2; depth O(log^2 n), work O(n^2 * M(n)).
+WorkDepth gems_nc(std::size_t n);
+
+inline double log2_size(std::size_t n) {
+  double l = 0;
+  while ((1u << static_cast<unsigned>(l)) < n) ++l;
+  return l == 0 ? 1 : l;
+}
+
+}  // namespace pfact::analysis

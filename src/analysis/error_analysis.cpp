@@ -1,0 +1,57 @@
+#include "analysis/error_analysis.h"
+
+#include <cmath>
+#include <limits>
+
+#include "factor/triangular.h"
+
+namespace pfact::analysis {
+
+double inf_norm(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+double inf_norm(const Matrix<double>& a) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += std::fabs(a(i, j));
+    m = std::max(m, s);
+  }
+  return m;
+}
+
+double growth_factor(const Matrix<double>& a, factor::PivotStrategy s) {
+  auto f = factor::ge_factor(a, s);
+  if (!f.ok) return std::numeric_limits<double>::infinity();
+  double amax = a.max_abs();
+  if (amax == 0.0) return 0.0;
+  return f.u.max_abs() / amax;
+}
+
+double relative_residual(const Matrix<double>& a,
+                         const std::vector<double>& x,
+                         const std::vector<double>& b) {
+  auto ax = factor::matvec(a, x);
+  double num = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i)
+    num = std::max(num, std::fabs(ax[i] - b[i]));
+  double den = inf_norm(a) * inf_norm(x) + inf_norm(b);
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+double solve_backward_error(const Matrix<double>& a,
+                            const std::vector<double>& b,
+                            factor::PivotStrategy s) {
+  auto x = factor::solve_plu(a, b, s);
+  return relative_residual(a, x, b);
+}
+
+double orthogonality_loss(const Matrix<double>& q) {
+  Matrix<double> qtq = q.transposed() * q;
+  return max_abs_diff(qtq, Matrix<double>::identity(q.rows()));
+}
+
+}  // namespace pfact::analysis

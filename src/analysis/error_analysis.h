@@ -1,0 +1,38 @@
+#pragma once
+// Numerical-accuracy metrics for the parallelism/accuracy tradeoff
+// experiments ([4], and the paper's Section 1/5 framing): growth factors,
+// residuals, backward error, and orthogonality loss.
+
+#include <cstddef>
+#include <vector>
+
+#include "factor/gaussian.h"
+#include "matrix/matrix.h"
+
+namespace pfact::analysis {
+
+// Infinity norm of a vector / matrix row-sum norm.
+double inf_norm(const std::vector<double>& v);
+double inf_norm(const Matrix<double>& a);
+
+// Element growth factor of an elimination: max |u_ij| / max |a_ij| over the
+// course of the factorization (computed from the final U; the classical
+// stability proxy for GE variants — GEP bounds it by 2^{n-1}, plain GE and
+// minimal pivoting do not bound it at all).
+double growth_factor(const Matrix<double>& a, factor::PivotStrategy s);
+
+// Relative residual ||Ax - b||_inf / (||A||_inf ||x||_inf + ||b||_inf) of a
+// computed solution: the normwise backward error (Rigal-Gaches).
+double relative_residual(const Matrix<double>& a,
+                         const std::vector<double>& x,
+                         const std::vector<double>& b);
+
+// Solves Ax=b with the given strategy and reports the backward error.
+double solve_backward_error(const Matrix<double>& a,
+                            const std::vector<double>& b,
+                            factor::PivotStrategy s);
+
+// ||Q^T Q - I||_max for an allegedly orthogonal Q.
+double orthogonality_loss(const Matrix<double>& q);
+
+}  // namespace pfact::analysis

@@ -1,0 +1,117 @@
+#include "circuit/builders.h"
+
+#include <random>
+#include <stdexcept>
+
+namespace pfact::circuit {
+
+std::size_t Builder::input(std::size_t i) const {
+  if (i >= num_inputs_) throw std::out_of_range("Builder: input index");
+  return i;
+}
+
+std::size_t Builder::nand(std::size_t a, std::size_t b) {
+  std::size_t node = num_inputs_ + gates_.size();
+  if (a >= node || b >= node)
+    throw std::invalid_argument("Builder: forward reference");
+  gates_.push_back({a, b});
+  return node;
+}
+
+Circuit Builder::build(std::size_t out) {
+  if (gates_.empty()) throw std::logic_error("Builder: empty circuit");
+  if (out != num_inputs_ + gates_.size() - 1) {
+    // Bring `out` to the last position by double negation (identity).
+    out = not_gate(not_gate(out));
+  }
+  return Circuit(num_inputs_, gates_);
+}
+
+Circuit xor_circuit() {
+  Builder b(2);
+  return b.build(b.xor_gate(b.input(0), b.input(1)));
+}
+
+Circuit parity_circuit(std::size_t k) {
+  if (k < 2) throw std::invalid_argument("parity: need >= 2 inputs");
+  Builder b(k);
+  std::size_t acc = b.xor_gate(b.input(0), b.input(1));
+  for (std::size_t i = 2; i < k; ++i) acc = b.xor_gate(acc, b.input(i));
+  return b.build(acc);
+}
+
+Circuit majority3_circuit() {
+  Builder b(3);
+  std::size_t ab = b.and_gate(b.input(0), b.input(1));
+  std::size_t ac = b.and_gate(b.input(0), b.input(2));
+  std::size_t bc = b.and_gate(b.input(1), b.input(2));
+  return b.build(b.or_gate(b.or_gate(ab, ac), bc));
+}
+
+Circuit adder_carry_circuit(std::size_t bits) {
+  if (bits == 0) throw std::invalid_argument("adder: zero width");
+  Builder b(2 * bits);
+  std::size_t carry = 0;
+  bool have_carry = false;
+  for (std::size_t i = 0; i < bits; ++i) {
+    std::size_t ai = b.input(i);
+    std::size_t bi = b.input(bits + i);
+    std::size_t g = b.and_gate(ai, bi);           // generate
+    std::size_t p = b.xor_gate(ai, bi);           // propagate
+    if (!have_carry) {
+      carry = g;
+      have_carry = true;
+    } else {
+      carry = b.or_gate(g, b.and_gate(p, carry));
+    }
+  }
+  return b.build(carry);
+}
+
+Circuit comparator_circuit(std::size_t bits) {
+  if (bits == 0) throw std::invalid_argument("comparator: zero width");
+  Builder b(2 * bits);
+  // gt_i = a_i > b_i at bit i; eq_i = a_i == b_i; scan from LSB up:
+  // gt = gt_i OR (eq_i AND gt_below).
+  std::size_t gt = 0;
+  bool have = false;
+  for (std::size_t i = 0; i < bits; ++i) {
+    std::size_t ai = b.input(i);
+    std::size_t bi = b.input(bits + i);
+    std::size_t gti = b.and_gate(ai, b.not_gate(bi));
+    std::size_t eqi = b.not_gate(b.xor_gate(ai, bi));
+    if (!have) {
+      gt = gti;
+      have = true;
+    } else {
+      gt = b.or_gate(gti, b.and_gate(eqi, gt));
+    }
+  }
+  return b.build(gt);
+}
+
+Circuit deep_chain_circuit(std::size_t depth) {
+  if (depth == 0) throw std::invalid_argument("deep_chain: zero depth");
+  Builder b(2);
+  std::size_t acc = b.nand(b.input(0), b.input(1));
+  for (std::size_t i = 1; i < depth; ++i) {
+    acc = b.nand(acc, i % 2 == 0 ? b.input(0) : b.input(1));
+  }
+  return b.build(acc);
+}
+
+Circuit random_circuit(std::size_t num_inputs, std::size_t num_gates,
+                       std::uint64_t seed) {
+  if (num_inputs == 0 || num_gates == 0)
+    throw std::invalid_argument("random_circuit: empty");
+  std::mt19937_64 rng(seed);
+  std::vector<Gate> gates;
+  gates.reserve(num_gates);
+  for (std::size_t g = 0; g < num_gates; ++g) {
+    std::uniform_int_distribution<std::size_t> pick(0, num_inputs + g - 1);
+    gates.push_back({pick(rng), pick(rng)});
+  }
+  return Circuit(num_inputs, std::move(gates));
+}
+
+}  // namespace pfact::circuit

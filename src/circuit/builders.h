@@ -1,0 +1,68 @@
+#pragma once
+// NAND-circuit builders: the workloads fed to the reductions.
+//
+// XOR is the paper's own running example (Figure 4); adders, comparators,
+// parity chains and random circuits give the experiment suites breadth and
+// depth (deep chains maximize the rounding-error amplification Section 4
+// worries about).
+
+#include <cstdint>
+
+#include "circuit/circuit.h"
+
+namespace pfact::circuit {
+
+// Incremental NAND-circuit builder. Node handles returned by the methods
+// can be combined freely; build() makes `out` the final gate (appending a
+// double negation when needed so the output is the last gate, as Section 2
+// assumes).
+class Builder {
+ public:
+  explicit Builder(std::size_t num_inputs) : num_inputs_(num_inputs) {}
+
+  std::size_t input(std::size_t i) const;
+  std::size_t nand(std::size_t a, std::size_t b);
+  std::size_t not_gate(std::size_t a) { return nand(a, a); }
+  std::size_t and_gate(std::size_t a, std::size_t b) {
+    return not_gate(nand(a, b));
+  }
+  std::size_t or_gate(std::size_t a, std::size_t b) {
+    return nand(not_gate(a), not_gate(b));
+  }
+  std::size_t xor_gate(std::size_t a, std::size_t b) {
+    std::size_t t = nand(a, b);
+    return nand(nand(a, t), nand(b, t));
+  }
+
+  Circuit build(std::size_t out);
+
+ private:
+  std::size_t num_inputs_;
+  std::vector<Gate> gates_;
+};
+
+// XOR(a, b) — the paper's Figure 4 workload. 2 inputs.
+Circuit xor_circuit();
+
+// Parity of k inputs (XOR chain). Depth Theta(k).
+Circuit parity_circuit(std::size_t k);
+
+// Majority of 3 inputs.
+Circuit majority3_circuit();
+
+// Carry-out of an n-bit ripple-carry adder; inputs are a_0..a_{n-1} then
+// b_0..b_{n-1} (LSB first). 2n inputs, depth Theta(n).
+Circuit adder_carry_circuit(std::size_t bits);
+
+// "a > b" comparator on n-bit unsigned inputs, same input layout as adder.
+Circuit comparator_circuit(std::size_t bits);
+
+// A long alternating NAND chain: x -> NAND(x, x1) -> ... depth == `depth`.
+// The adversarial workload for rounding-error accumulation.
+Circuit deep_chain_circuit(std::size_t depth);
+
+// Random DAG circuit: each gate reads two uniformly random earlier nodes.
+Circuit random_circuit(std::size_t num_inputs, std::size_t num_gates,
+                       std::uint64_t seed);
+
+}  // namespace pfact::circuit

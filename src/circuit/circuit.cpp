@@ -1,0 +1,124 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace pfact::circuit {
+
+Circuit::Circuit(std::size_t num_inputs, std::vector<Gate> gates)
+    : num_inputs_(num_inputs), gates_(std::move(gates)) {
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    std::size_t node = num_inputs_ + g;
+    if (gates_[g].in0 >= node || gates_[g].in1 >= node) {
+      throw std::invalid_argument(
+          "Circuit: gate inputs must reference earlier nodes");
+    }
+  }
+}
+
+std::vector<bool> Circuit::evaluate_all(
+    const std::vector<bool>& inputs) const {
+  if (inputs.size() != num_inputs_)
+    throw std::invalid_argument("Circuit: wrong input arity");
+  std::vector<bool> val(num_nodes());
+  for (std::size_t i = 0; i < num_inputs_; ++i) val[i] = inputs[i];
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    val[num_inputs_ + g] = !(val[gates_[g].in0] && val[gates_[g].in1]);
+  }
+  return val;
+}
+
+bool Circuit::evaluate(const std::vector<bool>& inputs) const {
+  if (gates_.empty()) throw std::logic_error("Circuit: no gates");
+  return evaluate_all(inputs).back();
+}
+
+std::vector<std::size_t> Circuit::fanouts() const {
+  std::vector<std::size_t> f(num_nodes(), 0);
+  for (const auto& g : gates_) {
+    ++f[g.in0];
+    ++f[g.in1];
+  }
+  return f;
+}
+
+std::size_t Circuit::max_fanout() const {
+  auto f = fanouts();
+  return f.empty() ? 0 : *std::max_element(f.begin(), f.end());
+}
+
+bool Circuit::has_fanout_at_most(std::size_t fmax) const {
+  return max_fanout() <= fmax;
+}
+
+FanoutTwoResult with_fanout_two(const Circuit& c) {
+  // Pass 1 (reverse topological): how many physical copies of each node are
+  // needed.  Each physical node supplies two output wires; a gate needing
+  // `need` wires is materialized ceil(need/2) times, and every copy adds one
+  // wire of demand per input occurrence.  Inputs are replicated as fresh
+  // input nodes carrying the same value — free for the log-space reduction.
+  const std::size_t n_in = c.num_inputs();
+  const std::size_t n_nodes = c.num_nodes();
+  std::vector<std::size_t> need(n_nodes, 0);
+  std::vector<std::size_t> copies(n_nodes, 0);
+  need[n_nodes - 1] = 1;  // the external output consumes one wire
+  for (std::size_t g = c.num_gates(); g-- > 0;) {
+    std::size_t node = n_in + g;
+    copies[node] = std::max<std::size_t>(1, (need[node] + 1) / 2);
+    need[c.gate(g).in0] += copies[node];
+    need[c.gate(g).in1] += copies[node];
+  }
+  for (std::size_t i = 0; i < n_in; ++i) {
+    copies[i] = std::max<std::size_t>(1, (need[i] + 1) / 2);
+  }
+
+  // Pass 2 (forward): materialize copies and route wires. For each logical
+  // node we keep its physical ids and a wire cursor dispensing each id at
+  // most twice.
+  FanoutTwoResult out{Circuit(0, {}), {}};
+  std::vector<std::vector<std::size_t>> phys(n_nodes);
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < n_in; ++i) {
+    for (std::size_t cpy = 0; cpy < copies[i]; ++cpy) {
+      phys[i].push_back(next++);
+      out.input_origin.push_back(i);
+    }
+  }
+  const std::size_t new_inputs = next;
+  std::vector<std::size_t> dispensed(n_nodes, 0);
+  auto draw = [&](std::size_t logical) {
+    std::size_t idx = dispensed[logical]++ / 2;
+    return phys[logical][idx];
+  };
+  std::vector<Gate> new_gates;
+  for (std::size_t g = 0; g < c.num_gates(); ++g) {
+    std::size_t node = n_in + g;
+    for (std::size_t cpy = 0; cpy < copies[node]; ++cpy) {
+      Gate ng;
+      ng.in0 = draw(c.gate(g).in0);
+      ng.in1 = draw(c.gate(g).in1);
+      new_gates.push_back(ng);
+      phys[node].push_back(next++);
+    }
+  }
+  out.circuit = Circuit(new_inputs, std::move(new_gates));
+  return out;
+}
+
+CvpInstance with_fanout_two(const CvpInstance& inst) {
+  FanoutTwoResult r = with_fanout_two(inst.circuit);
+  return CvpInstance{r.circuit, r.map_inputs(inst.inputs)};
+}
+
+std::string Circuit::to_string() const {
+  std::ostringstream os;
+  os << num_inputs_ << " inputs, " << gates_.size() << " gates\n";
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    os << "  n" << num_inputs_ + g << " = NAND(n" << gates_[g].in0 << ", n"
+       << gates_[g].in1 << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace pfact::circuit

@@ -1,0 +1,87 @@
+#pragma once
+// Boolean circuits over fan-in-2 NAND gates — the source problem of every
+// reduction in the paper (NANDCVP, log-space complete for P, with the
+// standard fan-out <= 2 restriction of Section 2).
+//
+// Node numbering: nodes 0..k-1 are the circuit inputs; node k+i is gate i.
+// Gates are listed in topological order (each gate reads strictly earlier
+// nodes). The circuit output is the value of the last gate.
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace pfact::circuit {
+
+struct Gate {
+  std::size_t in0 = 0;  // node index
+  std::size_t in1 = 0;  // node index
+};
+
+class Circuit {
+ public:
+  Circuit(std::size_t num_inputs, std::vector<Gate> gates);
+
+  std::size_t num_inputs() const { return num_inputs_; }
+  std::size_t num_gates() const { return gates_.size(); }
+  std::size_t num_nodes() const { return num_inputs_ + gates_.size(); }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const Gate& gate(std::size_t g) const { return gates_[g]; }
+
+  // Node index of gate g / of input i.
+  std::size_t gate_node(std::size_t g) const { return num_inputs_ + g; }
+  bool is_input_node(std::size_t node) const { return node < num_inputs_; }
+
+  // Evaluates every node; result[v] is the value of node v.
+  std::vector<bool> evaluate_all(const std::vector<bool>& inputs) const;
+  // The circuit output: value of the last gate.
+  bool evaluate(const std::vector<bool>& inputs) const;
+
+  // fanout(v) = number of gate inputs fed by node v.
+  std::vector<std::size_t> fanouts() const;
+  std::size_t max_fanout() const;
+  bool has_fanout_at_most(std::size_t f) const;
+
+  std::string to_string() const;
+
+ private:
+  std::size_t num_inputs_;
+  std::vector<Gate> gates_;
+};
+
+// A NANDCVP instance: a circuit together with its input assignment.
+struct CvpInstance {
+  Circuit circuit;
+  std::vector<bool> inputs;
+
+  bool expected() const { return circuit.evaluate(inputs); }
+};
+
+// Result of the fan-out reduction: the rewritten circuit plus, for each new
+// input, the original input it replicates (inputs are duplicated freely by
+// the log-space reduction; gates are duplicated bodily, cf. the O(S^2) size
+// remark in Section 2 of the paper).
+struct FanoutTwoResult {
+  Circuit circuit;
+  std::vector<std::size_t> input_origin;
+
+  std::vector<bool> map_inputs(const std::vector<bool>& orig) const {
+    std::vector<bool> out(input_origin.size());
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] = orig[input_origin[i]];
+    return out;
+  }
+};
+
+// Rewrites `c` so that every node feeds at most two gate input wires.
+// High-fanout gates are replaced by enough verbatim copies (each physical
+// node supplies two wires); demand propagates toward the inputs, which are
+// replicated as fresh input nodes. The computed function is preserved:
+// for any x, result.circuit.evaluate(result.map_inputs(x)) == c.evaluate(x).
+FanoutTwoResult with_fanout_two(const Circuit& c);
+
+// Converts an instance wholesale.
+CvpInstance with_fanout_two(const CvpInstance& inst);
+
+}  // namespace pfact::circuit

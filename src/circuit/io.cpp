@@ -1,0 +1,85 @@
+#include "circuit/io.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pfact::circuit {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& msg) {
+  throw std::invalid_argument("circuit text, line " + std::to_string(line) +
+                              ": " + msg);
+}
+
+}  // namespace
+
+ParsedInstance parse_circuit_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t lineno = 0;
+  bool have_inputs = false;
+  std::size_t num_inputs = 0;
+  std::vector<Gate> gates;
+  std::optional<std::vector<bool>> assign;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    // Strip comments.
+    auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream ls(raw);
+    std::string word;
+    if (!(ls >> word)) continue;  // blank line
+    if (word == "inputs") {
+      if (have_inputs) fail(lineno, "duplicate 'inputs'");
+      if (!(ls >> num_inputs) || num_inputs == 0)
+        fail(lineno, "expected positive input count");
+      have_inputs = true;
+    } else if (word == "nand") {
+      if (!have_inputs) fail(lineno, "'nand' before 'inputs'");
+      std::size_t a = 0, b = 0;
+      if (!(ls >> a >> b)) fail(lineno, "expected two node indices");
+      std::size_t node = num_inputs + gates.size();
+      if (a >= node || b >= node)
+        fail(lineno, "gate reads a node that does not exist yet");
+      gates.push_back({a, b});
+    } else if (word == "assign") {
+      if (!have_inputs) fail(lineno, "'assign' before 'inputs'");
+      std::vector<bool> bits;
+      int v = 0;
+      while (ls >> v) {
+        if (v != 0 && v != 1) fail(lineno, "assignment bits must be 0/1");
+        bits.push_back(v == 1);
+      }
+      if (bits.size() != num_inputs)
+        fail(lineno, "assignment arity mismatch");
+      assign = std::move(bits);
+    } else {
+      fail(lineno, "unknown directive '" + word + "'");
+    }
+    std::string extra;
+    if (ls >> extra) fail(lineno, "trailing token '" + extra + "'");
+  }
+  if (!have_inputs) fail(lineno, "missing 'inputs'");
+  if (gates.empty()) fail(lineno, "circuit has no gates");
+  ParsedInstance out{Circuit(num_inputs, std::move(gates)), std::move(assign)};
+  return out;
+}
+
+std::string circuit_to_text(const Circuit& c,
+                            const std::vector<bool>* inputs) {
+  std::ostringstream os;
+  os << "inputs " << c.num_inputs() << "\n";
+  for (std::size_t g = 0; g < c.num_gates(); ++g) {
+    os << "nand " << c.gate(g).in0 << " " << c.gate(g).in1 << "  # node "
+       << c.gate_node(g) << "\n";
+  }
+  if (inputs != nullptr) {
+    os << "assign";
+    for (bool b : *inputs) os << " " << (b ? 1 : 0);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pfact::circuit

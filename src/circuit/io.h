@@ -1,0 +1,38 @@
+#pragma once
+// A minimal text format for NANDCVP instances, so reductions can be driven
+// from files (see examples/compile_circuit.cpp):
+//
+//     # comment
+//     inputs 2
+//     nand 0 1        # creates node 2
+//     nand 2 2        # creates node 3; the last gate is the output
+//
+// An instance file may end with an assignment line:
+//
+//     assign 1 0
+//
+// Whitespace-separated; node indices follow the library convention
+// (0..k-1 inputs, then gates in order).
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace pfact::circuit {
+
+struct ParsedInstance {
+  Circuit circuit;
+  // Present iff the file contained an `assign` line.
+  std::optional<std::vector<bool>> inputs;
+};
+
+// Throws std::invalid_argument with a line-numbered message on bad input.
+ParsedInstance parse_circuit_text(const std::string& text);
+
+// Inverse of the parser (assignment included when provided).
+std::string circuit_to_text(const Circuit& c,
+                            const std::vector<bool>* inputs = nullptr);
+
+}  // namespace pfact::circuit

@@ -1,0 +1,268 @@
+#include "core/assembler.h"
+
+#include <deque>
+#include <stdexcept>
+
+namespace pfact::core {
+
+namespace {
+
+std::size_t aux_rows(BlockType t) {
+  switch (t) {
+    case BlockType::kInput: return 0;
+    case BlockType::kPass: return kPassAuxRows;
+    case BlockType::kDup: return kDupAuxRows;
+    case BlockType::kNand: return kNandAuxRows;
+  }
+  return 0;
+}
+
+}  // namespace
+
+AssemblyPlan plan_assembly(const circuit::Circuit& c) {
+  AssemblyPlan plan;
+  const std::size_t n_in = c.num_inputs();
+  // uses[v] counts gate-input wires plus the external output wire.
+  std::vector<std::size_t> uses = c.fanouts();
+  uses[c.num_nodes() - 1] += 1;
+  for (std::size_t v = 0; v < c.num_nodes(); ++v) {
+    if (uses[v] > 2) {
+      throw std::invalid_argument(
+          "plan_assembly: node exceeds fanout 2 (normalize first)");
+    }
+  }
+
+  std::size_t next_slot = 0;
+  // Available value copies per node, and the set of live slots in layer
+  // order (the PASS blocks must preserve a deterministic tape order).
+  std::vector<std::deque<std::size_t>> avail(c.num_nodes());
+  std::vector<std::pair<std::size_t, std::size_t>> live;  // (slot, node)
+
+  auto make_slot = [&](std::size_t node) {
+    std::size_t s = next_slot++;
+    avail[node].push_back(s);
+    live.emplace_back(s, node);
+    return s;
+  };
+
+  // Layer 0: one INPUT block per circuit input.
+  for (std::size_t i = 0; i < n_in; ++i) {
+    BlockInstance b;
+    b.type = BlockType::kInput;
+    b.layer = 0;
+    b.out_slots.push_back(make_slot(i));
+    plan.blocks.push_back(std::move(b));
+  }
+  std::size_t layer = 1;
+
+  auto retire_if_dead = [&](std::size_t node) {
+    // Drops a freshly produced slot if nobody will ever consume it.
+    if (uses[node] == 0) {
+      std::size_t s = avail[node].back();
+      avail[node].pop_back();
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (live[i].first == s) {
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+      plan.dead_slots.push_back(s);
+    }
+  };
+  for (std::size_t i = 0; i < n_in; ++i) retire_if_dead(i);
+
+  // Emits one layer whose first block is `active` (consuming the slots in
+  // active.in_slots); every other live slot is carried by a PASS block.
+  auto emit_layer = [&](BlockInstance active) {
+    active.layer = layer;
+    std::vector<std::pair<std::size_t, std::size_t>> new_live;
+    std::vector<BlockInstance> layer_blocks;
+    layer_blocks.push_back(std::move(active));
+    for (auto& [slot, node] : live) {
+      bool consumed = false;
+      for (std::size_t s : layer_blocks[0].in_slots) {
+        if (s == slot) consumed = true;
+      }
+      if (consumed) continue;
+      BlockInstance pass;
+      pass.type = BlockType::kPass;
+      pass.layer = layer;
+      pass.in_slots.push_back(slot);
+      std::size_t ns = next_slot++;
+      pass.out_slots.push_back(ns);
+      // Replace the node's old slot id with the passed-forward one.
+      for (auto& q : avail[node]) {
+        if (q == slot) q = ns;
+      }
+      new_live.emplace_back(ns, node);
+      layer_blocks.push_back(std::move(pass));
+    }
+    live = std::move(new_live);
+    for (auto& b : layer_blocks) plan.blocks.push_back(std::move(b));
+    ++layer;
+  };
+
+  auto ensure_two_copies = [&](std::size_t node) {
+    // A node consumed twice gets a DUP layer splitting its single slot.
+    if (uses[node] < 2 || avail[node].size() >= 2) return;
+    if (avail[node].empty())
+      throw std::logic_error("plan_assembly: no copy available to duplicate");
+    BlockInstance dup;
+    dup.type = BlockType::kDup;
+    std::size_t s = avail[node].front();
+    avail[node].pop_front();
+    // Remove from live before emit so no PASS duplicates it.
+    for (std::size_t i = 0; i < live.size(); ++i) {
+      if (live[i].first == s) {
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+    dup.in_slots.push_back(s);
+    std::size_t o0 = next_slot++;
+    std::size_t o1 = next_slot++;
+    dup.out_slots = {o0, o1};
+    avail[node].push_back(o0);
+    avail[node].push_back(o1);
+    emit_layer(std::move(dup));
+    // emit_layer rebuilt `live` from the surviving slots; add the new ones.
+    live.emplace_back(o0, node);
+    live.emplace_back(o1, node);
+  };
+
+  for (std::size_t g = 0; g < c.num_gates(); ++g) {
+    std::size_t u0 = c.gate(g).in0;
+    std::size_t u1 = c.gate(g).in1;
+    ensure_two_copies(u0);
+    ensure_two_copies(u1);
+    BlockInstance nand;
+    nand.type = BlockType::kNand;
+    std::size_t s0 = avail[u0].front();
+    avail[u0].pop_front();
+    --uses[u0];
+    std::size_t s1 = avail[u1].front();
+    avail[u1].pop_front();
+    --uses[u1];
+    for (std::size_t in : {s0, s1}) {
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        if (live[i].first == in) {
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+    }
+    nand.in_slots = {s0, s1};
+    std::size_t node = c.gate_node(g);
+    std::size_t out = next_slot++;
+    nand.out_slots.push_back(out);
+    avail[node].push_back(out);
+    emit_layer(std::move(nand));
+    live.emplace_back(out, node);
+    retire_if_dead(node);
+  }
+
+  // The external use of the output node: exactly one live slot must remain.
+  std::size_t out_node = c.num_nodes() - 1;
+  if (avail[out_node].empty())
+    throw std::logic_error("plan_assembly: output slot missing");
+  plan.output_slot = avail[out_node].front();
+  // Everything still live except the output is unreachable garbage.
+  for (auto& [slot, node] : live) {
+    if (slot != plan.output_slot) plan.dead_slots.push_back(slot);
+  }
+  plan.num_layers = layer;
+  plan.num_slots = next_slot;
+  return plan;
+}
+
+GemReduction build_gem_reduction(const circuit::CvpInstance& inst) {
+  // Normalize fanout, counting the output node's external use.
+  circuit::CvpInstance norm = inst;
+  auto uses = norm.circuit.fanouts();
+  uses[norm.circuit.num_nodes() - 1] += 1;
+  for (std::size_t u : uses) {
+    if (u > 2) {
+      norm = circuit::with_fanout_two(inst);
+      break;
+    }
+  }
+
+  GemReduction red;
+  red.plan = plan_assembly(norm.circuit);
+  const AssemblyPlan& plan = red.plan;
+
+  // --- position assignment -------------------------------------------------
+  // Walking blocks in layer order: each block's in-slot rows come first
+  // (this is where the previous layer's carriers land), then its aux rows.
+  // Dead slots and finally the output slot take the trailing positions, so
+  // the circuit output ends at A_C(nu, nu) as in the paper's Section 2.
+  constexpr std::size_t kUnset = static_cast<std::size_t>(-1);
+  red.slot_pos.assign(plan.num_slots, kUnset);
+  std::vector<std::vector<std::size_t>> aux_pos(plan.blocks.size());
+  std::size_t next = 0;
+  for (std::size_t b = 0; b < plan.blocks.size(); ++b) {
+    const BlockInstance& blk = plan.blocks[b];
+    for (std::size_t s : blk.in_slots) {
+      red.slot_pos[s] = next++;
+    }
+    for (std::size_t i = 0; i < aux_rows(blk.type); ++i) {
+      aux_pos[b].push_back(next++);
+    }
+  }
+  for (std::size_t s : plan.dead_slots) {
+    if (red.slot_pos[s] == kUnset) red.slot_pos[s] = next++;
+  }
+  red.slot_pos[plan.output_slot] = next++;
+  const std::size_t nu = next;
+  red.output_pos = nu - 1;
+
+  // --- entry planting -------------------------------------------------------
+  Matrix<double> a(nu, nu);
+  auto plant = [&](std::size_t b, const GadgetEntry* entries,
+                   std::size_t count, const std::vector<std::size_t>& local) {
+    (void)b;
+    for (std::size_t i = 0; i < count; ++i) {
+      const GadgetEntry& e = entries[i];
+      a(local[e.row], local[e.col]) += e.value;
+    }
+  };
+  for (std::size_t b = 0; b < plan.blocks.size(); ++b) {
+    const BlockInstance& blk = plan.blocks[b];
+    switch (blk.type) {
+      case BlockType::kInput: {
+        std::size_t p = red.slot_pos[blk.out_slots[0]];
+        a(p, p) = norm.inputs[b] ? 1.0 : 0.0;  // layer-0 blocks are in input
+                                               // order, so index b == input b
+        break;
+      }
+      case BlockType::kPass: {
+        std::vector<std::size_t> local = {
+            red.slot_pos[blk.in_slots[0]], aux_pos[b][0], aux_pos[b][1],
+            red.slot_pos[blk.out_slots[0]]};
+        plant(b, kPassEntries, std::size(kPassEntries), local);
+        break;
+      }
+      case BlockType::kDup: {
+        std::vector<std::size_t> local = {
+            red.slot_pos[blk.in_slots[0]], aux_pos[b][0], aux_pos[b][1],
+            aux_pos[b][2],                 aux_pos[b][3],
+            red.slot_pos[blk.out_slots[0]],
+            red.slot_pos[blk.out_slots[1]]};
+        plant(b, kDupEntries, std::size(kDupEntries), local);
+        break;
+      }
+      case BlockType::kNand: {
+        std::vector<std::size_t> local = {
+            red.slot_pos[blk.in_slots[0]], red.slot_pos[blk.in_slots[1]],
+            aux_pos[b][0], aux_pos[b][1],
+            red.slot_pos[blk.out_slots[0]]};
+        plant(b, kNandEntries, std::size(kNandEntries), local);
+        break;
+      }
+    }
+  }
+  red.matrix = std::move(a);
+  return red;
+}
+
+}  // namespace pfact::core

@@ -1,0 +1,69 @@
+#pragma once
+// Block assembly (Section 2 of the paper): builds the matrix A_C whose
+// elimination by GEM/GEMS simulates a given NANDCVP instance.
+//
+// Layout note (documented deviation, cf. DESIGN.md): the paper chains blocks
+// with partially overlapped W blocks and gives a closed-form position p_j
+// for the j-th N block.  We use an equivalent "pipeline" layout: the live
+// wire values at each stage occupy diagonal slots, and every stage applies
+// one active block (NAND or DUP) while PASS blocks carry the remaining live
+// values forward.  Positions are simple prefix sums over block sizes — the
+// analogue of the paper's p_j formula, and equally log-space computable
+// (each block's position depends only on counts of preceding block types).
+// The resulting order is O(n * w) for n gates and live width w <= n, i.e.
+// polynomial, as required for a many-one reduction.
+//
+// Like the paper's matrices, A_C is singular (it contains identically zero
+// columns); Corollary 3.2's bordering (core/bordering.h) upgrades the GEM
+// reduction to nonsingular inputs.
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "core/gem_gadgets.h"
+#include "matrix/matrix.h"
+
+namespace pfact::core {
+
+enum class BlockType { kInput, kPass, kDup, kNand };
+
+struct BlockInstance {
+  BlockType type;
+  std::size_t layer = 0;
+  std::vector<std::size_t> in_slots;
+  std::vector<std::size_t> out_slots;
+};
+
+// The symbolic plan: blocks grouped in layers, plus the wiring of slots
+// (each slot is one live wire segment between two consecutive layers).
+struct AssemblyPlan {
+  std::vector<BlockInstance> blocks;  // in layer order
+  std::size_t num_layers = 0;
+  std::size_t num_slots = 0;
+  std::size_t output_slot = 0;
+  // Slots that are produced but never consumed (dead gates); they receive
+  // trailing positions.
+  std::vector<std::size_t> dead_slots;
+};
+
+// Plans the block structure for a fanout<=2 instance. Throws if a node of
+// the circuit (counting the external output use) exceeds fanout 2 — callers
+// normalize with circuit::with_fanout_two first (see build_gem_reduction).
+AssemblyPlan plan_assembly(const circuit::Circuit& c);
+
+// A fully planted reduction matrix. Entries are small integers (|e| <= 1),
+// so double arithmetic on them is exact; tests additionally verify over
+// exact rationals.
+struct GemReduction {
+  Matrix<double> matrix;
+  std::size_t output_pos = 0;  // always matrix.rows() - 1
+  AssemblyPlan plan;
+  std::vector<std::size_t> slot_pos;  // position of each slot's diagonal
+};
+
+// Builds A_C for the instance. Applies the fanout-2 normalization
+// automatically when needed (including the output node's external use).
+GemReduction build_gem_reduction(const circuit::CvpInstance& inst);
+
+}  // namespace pfact::core

@@ -1,0 +1,35 @@
+#pragma once
+// Corollary 3.2's nonsingular embedding:
+//
+//     A' = ( A  E )
+//          ( E  O )
+//
+// where E is the order-nu antidiagonal identity. det(A') = +/-1 for ANY A
+// (expansion along the zero block), so A' is always nonsingular, and the
+// first nu elimination steps of GEM behave on the embedded A exactly as on
+// A alone: whenever a column of A is zero at/below the diagonal, the pivot
+// is borrowed from the antidiagonal row of the bottom half — a single row
+// exchange (GEM!) whose row has that lone nonzero, so the elimination step
+// leaves A untouched.  (GEMS cannot use this trick: its circular shift would
+// displace every row in between — which is exactly why Table 1 puts GEMS on
+// nonsingular matrices in NC while GEM stays inherently sequential.)
+
+#include <cstddef>
+
+#include "matrix/matrix.h"
+
+namespace pfact::core {
+
+template <class T>
+Matrix<T> border_nonsingular(const Matrix<T>& a) {
+  const std::size_t n = a.rows();
+  Matrix<T> out(2 * n, 2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) out(i, j) = a(i, j);
+    out(i, n + (n - 1 - i)) = T(1);      // top-right E
+    out(n + i, n - 1 - i) = T(1);        // bottom-left E
+  }
+  return out;
+}
+
+}  // namespace pfact::core

@@ -1,0 +1,29 @@
+#include "core/gem_gadgets.h"
+
+namespace pfact::core {
+
+namespace {
+
+template <std::size_t N>
+Matrix<numeric::Rational> build(std::size_t order,
+                                const GadgetEntry (&entries)[N]) {
+  Matrix<numeric::Rational> m(order, order);
+  for (const auto& e : entries) m(e.row, e.col) = e.value;
+  return m;
+}
+
+}  // namespace
+
+Matrix<numeric::Rational> pass_block_template() {
+  return build(4, kPassEntries);
+}
+
+Matrix<numeric::Rational> dup_block_template() {
+  return build(7, kDupEntries);
+}
+
+Matrix<numeric::Rational> nand_block_template() {
+  return build(5, kNandEntries);
+}
+
+}  // namespace pfact::core

@@ -1,0 +1,103 @@
+#pragma once
+// Functional blocks (gadgets) for the GEM/GEMS reductions of Theorem 3.1.
+//
+// Boolean encoding: False = 0, True = 1 (as in the paper's Section 3).
+//
+// The blocks below were re-derived from scratch against the Section-2
+// contracts (the printed Figures 2-3 are OCR-corrupted in our source text;
+// see DESIGN.md).  Derivation notes — the invariants every block obeys:
+//
+//  * A "slot" is a diagonal position holding a live boolean value: when
+//    column s comes up for elimination, the row at position s (the "in-row",
+//    produced by the upstream block) is  (0,...,0, a, 0,...,0)  with a at
+//    the diagonal.
+//  * A block occupies its in-slot positions, then a CONTIGUOUS run of aux
+//    positions immediately below, plus one "carrier" row per output at the
+//    (distant) position of each output slot. Pivot selection for every block
+//    column lands inside the contiguous [in,aux] region in every input case,
+//    so minimal-pivoting row movements (swap for GEM, circular shift for
+//    GEMS) never displace rows of other blocks — this is what makes the
+//    blocks composable, and is why the same blocks serve both algorithms.
+//  * After the block's columns are eliminated, each carrier row is exactly
+//    (0,...,0, v, 0,...,0) with its output value v at its own diagonal, and
+//    every other leftover row has junk only ABOVE the diagonal (inert).
+//
+// Block semantics ("after k steps of the algorithm" = after eliminating the
+// block's columns):
+//   PASS  (wire, the paper's W): out = in.                1 in, 1 out, 2 aux
+//   DUP   (duplicator, paper's D): out0 = out1 = in.      1 in, 2 out, 4 aux
+//   NAND  (paper's N): out = NAND(in0, in1).              2 in, 1 out, 2 aux
+//
+// The entries below are planted by the assembler; this header documents the
+// shape and exposes block-local templates for the unit tests.
+
+#include <cstddef>
+
+#include "matrix/matrix.h"
+#include "numeric/rational.h"
+
+namespace pfact::core {
+
+// Number of aux rows/columns each block inserts between its in-slots and
+// the next block region.
+inline constexpr std::size_t kPassAuxRows = 2;
+inline constexpr std::size_t kDupAuxRows = 4;
+inline constexpr std::size_t kNandAuxRows = 2;
+
+// Entry plans: lists of (row, col, value) triples in *local* coordinates.
+// The assembler maps local indices to global positions:
+//   PASS: 0 = in, 1..2 = aux, 3 = out.
+//   DUP : 0 = in, 1..4 = aux, 5 = out0, 6 = out1   (out0 position < out1).
+//   NAND: 0,1 = in, 2..3 = aux, 4 = out.
+// In-rows are planted by the upstream block (only the value on the
+// diagonal); entries listed here never touch the in-rows.
+struct GadgetEntry {
+  std::size_t row;
+  std::size_t col;
+  int value;
+};
+
+// PASS block:
+//   aux row 1 ("compute"): reads the in column; when in == 0 it becomes the
+//     pivot there (supplying the required nonzero); carries the transfer
+//     constant -1 into the out column.
+//   aux row 2 ("shield"): clean pivot for the aux column when in == 0.
+//   carrier (row 3) reads the aux column once; the case distinction between
+//     which row is the aux-column pivot (compute carries -1 at out, shield
+//     carries nothing) plants exactly `in` at the carrier diagonal.
+inline constexpr GadgetEntry kPassEntries[] = {
+    {1, 0, 1}, {1, 1, 1}, {1, 3, -1},  // compute
+    {2, 1, 1},                         // shield
+    {3, 1, 1},                         // carrier
+};
+
+// DUP block: two independent transfer chains (aux cols 1 and 3). The
+// compute rows both read the in column; kappa == theta makes the second
+// chain's pivot entry cancel when in == 0, and the +1 at local col 3 on the
+// carrier A row pre-compensates the pollution it picks up from chain 1's
+// pivot when in == 1.
+inline constexpr GadgetEntry kDupEntries[] = {
+    {1, 0, 1}, {1, 1, 1}, {1, 3, 1}, {1, 6, -1},  // compute 1 (targets out1)
+    {2, 1, 1},                                    // shield 1
+    {3, 0, 1}, {3, 3, 1}, {3, 5, -1},             // compute 2 (targets out0)
+    {4, 3, 1},                                    // shield 2
+    {5, 3, 1},                                    // carrier out0
+    {6, 1, 1}, {6, 3, 1},                         // carrier out1
+};
+
+// NAND block: the compute row reads both in columns (becoming the pivot for
+// whichever input is 0); the carrier reads both in columns and accumulates
+// 1 - a*b at the aux column; the shield then transfers it to the out column.
+inline constexpr GadgetEntry kNandEntries[] = {
+    {2, 0, 1}, {2, 1, 1}, {2, 2, -1},  // compute
+    {3, 2, 1}, {3, 4, -1},             // shield
+    {4, 0, 1}, {4, 1, 1},              // carrier
+};
+
+// Block-local template matrices (in-slot values filled by the caller), for
+// unit-testing each block against its contract in isolation.
+Matrix<numeric::Rational> pass_block_template();
+Matrix<numeric::Rational> dup_block_template();
+Matrix<numeric::Rational> nand_block_template();
+
+}  // namespace pfact::core

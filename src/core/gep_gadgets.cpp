@@ -1,0 +1,203 @@
+#include "core/gep_gadgets.h"
+
+#include <cmath>
+
+#include "factor/gaussian.h"
+
+namespace pfact::core {
+
+namespace {
+
+// Constants solved by tools/gep_lab.cpp (Gauss-Newton on the contracts).
+// PASS: p = [a1 a3 a4 d1 d2]
+constexpr double kPassA1 = 0.57181269199578666;
+constexpr double kPassA3 = 2.8315407706863276;
+constexpr double kPassA4 = 1.59395769334738;
+constexpr double kPassD1 = -18.666666666666636;  // == -56/3
+constexpr double kPassD2 = -13.333333333333329;  // == -40/3
+// NAND: p = [a1 a2 a3 a4 b1 b2 b3 b4 d1 d2]
+constexpr double kNandA1 = 1.5;
+constexpr double kNandA2 = -0.10804184957699207;
+constexpr double kNandA3 = -2.7128081811199602;
+constexpr double kNandA4 = -1.4999999999999996;
+constexpr double kNandB1 = 1.4980238347976564;
+constexpr double kNandB2 = 0.80340693503638883;
+constexpr double kNandB3 = -8.1276742826954287;
+constexpr double kNandB4 = -4.9934127826588535;
+constexpr double kNandD1 = -10.632613936338899;
+constexpr double kNandD2 = 0.0;
+
+}  // namespace
+
+Matrix<double> gep_pass_template() {
+  Matrix<double> m(6, 6);
+  for (int i = 0; i < 6; ++i) m(i, i) = 1e-3 * (i + 1);
+  m(1, 1) = 0;
+  m(3, 3) = 0;
+  m(1, 0) = 1;  // slot value; caller overwrites with the encoding (1 or 2)
+  m(1, 1) = 1;  // companion
+  m(2, 0) = 1.5;
+  m(2, 1) = kPassA1;
+  m(2, 2) = kPassA3;
+  m(2, 3) = kPassA4;
+  m(3, 1) = 4.0;  // decoy
+  m(3, 2) = kPassD1;
+  m(3, 3) = kPassD2;
+  return m;
+}
+
+Matrix<double> gep_nand_template() {
+  Matrix<double> m(9, 9);
+  for (int i = 0; i < 9; ++i) m(i, i) = 1e-3 * (i + 1);
+  m(2, 2) = 0;
+  m(6, 6) = 0;
+  m(2, 0) = 1;  // u; caller overwrites
+  m(2, 2) = 1;  // u's companion at m1
+  m(3, 0) = 1.5;
+  m(3, 2) = kNandA1;
+  m(3, 3) = kNandA2;
+  m(3, 4) = kNandA3;
+  m(3, 5) = kNandA4;
+  m(4, 1) = 1;  // w; caller overwrites
+  m(4, 3) = 1;  // w's companion at m2
+  m(5, 1) = 1.5;
+  m(5, 2) = kNandB1;
+  m(5, 3) = kNandB2;
+  m(5, 4) = kNandB3;
+  m(5, 5) = kNandB4;
+  m(6, 3) = 4.0;  // decoy
+  m(6, 4) = kNandD1;
+  m(6, 5) = kNandD2;
+  return m;
+}
+
+namespace {
+
+// Embeds `block` at the given local->global index map.
+void plant(Matrix<double>& a, const Matrix<double>& block,
+           const std::vector<std::size_t>& pos) {
+  for (std::size_t i = 0; i < block.rows(); ++i)
+    for (std::size_t j = 0; j < block.cols(); ++j)
+      if (block(i, j) != 0.0) a(pos[i], pos[j]) += block(i, j);
+}
+
+}  // namespace
+
+GepChain build_gep_pass_chain(int v, std::size_t depth) {
+  // Block k occupies local cols {0,1} = pair k and {2,3} = pair k+1 plus
+  // two private spare positions for swap-landing. Global layout: pair k at
+  // columns (4k, 4k+1), spares of block k at (4k+2, 4k+3).
+  // (A sparser packing is possible; clarity wins here.)
+  GepChain chain;
+  const std::size_t n = 4 * depth + 2;
+  chain.matrix = Matrix<double>(n, n);
+  // Global diagonal fillers keep untouched columns pivotable.
+  for (std::size_t i = 0; i < n; ++i) chain.matrix(i, i) = 1e-4;
+  for (std::size_t k = 0; k < depth; ++k) {
+    Matrix<double> block = gep_pass_template();
+    if (k == 0) {
+      block(1, 0) = v;
+    } else {
+      // Interior pair: the value arrives dynamically on the survivor row,
+      // and the pair's diagonal structure was planted by the predecessor.
+      block(0, 0) = 0;
+      block(1, 0) = 0;
+      block(1, 1) = 0;
+    }
+    std::size_t s = 4 * k;
+    // pos: local 0 -> slot diag, 1 -> companion diag (in-row), 2 -> out t,
+    // 3 -> out t', 4,5 -> spares. Out pair of block k = pair k+1 columns
+    // (== n-2, n-1 for the last block).
+    std::vector<std::size_t> pos = {s, s + 1, s + 4, s + 5, s + 2, s + 3};
+    plant(chain.matrix, block, pos);
+    // Remove the double-planted global filler under block diagonals.
+    for (std::size_t li = 0; li < 6; ++li) {
+      if (block(li, li) != 0.0)
+        chain.matrix(pos[li], pos[li]) -= 1e-4;
+    }
+  }
+  chain.value_col = n - 2;
+  chain.companion_col = n - 1;
+  return chain;
+}
+
+GepChain build_gep_nand_chain(int u, int w, std::size_t depth) {
+  // NAND block first, then PASS blocks, each occupying 4 fresh positions.
+  // One extra "kicker" row at the very bottom handles the survivor-
+  // stranding case: when the NAND's decoy bounce leaves the surviving row
+  // at the decoy's origin position (9) — which lies above the first PASS's
+  // out column — the kicker (the unique large entry of column 9) wins that
+  // column's contest and swaps the survivor to the bottom, where it can
+  // contest every later column. GEP rows move only by winning a contest or
+  // by being the displaced diagonal row, so without the kicker the value
+  // would be stuck above the diagonal.
+  GepChain chain;
+  const std::size_t n = depth == 0 ? 9 : 11 + 4 * depth;
+  chain.matrix = Matrix<double>(n, n);
+  for (std::size_t i = 0; i < n; ++i) chain.matrix(i, i) = 1e-4;
+  Matrix<double> nand = gep_nand_template();
+  nand(2, 0) = u;
+  nand(4, 1) = w;
+  // The NAND's out pair must be the first PASS's in pair (or the final pair
+  // when depth == 0). The decoy's origin position (local 6) must sit BELOW
+  // the out pair so a survivor bounced there by the decoy swap can still
+  // contest the out column; spare fillers (local 7,8) go to the leftover
+  // positions.
+  std::size_t out_t = depth == 0 ? 4 : 7;
+  std::size_t out_tp = depth == 0 ? 5 : 8;
+  std::vector<std::size_t> npos = {0, 1, 2, 3, out_t, out_tp, 9, 5, 6};
+  if (depth == 0) {
+    npos = {0, 1, 2, 3, 4, 5, 6, 7, 8};
+  }
+  plant(chain.matrix, nand, npos);
+  for (std::size_t li = 0; li < 9; ++li) {
+    if (nand(li, li) != 0.0) chain.matrix(npos[li], npos[li]) -= 1e-4;
+  }
+  std::size_t in_t = out_t;
+  std::size_t in_tp = out_tp;
+  for (std::size_t k = 0; k < depth; ++k) {
+    Matrix<double> block = gep_pass_template();
+    block(0, 0) = 0;  // in-pair diagonals come from the predecessor block
+    block(1, 0) = 0;  // value arrives on the survivor row
+    block(1, 1) = 0;
+    std::size_t base = 10 + 4 * k;
+    std::size_t t = base + 2;
+    std::size_t tp = base + 3;
+    std::vector<std::size_t> pos = {in_t, in_tp, t, tp, base, base + 1};
+    plant(chain.matrix, block, pos);
+    for (std::size_t li = 0; li < 6; ++li) {
+      if (block(li, li) != 0.0) chain.matrix(pos[li], pos[li]) -= 1e-4;
+    }
+    in_t = t;
+    in_tp = tp;
+  }
+  if (depth > 0) {
+    chain.matrix(n - 1, 9) = 1.0;  // the kicker
+    chain.value_col = in_t;
+    chain.companion_col = in_tp;
+  } else {
+    chain.value_col = 4;
+    chain.companion_col = 5;
+  }
+  return chain;
+}
+
+double run_gep_chain(const GepChain& chain, factor::PivotTrace* trace_out) {
+  Matrix<double> m = chain.matrix;
+  Permutation perm(m.rows());
+  factor::PivotTrace trace =
+      factor::eliminate_steps(m, factor::PivotStrategy::kPartial,
+                              chain.value_col, &perm);
+  if (trace_out != nullptr) *trace_out = trace;
+  int found = -1;
+  for (std::size_t i = chain.value_col; i < m.rows(); ++i) {
+    if (std::fabs(m(i, chain.value_col)) > 0.2) {
+      if (found >= 0) return 0.0;
+      found = static_cast<int>(i);
+    }
+  }
+  if (found < 0) return 0.0;
+  return m(found, chain.value_col);
+}
+
+}  // namespace pfact::core

@@ -1,0 +1,73 @@
+#pragma once
+// Functional blocks for the GEP reduction (Theorem 3.4, extending
+// Vavasis' [17] GEP P-completeness; the paper's Figures 4-5).
+//
+// Boolean encoding: False = 1, True = 2 (POSITIVE magnitudes; GEP's pivot
+// rule compares |entries|, and our blocks emit positively-signed outputs so
+// they chain).
+//
+// Mechanism (re-derived; see DESIGN.md):
+//  * Under partial pivoting the Schur complement after eliminating a set of
+//    columns does not depend on the pivot choices, so — unlike GEM/GEMS —
+//    values cannot be encoded through skipped columns. What IS
+//    case-dependent is WHICH ROW wins each magnitude contest, i.e. the
+//    pivot trace: precisely the language L of Theorem 3.4.
+//  * A value v in {1,2} arrives as a row (v at its slot column, 1 at a
+//    companion column), positioned below the slot's diagonal (GEP swaps
+//    rows over arbitrary distances, so gadget rows may live anywhere below
+//    — no contiguity constraints, in contrast to GEMS).
+//  * The aux row carries 3/2 at the slot column: the contest 3/2 vs v
+//    decides the pivot; the loser row continues, carrying a case-dependent
+//    mixture. The companion entry is essential — without it the loser would
+//    be proportional across cases and no information could flow.
+//  * A "decoy" row (entry 4 at the mix column plus payload at the output
+//    pair) wins the mix-column contest, both freeing the surviving row to
+//    travel further down and injecting the survivor's informative mix entry
+//    into the output pair.
+//  * Tiny diagonal fillers (1e-3 scale) keep every column — hence every
+//    leading principal minor — nonsingular: the reduction matrices are
+//    strongly nonsingular, the strengthening Theorem 3.4 adds to [17]
+//    (verified exactly in the tests over rationals).
+//
+// The block constants were derived with Gauss-Newton on the block contracts
+// (tools/gep_lab.cpp) and verified across all input cases.
+
+#include <cstddef>
+
+#include "factor/pivot_trace.h"
+#include "matrix/matrix.h"
+
+namespace pfact::core {
+
+// 6x6 PASS: cols {0: slot, 1: companion/mix, 2: out t, 3: out companion}.
+// Rows: 0 filler, 1 in-row (caller sets (1,0) = v), 2 aux, 3 decoy,
+// 4..5 fillers. Contract: after eliminating cols 0..1, exactly one row at
+// position >= 2 is live with (v at col 2, 1 at col 3).
+Matrix<double> gep_pass_template();
+
+// 9x9 NAND: cols {0: u-slot, 1: w-slot, 2: mix m1 (u companion),
+// 3: mix m2 (w companion), 4: out t, 5: out companion}. Caller sets
+// (2,0) = u and (4,1) = w. Contract: after eliminating cols 0..3, exactly
+// one live row remains with (NAND(u,w) at col 4, 1 at col 5), where
+// enc(NAND) = 1 if u=w=2 else 2.
+Matrix<double> gep_nand_template();
+
+// Chain: NAND(u, w) followed by `depth` PASS blocks; the final value is
+// decoded from the unique live row of the eliminated matrix.
+struct GepChain {
+  Matrix<double> matrix;
+  std::size_t value_col = 0;      // column of the final encoding
+  std::size_t companion_col = 0;  // column of its companion 1
+};
+
+GepChain build_gep_nand_chain(int u, int w, std::size_t depth);
+GepChain build_gep_pass_chain(int v, std::size_t depth);
+
+// Runs GEP on the chain and decodes the boolean: returns the encoding found
+// on the unique live row at (>= value_col, value_col); 0.0 if malformed.
+// If `trace_out` is non-null the pivot trace is stored there (Theorem 3.4's
+// language L is a predicate on this trace).
+double run_gep_chain(const GepChain& chain,
+                     factor::PivotTrace* trace_out = nullptr);
+
+}  // namespace pfact::core

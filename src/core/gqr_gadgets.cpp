@@ -1,0 +1,115 @@
+#include "core/gqr_gadgets.h"
+
+namespace pfact::core {
+
+namespace {
+
+constexpr long double kS2 = 1.4142135623730950488L;  // sqrt(2)
+
+// NAND block constants from tools/gqr_lab.cpp (Gauss-Newton on the block
+// contract; residual < 1e-17 in long double across all four input cases).
+constexpr long double kP0 = -1.0983690012895321L;   // Y1 at col 3
+constexpr long double kP1 = 0.83678159436274618L;   // Y1 at col 4 (t)
+constexpr long double kP2 = -2.390109932476594L;    // Y1 at col 5 (t+1)
+constexpr long double kQ0 = -1.0L;                  // Y2 companion at col 3
+constexpr long double kQ1 = -kS2;                   // Y2 at col 4
+constexpr long double kQ2 = -kS2;                   // Y2 at col 5
+constexpr long double kR1 = -0.68654877941666289L;  // carrier at col 1
+constexpr long double kR2 = 1.0022423053610348L;    // carrier at col 3
+constexpr long double kZ = 1.3511288041845773L;     // carrier at col 4
+constexpr long double kW = 2.4588380237153377L;     // carrier at col 5
+
+}  // namespace
+
+Matrix<long double> gqr_pass_template() {
+  Matrix<long double> m(4, 4);
+  m(0, 0) = 1;  // slot value; caller overwrites with +/-1
+  m(0, 1) = 1;  // companion
+  m(1, 0) = 1;
+  m(1, 1) = 1;
+  m(1, 2) = -kS2;
+  m(1, 3) = -kS2;
+  m(2, 1) = kS2;
+  m(2, 2) = kS2 - 1;
+  m(2, 3) = -(1 + kS2);
+  return m;
+}
+
+Matrix<long double> gqr_nand_template() {
+  Matrix<long double> m(6, 6);
+  m(0, 0) = 1;  // a
+  m(0, 1) = 1;  // a's companion
+  m(1, 0) = 1;
+  m(1, 1) = 1;
+  m(1, 3) = kP0;
+  m(1, 4) = kP1;
+  m(1, 5) = kP2;
+  m(2, 2) = 1;  // b
+  m(2, 3) = 1;  // b's companion
+  m(3, 2) = 1;
+  m(3, 3) = kQ0;
+  m(3, 4) = kQ1;
+  m(3, 5) = kQ2;
+  m(4, 1) = kR1;
+  m(4, 3) = kR2;
+  m(4, 4) = kZ;
+  m(4, 5) = kW;
+  return m;
+}
+
+namespace {
+
+// Copies a block template into the global matrix at the given local->global
+// position map (blocks are principal minors on possibly non-contiguous
+// index sets, exactly as in the paper's Section 2).
+void plant(Matrix<long double>& a, const Matrix<long double>& block,
+           const std::vector<std::size_t>& pos) {
+  for (std::size_t i = 0; i < block.rows(); ++i)
+    for (std::size_t j = 0; j < block.cols(); ++j)
+      if (block(i, j) != 0.0L) a(pos[i], pos[j]) += block(i, j);
+}
+
+}  // namespace
+
+GqrChain build_gqr_nand_chain(int a, int b, std::size_t depth) {
+  // Layout: NAND occupies positions 0..5 (out at 4, companion col 5);
+  // each PASS k re-uses the previous out pair as its slot/companion and
+  // appends two positions. Total order = 6 + 2*depth.
+  const std::size_t n = 6 + 2 * depth;
+  GqrChain chain;
+  chain.matrix = Matrix<long double>(n, n);
+  Matrix<long double> nand = gqr_nand_template();
+  nand(0, 0) = a;
+  nand(2, 2) = b;
+  plant(chain.matrix, nand, {0, 1, 2, 3, 4, 5});
+  std::size_t slot = 4;  // current value position (companion at slot+1)
+  for (std::size_t k = 0; k < depth; ++k) {
+    Matrix<long double> pass = gqr_pass_template();
+    pass(0, 0) = 0;  // the value arrives via the chain, nothing planted
+    pass(0, 1) = 0;  // companion likewise
+    plant(chain.matrix, pass, {slot, slot + 1, slot + 2, slot + 3});
+    slot += 2;
+  }
+  chain.value_pos = slot;
+  return chain;
+}
+
+GqrChain build_gqr_pass_chain(int a, std::size_t depth) {
+  const std::size_t n = 2 + 2 * depth;
+  GqrChain chain;
+  chain.matrix = Matrix<long double>(n, n);
+  chain.matrix(0, 0) = a;
+  chain.matrix(0, 1) = 1;
+  std::size_t slot = 0;
+  for (std::size_t k = 0; k < depth; ++k) {
+    Matrix<long double> pass = gqr_pass_template();
+    pass(0, 0) = 0;
+    pass(0, 1) = 0;
+    plant(chain.matrix, pass, {slot, slot + 1, slot + 2, slot + 3});
+    slot += 2;
+  }
+  chain.value_pos = slot;
+  return chain;
+}
+
+}  // namespace pfact::core

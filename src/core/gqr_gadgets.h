@@ -1,0 +1,69 @@
+#pragma once
+// Functional blocks for the GQR reduction (Theorem 4.1).
+//
+// Boolean encoding: False = -1, True = +1 (paper, Section 4).
+//
+// Key structural facts (re-derived; the paper's Figures 6-8 are corrupted in
+// our source text, but Figure 6's visible first rows "(a, 1, ...)" confirm
+// the interface):
+//
+//  * A value is handed between blocks as a PAIR: the encoding a = +/-1 at a
+//    diagonal slot AND a constant companion 1 in the next column of the same
+//    row. The companion is what lets rotations form a - 1 / a + 1 style
+//    cancellations; without it every GQR result entry would provably be a
+//    pure sign-monomial (rotations map sign-homogeneous rows to
+//    sign-homogeneous rows), and NAND is not a monomial.
+//  * A rotation against the slot column consumes the value: the rotated
+//    diagonal becomes sqrt(a^2 + h^2) > 0 (data-independent magnitude since
+//    a^2 = 1), and the sign information moves into the other row.
+//  * The conditional mechanism: the aux row's post-rotation diagonal is
+//    (a -/+ 1)/sqrt(2) — EXACTLY ZERO for one input value — so the following
+//    rotation either degenerates into a signed row swap or mixes rows; the
+//    two branches plant different constants into the carrier.
+//
+// Block contracts ("after k steps" = after the block's rotations):
+//   PASS: carrier row ends (0,...,0, a at t, 1 at t+1).        1 aux row
+//   NAND: carrier row ends (0,...,0, NAND(a,b) at t, 1 at t+1). 2 aux rows
+//
+// PASS constants are closed-form (sqrt(2) family). The NAND constants were
+// obtained by Gauss-Newton solution of the 8 contract equations over the 9
+// free entries (tools/gqr_lab.cpp) and verified to ~1e-17 in long double;
+// they are algebraic numbers on a 1-parameter solution family.
+
+#include <cstddef>
+
+#include "matrix/matrix.h"
+
+namespace pfact::core {
+
+// --- block templates (long double master copies) ---------------------------
+
+// 4x4 PASS: cols {0: slot, 1: companion/aux, 2: out t, 3: out companion}.
+// Caller sets (0,0) = a (+/-1); (0,1) is the companion 1 (pre-set).
+Matrix<long double> gqr_pass_template();
+
+// 6x6 NAND: cols {0: a-slot, 1: companion/aux1, 2: b-slot, 3: companion/aux2,
+// 4: out t, 5: out companion}. Caller sets (0,0) = a and (2,2) = b.
+Matrix<long double> gqr_nand_template();
+
+// Number of rotations GQR performs on each template (every case).
+inline constexpr std::size_t kGqrPassRotations = 2;
+inline constexpr std::size_t kGqrNandRotations = 4;
+
+// --- chain builder ----------------------------------------------------------
+// Builds a matrix that evaluates NAND(a, b) and then pushes the result
+// through `depth` PASS blocks — the depth-scaling workload for the floating
+// point error experiments (Section 4's "error will in general amplify").
+// The final value lands on the last diagonal entry but one pair:
+// (order-2, order-2), companion at (order-2, order-1).
+struct GqrChain {
+  Matrix<long double> matrix;
+  std::size_t value_pos = 0;  // diagonal position of the final value
+};
+
+GqrChain build_gqr_nand_chain(int a, int b, std::size_t depth);
+
+// A pure PASS chain carrying one value through `depth` blocks.
+GqrChain build_gqr_pass_chain(int a, std::size_t depth);
+
+}  // namespace pfact::core

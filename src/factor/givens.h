@@ -1,0 +1,188 @@
+#pragma once
+// QR factorization via Givens rotations (GQR) — the subject of Theorem 4.1.
+//
+// GQR annihilates the subdiagonal "in the natural order (left to right and
+// top to bottom)"; each rotation G zeroes one entry (j,i) using rows i and j:
+//
+//     r = sqrt(a_ii^2 + a_ji^2),  c = a_ii / r,  s = a_ji / r,
+//     row_i <-  c*row_i + s*row_j
+//     row_j <- -s*row_i + c*row_j        (computed from the OLD rows)
+//
+// Note: the rotation printed in the paper's Appendix A has its signs
+// garbled (as printed it does not annihilate the (j,i) entry); the formulas
+// above are the standard ones and do satisfy "the entry j,i of G.A is zero".
+//
+// Also provided: the Sameh–Kuck parallel annihilation ordering [16], which
+// retires the same n(n-1)/2 rotations in O(n) stages of pairwise-disjoint
+// row pairs — the classic "stable parallel linear system solver" the paper's
+// introduction credits as the best practical parallel option.
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/matrix.h"
+#include "numeric/field.h"
+
+namespace pfact::factor {
+
+template <class T>
+struct QrResult {
+  Matrix<T> r;            // upper triangular, same shape as input
+  Matrix<T> q;            // orthogonal accumulate with A = Q R (optional)
+  bool has_q = false;
+  std::size_t rotations = 0;  // rotations actually applied
+  std::size_t stages = 0;     // parallel stages (1 per rotation if natural)
+};
+
+namespace detail {
+
+// Applies the rotation eliminating a(j,i) against pivot row i. Returns true
+// if a rotation was applied (a(j,i) != 0). Each arithmetic operation is one
+// machine operation in the field T — this sequencing is what the Section 4
+// floating point analysis is about, so keep it explicit.
+template <class T>
+bool apply_givens(Matrix<T>& a, Matrix<T>* q, std::size_t i, std::size_t j) {
+  if (is_zero(a(j, i))) return false;
+  T r = field_sqrt(a(i, i) * a(i, i) + a(j, i) * a(j, i));
+  T c = a(i, i) / r;
+  T s = a(j, i) / r;
+  for (std::size_t t = 0; t < a.cols(); ++t) {
+    T top = a(i, t);
+    T bot = a(j, t);
+    a(i, t) = c * top + s * bot;
+    a(j, t) = c * bot - s * top;
+  }
+  a(j, i) = T(0);  // exact by construction; avoids residual roundoff dust
+  if (q != nullptr) {
+    // Accumulate Q = G_1^T G_2^T ... : apply the inverse rotation to columns.
+    for (std::size_t t = 0; t < q->rows(); ++t) {
+      T qi = (*q)(t, i);
+      T qj = (*q)(t, j);
+      (*q)(t, i) = c * qi + s * qj;
+      (*q)(t, j) = c * qj - s * qi;
+    }
+  }
+  return true;
+}
+
+// Neighbour-row variant: rotate rows (p, j) to annihilate a(j, col), where
+// p is typically the upper neighbour j-1 (Sameh–Kuck) rather than the
+// diagonal row.
+template <class T>
+bool apply_givens(Matrix<T>& a, Matrix<T>* q, std::size_t p, std::size_t j,
+                  std::size_t col) {
+  if (is_zero(a(j, col))) return false;
+  T r = field_sqrt(a(p, col) * a(p, col) + a(j, col) * a(j, col));
+  T c = a(p, col) / r;
+  T s = a(j, col) / r;
+  for (std::size_t t = 0; t < a.cols(); ++t) {
+    T top = a(p, t);
+    T bot = a(j, t);
+    a(p, t) = c * top + s * bot;
+    a(j, t) = c * bot - s * top;
+  }
+  a(j, col) = T(0);
+  if (q != nullptr) {
+    for (std::size_t t = 0; t < q->rows(); ++t) {
+      T qi = (*q)(t, p);
+      T qj = (*q)(t, j);
+      (*q)(t, p) = c * qi + s * qj;
+      (*q)(t, j) = c * qj - s * qi;
+    }
+  }
+  return true;
+}
+
+}  // namespace detail
+
+// Runs the first `steps` rotation positions of natural-order GQR in place
+// (skipped zero entries still count as a step position, matching "after k
+// steps of GQR" in the block contracts, where blocks are dense below the
+// diagonal wherever it matters).
+template <class T>
+std::size_t givens_steps(Matrix<T>& a, std::size_t steps) {
+  std::size_t pos = 0;
+  std::size_t applied = 0;
+  const std::size_t kmax = std::min(a.rows(), a.cols());
+  for (std::size_t i = 0; i < kmax; ++i) {
+    for (std::size_t j = i + 1; j < a.rows(); ++j) {
+      if (pos == steps) return applied;
+      if (detail::apply_givens<T>(a, nullptr, i, j)) ++applied;
+      ++pos;
+    }
+  }
+  return applied;
+}
+
+// Full natural-order GQR.
+template <class T>
+QrResult<T> givens_qr(Matrix<T> a, bool accumulate_q = false) {
+  QrResult<T> res;
+  Matrix<T> q;
+  if (accumulate_q) q = Matrix<T>::identity(a.rows());
+  const std::size_t kmax = std::min(a.rows(), a.cols());
+  for (std::size_t i = 0; i < kmax; ++i) {
+    for (std::size_t j = i + 1; j < a.rows(); ++j) {
+      if (detail::apply_givens<T>(a, accumulate_q ? &q : nullptr, i, j)) {
+        ++res.rotations;
+      }
+    }
+  }
+  res.stages = res.rotations;
+  res.r = std::move(a);
+  if (accumulate_q) {
+    res.q = std::move(q);
+    res.has_q = true;
+  }
+  return res;
+}
+
+// Sameh–Kuck ordering: entry (j,i) (0-based, j > i) is annihilated at stage
+// rows()-1-j + 2i (0-based stages), always rotating adjacent rows (j-1, j).
+// All rotations within a stage touch pairwise disjoint row pairs, so a PRAM
+// (or a thread pool) can apply them simultaneously; the stage count is
+// rows() + ... = O(n) instead of the Theta(n^2) sequential rotation count.
+template <class T>
+QrResult<T> givens_qr_sameh_kuck(Matrix<T> a, bool accumulate_q = false) {
+  QrResult<T> res;
+  Matrix<T> q;
+  if (accumulate_q) q = Matrix<T>::identity(a.rows());
+  const std::size_t n = a.rows();
+  const std::size_t kmax = std::min(a.rows(), a.cols());
+  if (n < 2) {
+    res.r = std::move(a);
+    if (accumulate_q) {
+      res.q = std::move(q);
+      res.has_q = true;
+    }
+    return res;
+  }
+  const std::size_t max_stage = (n - 2) + 2 * (kmax - 1);
+  for (std::size_t stage = 0; stage <= max_stage; ++stage) {
+    bool any = false;
+    // Members of this stage: i such that j = n-1-stage+2i is a valid row.
+    for (std::size_t i = 0; i < kmax; ++i) {
+      std::size_t base = n - 1 + 2 * i;
+      if (base < stage) continue;
+      std::size_t j = base - stage;
+      if (j <= i || j >= n) continue;
+      // Annihilate (j,i) against its upper neighbour row j-1 (whose own
+      // column-i entry is still live unless j-1 == i, where it is the
+      // diagonal): pairwise scheme.
+      if (detail::apply_givens<T>(a, accumulate_q ? &q : nullptr, j - 1, j,
+                                  i)) {
+        ++res.rotations;
+        any = true;
+      }
+    }
+    if (any) ++res.stages;
+  }
+  res.r = std::move(a);
+  if (accumulate_q) {
+    res.q = std::move(q);
+    res.has_q = true;
+  }
+  return res;
+}
+
+}  // namespace pfact::factor

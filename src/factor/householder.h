@@ -1,0 +1,83 @@
+#pragma once
+// QR factorization via Householder reflections (HQR).
+//
+// The companion result [11] (Leoncini–Manzini–Margara, ESA'96) proved HQR
+// inherently sequential on general matrices; here HQR serves as the second
+// stable QR baseline in the accuracy/parallelism experiments, and as a
+// cross-check for the Givens factorizations (same R up to column signs).
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/matrix.h"
+#include "numeric/field.h"
+
+namespace pfact::factor {
+
+template <class T>
+struct HouseholderResult {
+  Matrix<T> r;
+  Matrix<T> q;
+  bool has_q = false;
+  std::size_t reflections = 0;
+};
+
+// Classic column-by-column Householder triangularization.
+template <class T>
+HouseholderResult<T> householder_qr(Matrix<T> a, bool accumulate_q = false) {
+  const std::size_t n = a.rows();
+  const std::size_t m = a.cols();
+  const std::size_t kmax = std::min(n, m);
+  HouseholderResult<T> res;
+  Matrix<T> q;
+  if (accumulate_q) q = Matrix<T>::identity(n);
+  std::vector<T> v(n, T(0));
+  for (std::size_t k = 0; k < kmax; ++k) {
+    // Build the reflector v for column k below (and including) the diagonal.
+    T sigma = T(0);
+    for (std::size_t i = k; i < n; ++i) sigma += a(i, k) * a(i, k);
+    if (is_zero(sigma)) continue;  // column already zero: nothing to do
+    bool trivial = true;
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (!is_zero(a(i, k))) trivial = false;
+    }
+    if (trivial) continue;  // subdiagonal already zero: nothing to do
+    T norm = field_sqrt(sigma);
+    // Sign choice avoiding cancellation: alpha = -sign(a_kk) * ||x||.
+    T akk = a(k, k);
+    T alpha = (to_double(akk) >= 0.0) ? -norm : norm;
+    T vk = akk - alpha;
+    v[k] = vk;
+    for (std::size_t i = k + 1; i < n; ++i) v[i] = a(i, k);
+    T vtv = vk * vk;
+    for (std::size_t i = k + 1; i < n; ++i) vtv += v[i] * v[i];
+    if (is_zero(vtv)) continue;
+    ++res.reflections;
+    // Apply H = I - 2 v v^T / (v^T v) to the trailing columns of A.
+    for (std::size_t j = k; j < m; ++j) {
+      T dot = T(0);
+      for (std::size_t i = k; i < n; ++i) dot += v[i] * a(i, j);
+      T f = T(2) * dot / vtv;
+      for (std::size_t i = k; i < n; ++i) a(i, j) -= f * v[i];
+    }
+    a(k, k) = alpha;
+    for (std::size_t i = k + 1; i < n; ++i) a(i, k) = T(0);
+    if (accumulate_q) {
+      // Q <- Q H (accumulating A = Q R).
+      for (std::size_t t = 0; t < n; ++t) {
+        T dot = T(0);
+        for (std::size_t i = k; i < n; ++i) dot += q(t, i) * v[i];
+        T f = T(2) * dot / vtv;
+        for (std::size_t i = k; i < n; ++i) q(t, i) -= f * v[i];
+      }
+    }
+  }
+  res.r = std::move(a);
+  if (accumulate_q) {
+    res.q = std::move(q);
+    res.has_q = true;
+  }
+  return res;
+}
+
+}  // namespace pfact::factor

@@ -1,0 +1,116 @@
+#pragma once
+// Triangular solves and end-to-end linear system drivers.
+//
+// "Factoring a matrix is almost always the first step" (paper, Section 1):
+// these drivers are that second step, and power the accuracy experiments —
+// residuals of solves are how stability differences between pivoting
+// strategies become measurable.
+
+#include <stdexcept>
+#include <vector>
+
+#include "factor/gaussian.h"
+#include "factor/givens.h"
+#include "matrix/matrix.h"
+
+namespace pfact::factor {
+
+// Solves L y = b for unit or general lower triangular L.
+template <class T>
+std::vector<T> forward_solve(const Matrix<T>& l, const std::vector<T>& b) {
+  const std::size_t n = l.rows();
+  if (b.size() != n) throw std::invalid_argument("forward_solve: size");
+  std::vector<T> y(n, T(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    T acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l(i, j) * y[j];
+    if (is_zero(l(i, i))) throw std::domain_error("forward_solve: singular");
+    y[i] = acc / l(i, i);
+  }
+  return y;
+}
+
+// Solves U x = y for upper triangular U.
+template <class T>
+std::vector<T> back_solve(const Matrix<T>& u, const std::vector<T>& y) {
+  const std::size_t n = u.rows();
+  if (y.size() != n) throw std::invalid_argument("back_solve: size");
+  std::vector<T> x(n, T(0));
+  for (std::size_t i = n; i-- > 0;) {
+    T acc = y[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= u(i, j) * x[j];
+    if (is_zero(u(i, i))) throw std::domain_error("back_solve: singular");
+    x[i] = acc / u(i, i);
+  }
+  return x;
+}
+
+// Solves A x = b through the PLU factorization of the given strategy.
+template <class T>
+std::vector<T> solve_plu(const Matrix<T>& a, const std::vector<T>& b,
+                         PivotStrategy strategy = PivotStrategy::kPartial) {
+  LuResult<T> f = ge_factor(a, strategy);
+  if (!f.ok) throw std::domain_error("solve_plu: elimination failed");
+  // Permute b into pivot order: (PA) x = P b with PA = LU.
+  std::vector<T> pb(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) pb[i] = b[f.row_perm[i]];
+  std::vector<T> y = forward_solve(f.l, pb);
+  return back_solve(f.u, y);
+}
+
+// Solves A x = b via Givens QR: x = R^{-1} Q^T b.
+template <class T>
+std::vector<T> solve_qr(const Matrix<T>& a, const std::vector<T>& b,
+                        bool sameh_kuck = false) {
+  QrResult<T> f = sameh_kuck ? givens_qr_sameh_kuck(a, /*accumulate_q=*/true)
+                             : givens_qr(a, /*accumulate_q=*/true);
+  const std::size_t n = a.rows();
+  std::vector<T> qtb(n, T(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) qtb[i] += f.q(j, i) * b[j];
+  }
+  return back_solve(f.r, qtb);
+}
+
+// Solves with an already-computed factorization (P^T A = LU).
+template <class T>
+std::vector<T> solve_factored(const LuResult<T>& f, const std::vector<T>& b) {
+  std::vector<T> pb(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) pb[i] = b[f.row_perm[i]];
+  return back_solve(f.u, forward_solve(f.l, pb));
+}
+
+// Iterative refinement on a PLU solve: each sweep computes the residual
+// r = b - A x and corrects x by the factored solve of r. For weakly stable
+// eliminations (plain GE, minimal pivoting) a couple of sweeps restore
+// backward stability at the cost of extra *sequential* passes — the "price
+// for accuracy" paid in time rather than pivot quality.
+template <class T>
+std::vector<T> solve_plu_refined(const Matrix<T>& a, const std::vector<T>& b,
+                                 PivotStrategy strategy, int sweeps = 2) {
+  LuResult<T> f = ge_factor(a, strategy);
+  if (!f.ok) throw std::domain_error("solve_plu_refined: factorization");
+  std::vector<T> x = solve_factored(f, b);
+  for (int s = 0; s < sweeps; ++s) {
+    std::vector<T> r(b.size(), T(0));
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      T acc = b[i];
+      for (std::size_t j = 0; j < a.cols(); ++j) acc -= a(i, j) * x[j];
+      r[i] = acc;
+    }
+    std::vector<T> dx = solve_factored(f, r);
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] += dx[i];
+  }
+  return x;
+}
+
+// Matrix-vector product helper for residual checks.
+template <class T>
+std::vector<T> matvec(const Matrix<T>& a, const std::vector<T>& x) {
+  std::vector<T> y(a.rows(), T(0));
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) y[i] += a(i, j) * x[j];
+  return y;
+}
+
+}  // namespace pfact::factor

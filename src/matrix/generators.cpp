@@ -1,0 +1,157 @@
+#include "matrix/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pfact::gen {
+
+namespace {
+
+std::mt19937_64 make_rng(std::uint64_t seed) { return std::mt19937_64{seed}; }
+
+}  // namespace
+
+Matrix<double> random_general(std::size_t n, std::uint64_t seed) {
+  auto rng = make_rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix<double> a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(rng);
+  return a;
+}
+
+Matrix<double> random_nonsingular(std::size_t n, std::uint64_t seed) {
+  auto rng = make_rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::uniform_real_distribution<double> diag(0.5, 1.5);
+  std::bernoulli_distribution coin(0.5);
+  Matrix<double> l = Matrix<double>::identity(n);
+  Matrix<double> u(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    u(i, i) = (coin(rng) ? 1.0 : -1.0) * diag(rng);
+    for (std::size_t j = 0; j < i; ++j) l(i, j) = dist(rng);
+    for (std::size_t j = i + 1; j < n; ++j) u(i, j) = dist(rng);
+  }
+  Matrix<double> a = l * u;
+  // Random row shuffle keeps nonsingularity, destroys triangular structure.
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  std::shuffle(perm.begin(), perm.end(), rng);
+  return Permutation(perm).apply_rows(a);
+}
+
+Matrix<double> random_diagonally_dominant(std::size_t n, std::uint64_t seed) {
+  auto rng = make_rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix<double> a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double off = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      a(i, j) = dist(rng);
+      off += std::fabs(a(i, j));
+    }
+    a(i, i) = (dist(rng) < 0 ? -1.0 : 1.0) * (off + 1.0);
+  }
+  return a;
+}
+
+Matrix<double> random_spd(std::size_t n, std::uint64_t seed) {
+  Matrix<double> b = random_general(n, seed);
+  Matrix<double> a = b.transposed() * b;
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+Matrix<double> hilbert(std::size_t n) {
+  Matrix<double> a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a(i, j) = 1.0 / static_cast<double>(i + j + 1);
+  return a;
+}
+
+Matrix<numeric::Rational> hilbert_exact(std::size_t n) {
+  Matrix<numeric::Rational> a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j)
+      a(i, j) = numeric::Rational(1, static_cast<long long>(i + j + 1));
+  return a;
+}
+
+Matrix<numeric::Rational> random_integer_exact(std::size_t n, int range,
+                                               std::uint64_t seed) {
+  auto rng = make_rng(seed);
+  std::uniform_int_distribution<int> dist(-range, range);
+  Matrix<numeric::Rational> a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(rng);
+  return a;
+}
+
+Matrix<numeric::Rational> random_nonsingular_exact(std::size_t n, int range,
+                                                   std::uint64_t seed) {
+  // Rejection sampling on exact determinant; random integer matrices are
+  // singular with vanishing probability, so this terminates fast.
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    Matrix<numeric::Rational> a =
+        random_integer_exact(n, range, seed + attempt * 7919);
+    // Exact determinant via fraction-free elimination on a copy.
+    Matrix<numeric::Rational> m = a;
+    numeric::Rational det(1);
+    bool singular = false;
+    for (std::size_t k = 0; k < n && !singular; ++k) {
+      std::size_t piv = k;
+      while (piv < n && m(piv, k).is_zero()) ++piv;
+      if (piv == n) {
+        singular = true;
+        break;
+      }
+      if (piv != k) {
+        m.swap_rows(piv, k);
+        det = -det;
+      }
+      det *= m(k, k);
+      for (std::size_t i = k + 1; i < n; ++i) {
+        numeric::Rational f = m(i, k) / m(k, k);
+        for (std::size_t j = k; j < n; ++j) m(i, j) -= f * m(k, j);
+      }
+    }
+    if (!singular && !det.is_zero()) return a;
+  }
+}
+
+Matrix<double> nonsingular_with_singular_minor(std::size_t n) {
+  // [0 1; 1 0] block in the top corner, identity elsewhere: leading 1x1
+  // minor is zero, so plain GE fails but any pivoting variant succeeds.
+  Matrix<double> a = Matrix<double>::identity(n);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  return a;
+}
+
+Matrix<double> graded(std::size_t n, double ratio) {
+  Matrix<double> a(n, n);
+  double scale = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j)
+      a(i, j) = scale / static_cast<double>(1 + ((i * 31 + j * 17) % 7));
+    a(i, i) = 2.0 * scale;
+    scale *= ratio;
+  }
+  return a;
+}
+
+Matrix<double> wilkinson_growth(std::size_t n) {
+  Matrix<double> a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) a(i, j) = -1.0;
+    a(i, i) = 1.0;
+    a(i, n - 1) = 1.0;
+  }
+  return a;
+}
+
+}  // namespace pfact::gen

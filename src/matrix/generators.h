@@ -1,0 +1,54 @@
+#pragma once
+// Test-matrix ensembles used by the experiments: the paper's complexity
+// classes are defined per matrix class (general / nonsingular / strongly
+// nonsingular), so the generators produce certified members of each class.
+
+#include <cstdint>
+#include <random>
+
+#include "matrix/matrix.h"
+#include "numeric/rational.h"
+
+namespace pfact::gen {
+
+// Uniform entries in [-1, 1].
+Matrix<double> random_general(std::size_t n, std::uint64_t seed);
+
+// Random matrix conditioned (by construction) to be nonsingular:
+// P * L * U with unit |diagonal| factors bounded away from zero.
+Matrix<double> random_nonsingular(std::size_t n, std::uint64_t seed);
+
+// Strictly row diagonally dominant => strongly nonsingular (all leading
+// principal minors of a strictly diagonally dominant matrix are themselves
+// strictly diagonally dominant, hence nonsingular).
+Matrix<double> random_diagonally_dominant(std::size_t n, std::uint64_t seed);
+
+// Symmetric positive definite: A = B^T B + n I.
+Matrix<double> random_spd(std::size_t n, std::uint64_t seed);
+
+// Hilbert matrix H(i,j) = 1/(i+j+1): notoriously ill-conditioned, strongly
+// nonsingular; the classic accuracy stress test.
+Matrix<double> hilbert(std::size_t n);
+Matrix<numeric::Rational> hilbert_exact(std::size_t n);
+
+// Integer entries in [-range, range], as exact rationals.
+Matrix<numeric::Rational> random_integer_exact(std::size_t n, int range,
+                                               std::uint64_t seed);
+
+// Integer-entry nonsingular rational matrix (rejection-sampled on det != 0).
+Matrix<numeric::Rational> random_nonsingular_exact(std::size_t n, int range,
+                                                   std::uint64_t seed);
+
+// A matrix with a singular leading principal minor but nonsingular overall:
+// exercises the GE-fails / GEP-succeeds boundary.
+Matrix<double> nonsingular_with_singular_minor(std::size_t n);
+
+// "Graded" matrix with exponentially decreasing diagonal: stresses growth
+// factors and pivoting differences.
+Matrix<double> graded(std::size_t n, double ratio);
+
+// Kahan-style growth-factor worst case for partial pivoting: the classic
+// Wilkinson matrix with 2^{n-1} element growth under GEP.
+Matrix<double> wilkinson_growth(std::size_t n);
+
+}  // namespace pfact::gen

@@ -1,0 +1,83 @@
+#pragma once
+// Bareiss fraction-free elimination: exact determinant and rank for integer
+// matrices with polynomially bounded entry growth (entries stay minors of
+// the input). This is the classic tool behind the "arithmetic NC" upper
+// bounds the paper quotes ([2], [13]): determinants/ranks are NC-computable,
+// and our LFMIS and GEMS-NC implementations are built on exact ranks.
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/matrix.h"
+#include "numeric/bigint.h"
+#include "numeric/rational.h"
+
+namespace pfact::nc {
+
+struct BareissResult {
+  numeric::BigInt det;   // determinant (0 when rank-deficient or non-square)
+  std::size_t rank = 0;
+  bool row_swaps_odd = false;
+};
+
+// Runs fraction-free elimination on an integer matrix. Column-deficient
+// columns are skipped (rank deficiency); the division step is exact by the
+// Bareiss identity (every intermediate entry is a minor of the input).
+inline BareissResult bareiss_eliminate(Matrix<numeric::BigInt> a) {
+  using numeric::BigInt;
+  BareissResult res;
+  const std::size_t n = a.rows();
+  const std::size_t m = a.cols();
+  BigInt prev(1);
+  std::size_t r = 0;  // current elimination row
+  bool sign_flip = false;
+  for (std::size_t c = 0; c < m && r < n; ++c) {
+    // Find a pivot in column c at or below row r.
+    std::size_t piv = r;
+    while (piv < n && a(piv, c).is_zero()) ++piv;
+    if (piv == n) continue;  // zero column: rank deficiency
+    if (piv != r) {
+      a.swap_rows(piv, r);
+      sign_flip = !sign_flip;
+    }
+    for (std::size_t i = r + 1; i < n; ++i) {
+      for (std::size_t j = c + 1; j < m; ++j) {
+        a(i, j) = (a(r, c) * a(i, j) - a(i, c) * a(r, j)) / prev;
+      }
+      a(i, c) = BigInt(0);
+    }
+    prev = a(r, c);
+    ++r;
+  }
+  res.rank = r;
+  res.row_swaps_odd = sign_flip;
+  if (a.square() && r == n) {
+    res.det = sign_flip ? -prev : prev;
+  }
+  return res;
+}
+
+// Exact determinant of an integer matrix via Bareiss.
+inline numeric::BigInt bareiss_det(const Matrix<numeric::BigInt>& a) {
+  return bareiss_eliminate(a).det;
+}
+
+// Exact rank of a rational matrix: clear denominators per row (rank is
+// invariant under row scaling), then Bareiss.
+inline std::size_t rank_exact(const Matrix<numeric::Rational>& a) {
+  using numeric::BigInt;
+  Matrix<BigInt> m(a.rows(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    BigInt lcm(1);
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const BigInt& d = a(i, j).den();
+      lcm = lcm / BigInt::gcd(lcm, d) * d;
+    }
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      m(i, j) = a(i, j).num() * (lcm / a(i, j).den());
+    }
+  }
+  return bareiss_eliminate(std::move(m)).rank;
+}
+
+}  // namespace pfact::nc

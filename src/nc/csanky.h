@@ -1,0 +1,86 @@
+#pragma once
+// Csanky-style fast parallel linear algebra [3]: determinant, characteristic
+// polynomial and inverse through the Faddeev–Le Verrier recurrence
+//
+//     B_1 = A,  c_1 = -tr(B_1)
+//     B_{k+1} = A (B_k + c_k I),  c_{k+1} = -tr(B_{k+1}) / (k+1)
+//     det A = (-1)^n c_n,   A^{-1} = -(B_{n-1} + c_{n-1} I) / c_n.
+//
+// This is the archetypal "arithmetic NC" solver the paper's introduction
+// contrasts with the stable sequential algorithms: over exact arithmetic it
+// is a correct NC-style algorithm; over floating point it is *spectacularly
+// unstable* (divisions by k! -scaled quantities), which is exactly the
+// accuracy/parallelism tradeoff of [4] that the benchmarks quantify.
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "matrix/matrix.h"
+#include "numeric/field.h"
+
+namespace pfact::nc {
+
+template <class T>
+struct CsankyResult {
+  T det = T(0);
+  std::vector<T> charpoly;  // c_1..c_n (coefficients of the recurrence)
+  Matrix<T> inverse;        // valid iff invertible
+  bool invertible = false;
+};
+
+template <class T>
+CsankyResult<T> csanky(const Matrix<T>& a) {
+  if (!a.square()) throw std::invalid_argument("csanky: non-square");
+  const std::size_t n = a.rows();
+  CsankyResult<T> res;
+  if (n == 0) {
+    res.det = T(1);
+    res.invertible = true;
+    res.inverse = a;
+    return res;
+  }
+  auto trace = [&](const Matrix<T>& m) {
+    T t = T(0);
+    for (std::size_t i = 0; i < n; ++i) t += m(i, i);
+    return t;
+  };
+  // Invariant: at the top of iteration k, shifted == B_{k-1} + c_{k-1} I
+  // (with B_0 + c_0 I == I by convention).
+  Matrix<T> shifted = Matrix<T>::identity(n);
+  Matrix<T> b(n, n);
+  std::vector<T> c(n);
+  for (std::size_t k = 1; k <= n; ++k) {
+    b = a * shifted;  // B_k
+    c[k - 1] = -trace(b) / T(static_cast<long long>(k));
+    if (k < n) {
+      shifted = b;
+      for (std::size_t i = 0; i < n; ++i) shifted(i, i) += c[k - 1];
+    }
+  }
+  res.charpoly = c;
+  T cn = c[n - 1];
+  res.det = (n % 2 == 0) ? cn : -cn;
+  if (!is_zero(cn)) {
+    res.invertible = true;
+    // A^{-1} = -(B_{n-1} + c_{n-1} I) / c_n, and `shifted` holds exactly
+    // B_{n-1} + c_{n-1} I after the loop.
+    res.inverse = (T(-1) / cn) * shifted;
+  }
+  return res;
+}
+
+// Solve A x = b through the Csanky inverse — the "fast parallel solver, not
+// based on factorizations" the paper contrasts with GE/QR.
+template <class T>
+std::vector<T> csanky_solve(const Matrix<T>& a, const std::vector<T>& rhs) {
+  CsankyResult<T> r = csanky(a);
+  if (!r.invertible) throw std::domain_error("csanky_solve: singular");
+  std::vector<T> x(a.rows(), T(0));
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      x[i] += r.inverse(i, j) * rhs[j];
+  return x;
+}
+
+}  // namespace pfact::nc

@@ -1,0 +1,61 @@
+#include "nc/gems_nc.h"
+
+#include <stdexcept>
+
+#include "nc/lfmis.h"
+#include "parallel/thread_pool.h"
+
+namespace pfact::nc {
+
+std::vector<std::size_t> gems_nc_permutation(
+    const Matrix<numeric::Rational>& a) {
+  const std::size_t n = a.rows();
+  // S_i = LFMIS of the rows of A_i (first i columns); all n instances run
+  // concurrently. membership[i][r] = r in S_{i+1}.
+  std::vector<std::vector<std::size_t>> sets(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    sets[i] = lfmis_rows(a.submatrix(0, 0, n, i + 1));
+  });
+  // j_{i+1} = the unique element of S_{i+1} \ S_i.
+  std::vector<std::size_t> j(n);
+  std::vector<char> in_prev(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (sets[i].size() != i + 1) {
+      throw std::domain_error(
+          "gems_nc_permutation: input matrix is singular");
+    }
+    bool found = false;
+    for (std::size_t r : sets[i]) {
+      if (!in_prev[r]) {
+        j[i] = r;
+        found = true;
+      }
+    }
+    if (!found) throw std::logic_error("gems_nc: S_i did not grow");
+    std::fill(in_prev.begin(), in_prev.end(), 0);
+    for (std::size_t r : sets[i]) in_prev[r] = 1;
+  }
+  return j;
+}
+
+GemsNcResult gems_nc_factor(const Matrix<numeric::Rational>& a) {
+  GemsNcResult res;
+  if (!a.square()) throw std::invalid_argument("gems_nc_factor: non-square");
+  std::vector<std::size_t> j;
+  try {
+    j = gems_nc_permutation(a);
+  } catch (const std::domain_error&) {
+    return res;  // singular input: ok stays false
+  }
+  res.rank_queries = a.rows() * a.rows();
+  res.row_perm = Permutation(j);
+  Matrix<numeric::Rational> pa = res.row_perm.apply_rows(a);
+  auto f = factor::ge(pa);  // plain GE: guaranteed not to fail by Thm 3.3
+  if (!f.ok) throw std::logic_error("gems_nc_factor: pivot-free GE failed");
+  res.l = std::move(f.l);
+  res.u = std::move(f.u);
+  res.ok = true;
+  return res;
+}
+
+}  // namespace pfact::nc

@@ -1,0 +1,43 @@
+#pragma once
+// Theorem 3.3: computing the PLU factorization returned by GEMS on a
+// NONSINGULAR matrix is in arithmetic NC^2.
+//
+// Following the paper's proof: let A_i be the first i columns of A and S_i
+// the index set of the LFMIS of the rows of A_i. All S_i are computable in
+// NC^2; |S_i| = i, S_i grows by exactly one index j_{i} per step, and
+// P = (e_{j_1} | ... | e_{j_n}) is exactly the row permutation GEMS selects
+// (minimal pivoting takes the lowest-indexed usable row — the
+// lexicographically-first matroid choice). Once P is known, P^T A is
+// strongly nonsingular along the GEMS pivot order and its unique LU
+// factorization is computable by known NC algorithms ([13], [15]); here we
+// evaluate it with plain (pivot-free) elimination over exact arithmetic.
+
+#include <cstddef>
+#include <vector>
+
+#include "factor/gaussian.h"
+#include "matrix/matrix.h"
+#include "numeric/rational.h"
+
+namespace pfact::nc {
+
+struct GemsNcResult {
+  Permutation row_perm;          // position i <- original row j_{i+1}
+  Matrix<numeric::Rational> l;   // unit lower triangular
+  Matrix<numeric::Rational> u;   // upper triangular
+  bool ok = false;               // false iff input was singular
+  // Instrumentation: how many independent rank computations were issued
+  // (the parallel work of the permutation phase).
+  std::size_t rank_queries = 0;
+};
+
+// Computes the GEMS permutation via prefix LFMIS (the NC route) and the LU
+// factors of P^T A via pivot-free elimination. Input must be square and
+// nonsingular (else ok = false).
+GemsNcResult gems_nc_factor(const Matrix<numeric::Rational>& a);
+
+// Just the permutation phase (the interesting NC part): j_1 .. j_n.
+std::vector<std::size_t> gems_nc_permutation(
+    const Matrix<numeric::Rational>& a);
+
+}  // namespace pfact::nc

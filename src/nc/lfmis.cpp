@@ -1,0 +1,28 @@
+#include "nc/lfmis.h"
+
+#include "nc/bareiss.h"
+#include "parallel/thread_pool.h"
+
+namespace pfact::nc {
+
+std::vector<std::size_t> prefix_row_ranks(
+    const Matrix<numeric::Rational>& a) {
+  std::vector<std::size_t> ranks(a.rows());
+  par::parallel_for(0, a.rows(), [&](std::size_t i) {
+    ranks[i] = rank_exact(a.submatrix(0, 0, i + 1, a.cols()));
+  });
+  return ranks;
+}
+
+std::vector<std::size_t> lfmis_rows(const Matrix<numeric::Rational>& a) {
+  std::vector<std::size_t> ranks = prefix_row_ranks(a);
+  std::vector<std::size_t> out;
+  std::size_t prev = 0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    if (ranks[i] > prev) out.push_back(i);
+    prev = ranks[i];
+  }
+  return out;
+}
+
+}  // namespace pfact::nc

@@ -1,0 +1,27 @@
+#pragma once
+// Lexicographically First Maximal Independent Subset of rows (LFMIS) —
+// the combinatorial core of the NC upper bounds in Theorem 3.3 and of
+// Eberly's NC PLU algorithm [5], via the rank-based characterization of
+// Borodin / von zur Gathen / Hopcroft [2]:
+//
+//     row i is in the LFMIS  <=>  rank(rows 0..i) > rank(rows 0..i-1).
+//
+// All prefix ranks are independent rank computations, evaluated here over a
+// thread pool (each rank is itself NC by [2]; the prefix scan gives the NC^2
+// bound the paper cites).
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/matrix.h"
+#include "numeric/rational.h"
+
+namespace pfact::nc {
+
+// Indices (increasing) of the LFMIS of the rows of `a`.
+std::vector<std::size_t> lfmis_rows(const Matrix<numeric::Rational>& a);
+
+// Prefix ranks: result[i] = rank of rows 0..i (all computed concurrently).
+std::vector<std::size_t> prefix_row_ranks(const Matrix<numeric::Rational>& a);
+
+}  // namespace pfact::nc

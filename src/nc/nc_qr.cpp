@@ -1,0 +1,21 @@
+#include "nc/nc_qr.h"
+
+#include "nc/lfmis.h"
+
+namespace pfact::nc {
+
+QrPiResult qr_pi_permutation(const Matrix<numeric::Rational>& a) {
+  QrPiResult res;
+  // LFMIS of the columns == LFMIS of the rows of A^T.
+  std::vector<std::size_t> sel = lfmis_rows(a.transposed());
+  res.rank = sel.size();
+  std::vector<char> chosen(a.cols(), 0);
+  for (std::size_t c : sel) chosen[c] = 1;
+  res.column_order = sel;
+  for (std::size_t c = 0; c < a.cols(); ++c) {
+    if (!chosen[c]) res.column_order.push_back(c);
+  }
+  return res;
+}
+
+}  // namespace pfact::nc

@@ -1,0 +1,89 @@
+#pragma once
+// The paper's introduction, NC upper bounds 2 and 4:
+//
+//  * "QR decomposition is in arithmetic NC for matrices with full column
+//    rank, since it easily reduces to LU decomposition of strongly
+//    nonsingular matrices [13]":  G = A^T A is symmetric positive definite
+//    (strongly nonsingular), G = L D L^T is NC-computable, and
+//    R = D^{1/2} L^T,  Q = A R^{-1}  gives A = QR. Implemented here with
+//    the same exact/floating field-generic elimination.
+//
+//  * "QRPi factorization of an arbitrary matrix A is in arithmetic NC [5]:
+//    a permutation Pi such that the leftmost n x r submatrix of A Pi has
+//    full column rank, r = rank(A), can be found by computing LFMIS of sets
+//    of (column) vectors": implemented via exact prefix-rank LFMIS on the
+//    columns.
+//
+// Both are *fast parallel but numerically fragile* routes (the Gram product
+// squares the condition number) — they belong to the "positive known
+// results" the paper contrasts with the stable P-complete algorithms.
+
+#include <cstddef>
+#include <vector>
+
+#include "matrix/matrix.h"
+#include "numeric/rational.h"
+
+namespace pfact::nc {
+
+template <class T>
+struct NcQrResult {
+  Matrix<T> q;
+  Matrix<T> r;
+  bool ok = false;  // false iff A did not have full column rank
+};
+
+// QR via the Gram-matrix route (needs sqrt: double/SoftFloat fields).
+// A: m x n with full column rank; returns A = Q R with R upper triangular
+// with positive diagonal and Q^T Q = I.
+template <class T>
+NcQrResult<T> qr_via_gram(const Matrix<T>& a) {
+  NcQrResult<T> res;
+  const std::size_t n = a.cols();
+  Matrix<T> g = a.transposed() * a;  // SPD iff full column rank
+  // Cholesky-like LDL^T by plain (pivot-free) elimination: G strongly
+  // nonsingular => never fails; each step is a rank-1 update (NC-friendly:
+  // the paper's references evaluate it by fast inversion instead; the
+  // factor itself is what matters here).
+  Matrix<T> u = g;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!(to_double(u(k, k)) > 0.0)) return res;  // rank deficient
+    for (std::size_t i = k + 1; i < n; ++i) {
+      T f = u(i, k) / u(k, k);
+      for (std::size_t j = k; j < n; ++j) u(i, j) -= f * u(k, j);
+    }
+  }
+  // R = D^{1/2} L^T: scale row k of the remaining upper triangle by
+  // 1/sqrt(d_k) — u currently holds D L^T in its upper part.
+  Matrix<T> r(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    T s = field_sqrt(u(k, k));
+    for (std::size_t j = k; j < n; ++j) r(k, j) = u(k, j) / s;
+  }
+  // Q = A R^{-1} by back-substitution on columns.
+  Matrix<T> q(a.rows(), n);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      T acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= q(i, k) * r(k, j);
+      q(i, j) = acc / r(j, j);
+    }
+  }
+  res.q = std::move(q);
+  res.r = std::move(r);
+  res.ok = true;
+  return res;
+}
+
+// Column permutation Pi such that the leftmost rank(A) columns of A Pi are
+// independent — the lexicographically first such set (Eberly's route to
+// QRPi). Returns the column order (selected independent columns first, in
+// index order, then the rest) and the rank.
+struct QrPiResult {
+  std::vector<std::size_t> column_order;
+  std::size_t rank = 0;
+};
+
+QrPiResult qr_pi_permutation(const Matrix<numeric::Rational>& a);
+
+}  // namespace pfact::nc

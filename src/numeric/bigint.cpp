@@ -1,0 +1,372 @@
+#include "numeric/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <compare>
+#include <limits>
+#include <stdexcept>
+
+namespace pfact::numeric {
+
+namespace {
+constexpr std::uint64_t kBase = 1ull << 32;
+}
+
+BigInt::BigInt(long long v) {
+  if (v == 0) return;
+  sign_ = v > 0 ? 1 : -1;
+  // Avoid UB on LLONG_MIN by working in unsigned space.
+  std::uint64_t u =
+      v > 0 ? static_cast<std::uint64_t>(v)
+            : ~static_cast<std::uint64_t>(v) + 1;
+  while (u != 0) {
+    mag_.push_back(static_cast<std::uint32_t>(u & 0xffffffffu));
+    u >>= 32;
+  }
+}
+
+void BigInt::trim() {
+  while (!mag_.empty() && mag_.back() == 0) mag_.pop_back();
+  if (mag_.empty()) sign_ = 0;
+}
+
+int BigInt::compare_mag(const std::vector<std::uint32_t>& a,
+                        const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<std::uint32_t> BigInt::add_mag(
+    const std::vector<std::uint32_t>& a,
+    const std::vector<std::uint32_t>& b) {
+  const auto& big = a.size() >= b.size() ? a : b;
+  const auto& small = a.size() >= b.size() ? b : a;
+  std::vector<std::uint32_t> out(big.size() + 1, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    std::uint64_t s = carry + big[i] + (i < small.size() ? small[i] : 0);
+    out[i] = static_cast<std::uint32_t>(s & 0xffffffffu);
+    carry = s >> 32;
+  }
+  out[big.size()] = static_cast<std::uint32_t>(carry);
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<std::uint32_t> BigInt::sub_mag(
+    const std::vector<std::uint32_t>& a,
+    const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> out(a.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t d = static_cast<std::int64_t>(a[i]) - borrow -
+                     (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (d < 0) {
+      d += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out[i] = static_cast<std::uint32_t>(d);
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+std::vector<std::uint32_t> BigInt::mul_mag(
+    const std::vector<std::uint32_t>& a,
+    const std::vector<std::uint32_t>& b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<std::uint32_t> out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      std::uint64_t cur = out[i + j] +
+                          static_cast<std::uint64_t>(a[i]) * b[j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + b.size();
+    while (carry != 0) {
+      std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  while (!out.empty() && out.back() == 0) out.pop_back();
+  return out;
+}
+
+BigInt operator+(const BigInt& a, const BigInt& b) {
+  if (a.sign_ == 0) return b;
+  if (b.sign_ == 0) return a;
+  BigInt out;
+  if (a.sign_ == b.sign_) {
+    out.sign_ = a.sign_;
+    out.mag_ = BigInt::add_mag(a.mag_, b.mag_);
+  } else {
+    int c = BigInt::compare_mag(a.mag_, b.mag_);
+    if (c == 0) return BigInt{};
+    const BigInt& big = c > 0 ? a : b;
+    const BigInt& small = c > 0 ? b : a;
+    out.sign_ = big.sign_;
+    out.mag_ = BigInt::sub_mag(big.mag_, small.mag_);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  out.sign_ = -out.sign_;
+  return out;
+}
+
+BigInt BigInt::abs() const {
+  BigInt out = *this;
+  if (out.sign_ < 0) out.sign_ = 1;
+  return out;
+}
+
+BigInt operator-(const BigInt& a, const BigInt& b) { return a + (-b); }
+
+BigInt operator*(const BigInt& a, const BigInt& b) {
+  BigInt out;
+  out.sign_ = a.sign_ * b.sign_;
+  if (out.sign_ != 0) out.mag_ = BigInt::mul_mag(a.mag_, b.mag_);
+  out.trim();
+  return out;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (mag_.empty()) return 0;
+  std::uint32_t top = mag_.back();
+  std::size_t bits = (mag_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::bit(std::size_t i) const {
+  std::size_t limb = i / 32;
+  if (limb >= mag_.size()) return false;
+  return (mag_[limb] >> (i % 32)) & 1u;
+}
+
+bool BigInt::is_odd() const { return !mag_.empty() && (mag_[0] & 1u); }
+
+BigInt BigInt::operator<<(std::size_t bits) const {
+  if (sign_ == 0 || bits == 0) return *this;
+  std::size_t limbs = bits / 32;
+  std::size_t rem = bits % 32;
+  BigInt out;
+  out.sign_ = sign_;
+  out.mag_.assign(mag_.size() + limbs + 1, 0);
+  for (std::size_t i = 0; i < mag_.size(); ++i) {
+    std::uint64_t v = static_cast<std::uint64_t>(mag_[i]) << rem;
+    out.mag_[i + limbs] |= static_cast<std::uint32_t>(v & 0xffffffffu);
+    out.mag_[i + limbs + 1] |= static_cast<std::uint32_t>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator>>(std::size_t bits) const {
+  if (sign_ == 0 || bits == 0) return *this;
+  std::size_t limbs = bits / 32;
+  std::size_t rem = bits % 32;
+  if (limbs >= mag_.size()) return BigInt{};
+  BigInt out;
+  out.sign_ = sign_;
+  out.mag_.assign(mag_.size() - limbs, 0);
+  for (std::size_t i = 0; i < out.mag_.size(); ++i) {
+    std::uint64_t v = mag_[i + limbs] >> rem;
+    if (rem != 0 && i + limbs + 1 < mag_.size()) {
+      v |= static_cast<std::uint64_t>(mag_[i + limbs + 1]) << (32 - rem);
+    }
+    out.mag_[i] = static_cast<std::uint32_t>(v & 0xffffffffu);
+  }
+  out.trim();
+  return out;
+}
+
+bool operator==(const BigInt& a, const BigInt& b) {
+  return a.sign_ == b.sign_ && a.mag_ == b.mag_;
+}
+
+std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
+  if (a.sign_ != b.sign_)
+    return a.sign_ < b.sign_ ? std::strong_ordering::less
+                             : std::strong_ordering::greater;
+  int c = BigInt::compare_mag(a.mag_, b.mag_) * (a.sign_ == 0 ? 0 : a.sign_);
+  if (c < 0) return std::strong_ordering::less;
+  if (c > 0) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+void BigInt::divmod(const BigInt& a, const BigInt& b, BigInt& quot,
+                    BigInt& rem) {
+  if (b.sign_ == 0) throw std::domain_error("BigInt: division by zero");
+  if (compare_mag(a.mag_, b.mag_) < 0) {
+    quot = BigInt{};
+    rem = a;
+    return;
+  }
+  // Binary long division on magnitudes. O(n * bits) limb work: adequate for
+  // the entry sizes arising in exact elimination of gadget matrices.
+  BigInt r;
+  BigInt q;
+  std::size_t n = a.bit_length();
+  q.mag_.assign((n + 31) / 32, 0);
+  for (std::size_t i = n; i-- > 0;) {
+    r = r << 1;
+    if (a.bit(i)) {
+      if (r.mag_.empty()) {
+        r.mag_.push_back(1);
+        r.sign_ = 1;
+      } else {
+        r.mag_[0] |= 1u;
+      }
+    }
+    if (r.sign_ != 0 && compare_mag(r.mag_, b.mag_) >= 0) {
+      r.mag_ = sub_mag(r.mag_, b.mag_);
+      r.trim();
+      q.mag_[i / 32] |= (1u << (i % 32));
+    }
+  }
+  q.sign_ = 1;
+  q.trim();
+  quot = q;
+  rem = r;
+  // Fix signs: truncated division, remainder takes dividend's sign.
+  quot.sign_ = quot.mag_.empty() ? 0 : a.sign_ * b.sign_;
+  rem.sign_ = rem.mag_.empty() ? 0 : a.sign_;
+}
+
+BigInt operator/(const BigInt& a, const BigInt& b) {
+  BigInt q, r;
+  BigInt::divmod(a, b, q, r);
+  return q;
+}
+
+BigInt operator%(const BigInt& a, const BigInt& b) {
+  BigInt q, r;
+  BigInt::divmod(a, b, q, r);
+  return r;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  a.sign_ = a.mag_.empty() ? 0 : 1;
+  b.sign_ = b.mag_.empty() ? 0 : 1;
+  if (a.is_zero()) return b;
+  if (b.is_zero()) return a;
+  // Binary GCD: only shifts and subtractions.
+  std::size_t shift = 0;
+  while (!a.is_odd() && !b.is_odd()) {
+    a = a >> 1;
+    b = b >> 1;
+    ++shift;
+  }
+  while (!a.is_odd()) a = a >> 1;
+  while (!b.is_zero()) {
+    while (!b.is_odd()) b = b >> 1;
+    if (a > b) std::swap(a, b);
+    b = b - a;
+  }
+  return a << shift;
+}
+
+BigInt BigInt::pow(const BigInt& base, unsigned exp) {
+  BigInt result = 1;
+  BigInt acc = base;
+  while (exp != 0) {
+    if (exp & 1u) result = result * acc;
+    acc = acc * acc;
+    exp >>= 1;
+  }
+  return result;
+}
+
+BigInt BigInt::from_string(std::string_view s) {
+  if (s.empty()) throw std::invalid_argument("BigInt: empty string");
+  int sign = 1;
+  std::size_t i = 0;
+  if (s[0] == '+' || s[0] == '-') {
+    sign = s[0] == '-' ? -1 : 1;
+    i = 1;
+  }
+  if (i == s.size()) throw std::invalid_argument("BigInt: no digits");
+  BigInt out;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9')
+      throw std::invalid_argument("BigInt: bad digit");
+    out = out * BigInt(10) + BigInt(s[i] - '0');
+  }
+  if (sign < 0) out = -out;
+  return out;
+}
+
+std::string BigInt::to_string() const {
+  if (sign_ == 0) return "0";
+  std::vector<std::uint32_t> m = mag_;
+  std::string digits;
+  while (!m.empty()) {
+    // Divide the magnitude by 10^9, collecting the remainder.
+    std::uint64_t rem = 0;
+    for (std::size_t i = m.size(); i-- > 0;) {
+      std::uint64_t cur = (rem << 32) | m[i];
+      m[i] = static_cast<std::uint32_t>(cur / 1000000000ull);
+      rem = cur % 1000000000ull;
+    }
+    while (!m.empty() && m.back() == 0) m.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (sign_ < 0) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+double BigInt::to_double() const {
+  if (sign_ == 0) return 0.0;
+  std::size_t n = bit_length();
+  if (n <= 63) {
+    std::uint64_t v = 0;
+    for (std::size_t i = mag_.size(); i-- > 0;) v = (v << 32) | mag_[i];
+    return sign_ * static_cast<double>(v);
+  }
+  // Take the top 64 bits and scale.
+  BigInt top = *this >> (n - 64);
+  std::uint64_t v = 0;
+  for (std::size_t i = top.mag_.size(); i-- > 0;) v = (v << 32) | top.mag_[i];
+  double d = std::ldexp(static_cast<double>(v),
+                        static_cast<int>(n) - 64);
+  return sign_ * d;
+}
+
+bool BigInt::fits_int64() const {
+  if (bit_length() <= 63) return true;
+  // A 64-bit magnitude fits only as -2^63.
+  return sign_ < 0 && mag_.size() == 2 && mag_[0] == 0 &&
+         mag_[1] == 0x80000000u;
+}
+
+std::int64_t BigInt::to_int64() const {
+  if (sign_ == 0) return 0;
+  if (!fits_int64()) throw std::overflow_error("BigInt: too large");
+  if (bit_length() == 64) return std::numeric_limits<std::int64_t>::min();
+  std::uint64_t v = 0;
+  for (std::size_t i = mag_.size(); i-- > 0;) v = (v << 32) | mag_[i];
+  return sign_ * static_cast<std::int64_t>(v);
+}
+
+}  // namespace pfact::numeric

@@ -1,0 +1,101 @@
+#pragma once
+// Arbitrary-precision signed integer.
+//
+// This is the exact-arithmetic substrate used to verify the paper's gadget
+// identities (Theorems 3.1-3.4 are statements about exact elimination), for
+// fraction-free Bareiss elimination, and as the numerator/denominator type of
+// pfact::numeric::Rational.
+//
+// Representation: sign-magnitude with little-endian base-2^32 limbs.
+// The magnitude never has trailing zero limbs; zero has sign 0 and no limbs.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pfact::numeric {
+
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(long long v);  // NOLINT(google-explicit-constructor): int literals
+                        // must convert implicitly for Matrix<BigInt> init.
+
+  // Parses an optionally signed decimal string. Throws std::invalid_argument
+  // on malformed input.
+  static BigInt from_string(std::string_view s);
+
+  std::string to_string() const;
+
+  bool is_zero() const { return sign_ == 0; }
+  bool is_negative() const { return sign_ < 0; }
+  int signum() const { return sign_; }
+
+  // Number of bits in the magnitude (0 for zero).
+  std::size_t bit_length() const;
+  bool bit(std::size_t i) const;
+  bool is_odd() const;
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  friend BigInt operator+(const BigInt& a, const BigInt& b);
+  friend BigInt operator-(const BigInt& a, const BigInt& b);
+  friend BigInt operator*(const BigInt& a, const BigInt& b);
+  // Truncated division (C++ semantics: quotient rounds toward zero).
+  friend BigInt operator/(const BigInt& a, const BigInt& b);
+  friend BigInt operator%(const BigInt& a, const BigInt& b);
+
+  BigInt& operator+=(const BigInt& b) { return *this = *this + b; }
+  BigInt& operator-=(const BigInt& b) { return *this = *this - b; }
+  BigInt& operator*=(const BigInt& b) { return *this = *this * b; }
+  BigInt& operator/=(const BigInt& b) { return *this = *this / b; }
+  BigInt& operator%=(const BigInt& b) { return *this = *this % b; }
+
+  BigInt operator<<(std::size_t bits) const;
+  BigInt operator>>(std::size_t bits) const;
+
+  friend bool operator==(const BigInt& a, const BigInt& b);
+  friend std::strong_ordering operator<=>(const BigInt& a, const BigInt& b);
+
+  // Quotient and remainder in one pass; rem has the sign of the dividend.
+  // Throws std::domain_error on division by zero.
+  static void divmod(const BigInt& a, const BigInt& b, BigInt& quot,
+                     BigInt& rem);
+
+  static BigInt gcd(BigInt a, BigInt b);
+  static BigInt pow(const BigInt& base, unsigned exp);
+
+  // Nearest double; loses precision beyond 53 bits, saturates to +/-inf.
+  double to_double() const;
+
+  // True iff the value fits in a signed 64-bit integer.
+  bool fits_int64() const;
+  std::int64_t to_int64() const;  // Throws std::overflow_error if too large.
+
+ private:
+  static int compare_mag(const std::vector<std::uint32_t>& a,
+                         const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> add_mag(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<std::uint32_t> sub_mag(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> mul_mag(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+  void trim();
+
+  int sign_ = 0;
+  std::vector<std::uint32_t> mag_;
+};
+
+inline BigInt abs(const BigInt& a) { return a.abs(); }
+inline BigInt gcd(const BigInt& a, const BigInt& b) {
+  return BigInt::gcd(a, b);
+}
+
+}  // namespace pfact::numeric

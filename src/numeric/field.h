@@ -1,0 +1,91 @@
+#pragma once
+// Uniform field interface for the scalar types the factorization algorithms
+// are instantiated over: double, long double, Rational, SoftFloat<...>.
+//
+// The paper's results are statements about the *same* algorithm run over
+// different arithmetic models (exact vs fixed-size floating point); keeping
+// the algorithms field-generic and switching the scalar is how this repo
+// expresses that.
+
+#include <cmath>
+#include <string>
+#include <type_traits>
+
+#include "numeric/rational.h"
+#include "numeric/softfloat.h"
+
+namespace pfact {
+
+// --- is_zero ---------------------------------------------------------------
+inline bool is_zero(double x) { return x == 0.0; }
+inline bool is_zero(float x) { return x == 0.0f; }
+inline bool is_zero(long double x) { return x == 0.0L; }
+inline bool is_zero(const numeric::BigInt& x) { return x.is_zero(); }
+inline bool is_zero(const numeric::Rational& x) { return x.is_zero(); }
+template <int P, int Emin, int Emax>
+bool is_zero(const numeric::SoftFloat<P, Emin, Emax>& x) {
+  return x.is_zero();
+}
+
+// --- field_abs -------------------------------------------------------------
+inline double field_abs(double x) { return std::fabs(x); }
+inline float field_abs(float x) { return std::fabs(x); }
+inline long double field_abs(long double x) { return std::fabs(x); }
+inline numeric::BigInt field_abs(const numeric::BigInt& x) { return x.abs(); }
+inline numeric::Rational field_abs(const numeric::Rational& x) {
+  return x.abs();
+}
+template <int P, int Emin, int Emax>
+numeric::SoftFloat<P, Emin, Emax> field_abs(
+    const numeric::SoftFloat<P, Emin, Emax>& x) {
+  return x.abs();
+}
+
+// --- field_sqrt (only for float-like fields; Givens requires it) -----------
+inline double field_sqrt(double x) { return std::sqrt(x); }
+inline float field_sqrt(float x) { return std::sqrt(x); }
+inline long double field_sqrt(long double x) { return std::sqrt(x); }
+template <int P, int Emin, int Emax>
+numeric::SoftFloat<P, Emin, Emax> field_sqrt(
+    const numeric::SoftFloat<P, Emin, Emax>& x) {
+  return sqrt(x);
+}
+
+// --- to_double (for reporting / decoding boolean encodings) ----------------
+inline double to_double(double x) { return x; }
+inline double to_double(float x) { return x; }
+inline double to_double(long double x) { return static_cast<double>(x); }
+inline double to_double(const numeric::BigInt& x) { return x.to_double(); }
+inline double to_double(const numeric::Rational& x) { return x.to_double(); }
+template <int P, int Emin, int Emax>
+double to_double(const numeric::SoftFloat<P, Emin, Emax>& x) {
+  return x.to_double();
+}
+
+// --- scalar_to_string -------------------------------------------------------
+inline std::string scalar_to_string(double x) { return std::to_string(x); }
+inline std::string scalar_to_string(const numeric::BigInt& x) {
+  return x.to_string();
+}
+inline std::string scalar_to_string(const numeric::Rational& x) {
+  return x.to_string();
+}
+template <int P, int Emin, int Emax>
+std::string scalar_to_string(const numeric::SoftFloat<P, Emin, Emax>& x) {
+  return x.to_string();
+}
+
+// A field has an exact sqrt usable by Givens rotations?
+template <class T>
+inline constexpr bool has_sqrt_v =
+    !std::is_same_v<T, numeric::Rational> &&
+    !std::is_same_v<T, numeric::BigInt>;
+
+// Exact fields admit equality-based verification; float-like fields need
+// tolerances.
+template <class T>
+inline constexpr bool is_exact_field_v =
+    std::is_same_v<T, numeric::Rational> ||
+    std::is_same_v<T, numeric::BigInt>;
+
+}  // namespace pfact

@@ -1,0 +1,63 @@
+#pragma once
+// Exact rational arithmetic over BigInt.
+//
+// The P-completeness gadgets of Theorems 3.1-3.4 are verified in this field:
+// Gaussian elimination over Rational is the "exact arithmetic model" the
+// paper's correctness arguments live in (cf. the rational-model argument for
+// Householder QR in [11] cited by the paper).
+//
+// Invariants: denominator > 0, gcd(|num|, den) == 1, zero is 0/1.
+
+#include <string>
+
+#include "numeric/bigint.h"
+
+namespace pfact::numeric {
+
+class Rational {
+ public:
+  Rational() : num_(0), den_(1) {}
+  Rational(long long v) : num_(v), den_(1) {}  // NOLINT: implicit by design
+  Rational(BigInt num, BigInt den);
+
+  // Exact conversion: every finite double is a dyadic rational.
+  static Rational from_double(double d);
+
+  const BigInt& num() const { return num_; }
+  const BigInt& den() const { return den_; }
+
+  bool is_zero() const { return num_.is_zero(); }
+  bool is_integer() const { return den_ == BigInt(1); }
+  int signum() const { return num_.signum(); }
+
+  Rational operator-() const;
+  Rational reciprocal() const;  // Throws std::domain_error on zero.
+  Rational abs() const;
+
+  friend Rational operator+(const Rational& a, const Rational& b);
+  friend Rational operator-(const Rational& a, const Rational& b);
+  friend Rational operator*(const Rational& a, const Rational& b);
+  friend Rational operator/(const Rational& a, const Rational& b);
+
+  Rational& operator+=(const Rational& b) { return *this = *this + b; }
+  Rational& operator-=(const Rational& b) { return *this = *this - b; }
+  Rational& operator*=(const Rational& b) { return *this = *this * b; }
+  Rational& operator/=(const Rational& b) { return *this = *this / b; }
+
+  friend bool operator==(const Rational& a, const Rational& b);
+  friend std::strong_ordering operator<=>(const Rational& a,
+                                          const Rational& b);
+
+  double to_double() const;
+  std::string to_string() const;  // "p/q", or "p" when integral.
+
+ private:
+  void normalize();
+
+  BigInt num_;
+  BigInt den_;
+};
+
+inline Rational abs(const Rational& a) { return a.abs(); }
+
+}  // namespace pfact::numeric

@@ -1,0 +1,93 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+
+namespace pfact::par {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> pt(std::move(task));
+  std::future<void> fut = pt.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(pt));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+namespace {
+// Set while executing inside a pool worker: nested parallel_for calls must
+// run inline, or they would enqueue work on the pool they are blocking.
+thread_local bool g_in_pool_worker = false;
+}  // namespace
+
+void ThreadPool::worker_loop() {
+  g_in_pool_worker = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  ThreadPool* pool) {
+  if (begin >= end) return;
+  if (g_in_pool_worker) {
+    // Nested parallelism: run inline to avoid deadlocking the pool.
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  if (pool == nullptr) pool = &ThreadPool::global();
+  std::size_t n = end - begin;
+  std::size_t chunks = std::min(n, pool->size() * 4);
+  if (chunks <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks);
+  std::size_t per = (n + chunks - 1) / chunks;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    std::size_t lo = begin + c * per;
+    std::size_t hi = std::min(end, lo + per);
+    if (lo >= hi) break;
+    futs.push_back(pool->submit([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    }));
+  }
+  for (auto& f : futs) f.get();  // get() rethrows task exceptions
+}
+
+}  // namespace pfact::par

@@ -1,0 +1,54 @@
+#pragma once
+// A minimal work-sharing thread pool and parallel_for.
+//
+// The NC-algorithm implementations (Csanky, prefix ranks, LFMIS, parallel
+// elimination sweeps) use this for real concurrency; their *complexity*
+// claims, however, are demonstrated through the work/depth instrumentation
+// in analysis/depth_model.h, since asymptotic depth — not wall-clock on a
+// particular host — is what Table 1's "NC" entries assert.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pfact::par {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueues a task; the returned future resolves when it has run.
+  std::future<void> submit(std::function<void()> task);
+
+  // Shared process-wide pool, sized to the hardware.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::packaged_task<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs fn(i) for i in [begin, end), split into contiguous chunks across the
+// pool. Blocks until all iterations complete. Exceptions from iterations are
+// rethrown (first one wins).
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  ThreadPool* pool = nullptr);
+
+}  // namespace pfact::par

@@ -1,0 +1,185 @@
+#include "circuit/circuit.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/builders.h"
+
+namespace pfact::circuit {
+namespace {
+
+std::vector<bool> bits(std::initializer_list<int> v) {
+  std::vector<bool> out;
+  for (int b : v) out.push_back(b != 0);
+  return out;
+}
+
+TEST(Circuit, SingleNandTruthTable) {
+  Circuit c(2, {{0, 1}});
+  EXPECT_TRUE(c.evaluate(bits({0, 0})));
+  EXPECT_TRUE(c.evaluate(bits({0, 1})));
+  EXPECT_TRUE(c.evaluate(bits({1, 0})));
+  EXPECT_FALSE(c.evaluate(bits({1, 1})));
+}
+
+TEST(Circuit, RejectsForwardReferences) {
+  EXPECT_THROW(Circuit(1, {{0, 1}}), std::invalid_argument);
+  EXPECT_THROW(Circuit(1, {{2, 0}}), std::invalid_argument);
+}
+
+TEST(Circuit, RejectsWrongArity) {
+  Circuit c(2, {{0, 1}});
+  EXPECT_THROW(c.evaluate(bits({1})), std::invalid_argument);
+}
+
+TEST(Circuit, FanoutComputation) {
+  // Gate 0 reads input 0 twice: fanout(input0) = 2.
+  Circuit c(1, {{0, 0}, {1, 1}});
+  auto f = c.fanouts();
+  EXPECT_EQ(f[0], 2u);
+  EXPECT_EQ(f[1], 2u);
+  EXPECT_EQ(f[2], 0u);
+  EXPECT_EQ(c.max_fanout(), 2u);
+  EXPECT_TRUE(c.has_fanout_at_most(2));
+}
+
+TEST(Builders, XorTruthTable) {
+  Circuit c = xor_circuit();
+  EXPECT_FALSE(c.evaluate(bits({0, 0})));
+  EXPECT_TRUE(c.evaluate(bits({0, 1})));
+  EXPECT_TRUE(c.evaluate(bits({1, 0})));
+  EXPECT_FALSE(c.evaluate(bits({1, 1})));
+}
+
+TEST(Builders, Majority3TruthTable) {
+  Circuit c = majority3_circuit();
+  for (int m = 0; m < 8; ++m) {
+    std::vector<bool> in = {(m & 1) != 0, (m & 2) != 0, (m & 4) != 0};
+    int count = in[0] + in[1] + in[2];
+    EXPECT_EQ(c.evaluate(in), count >= 2) << m;
+  }
+}
+
+TEST(Builders, ParityMatchesXorFold) {
+  Circuit c = parity_circuit(5);
+  for (int m = 0; m < 32; ++m) {
+    std::vector<bool> in(5);
+    bool expect = false;
+    for (int i = 0; i < 5; ++i) {
+      in[i] = (m >> i) & 1;
+      expect ^= in[i];
+    }
+    EXPECT_EQ(c.evaluate(in), expect) << m;
+  }
+}
+
+TEST(Builders, AdderCarryExhaustive) {
+  const std::size_t bits_n = 3;
+  Circuit c = adder_carry_circuit(bits_n);
+  for (unsigned a = 0; a < 8; ++a) {
+    for (unsigned b = 0; b < 8; ++b) {
+      std::vector<bool> in(2 * bits_n);
+      for (std::size_t i = 0; i < bits_n; ++i) {
+        in[i] = (a >> i) & 1;
+        in[bits_n + i] = (b >> i) & 1;
+      }
+      EXPECT_EQ(c.evaluate(in), a + b >= 8) << a << "+" << b;
+    }
+  }
+}
+
+TEST(Builders, ComparatorExhaustive) {
+  const std::size_t bits_n = 3;
+  Circuit c = comparator_circuit(bits_n);
+  for (unsigned a = 0; a < 8; ++a) {
+    for (unsigned b = 0; b < 8; ++b) {
+      std::vector<bool> in(2 * bits_n);
+      for (std::size_t i = 0; i < bits_n; ++i) {
+        in[i] = (a >> i) & 1;
+        in[bits_n + i] = (b >> i) & 1;
+      }
+      EXPECT_EQ(c.evaluate(in), a > b) << a << ">" << b;
+    }
+  }
+}
+
+TEST(Builders, DeepChainDepth) {
+  Circuit c = deep_chain_circuit(50);
+  EXPECT_EQ(c.num_gates(), 50u);
+  // Sanity: evaluates without error on all 4 inputs.
+  for (int m = 0; m < 4; ++m) {
+    (void)c.evaluate(bits({m & 1, (m >> 1) & 1}));
+  }
+}
+
+TEST(Builders, OutputIsAlwaysLastGate) {
+  // build() must normalize the output to the final gate (Section 2 assumes
+  // the circuit output is read from the last NAND gate).
+  Builder b(2);
+  std::size_t x = b.nand(0, 1);
+  b.nand(0, 0);  // a dangling later gate
+  Circuit c = b.build(x);
+  // Output equals NAND(a, b) even though another gate was appended after x.
+  EXPECT_TRUE(c.evaluate(bits({0, 1})));
+  EXPECT_FALSE(c.evaluate(bits({1, 1})));
+}
+
+class FanoutTwoTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FanoutTwoTest, PreservesFunctionAndBoundsFanout) {
+  Circuit c = random_circuit(4, 30, GetParam());
+  FanoutTwoResult r = with_fanout_two(c);
+  EXPECT_TRUE(r.circuit.has_fanout_at_most(2));
+  for (int m = 0; m < 16; ++m) {
+    std::vector<bool> in(4);
+    for (int i = 0; i < 4; ++i) in[i] = (m >> i) & 1;
+    EXPECT_EQ(r.circuit.evaluate(r.map_inputs(in)), c.evaluate(in))
+        << "assignment " << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FanoutTwoTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99));
+
+TEST(FanoutTwo, SizeStaysPolynomial) {
+  // The paper remarks the fanout-2 transformation costs O(S^2).
+  Circuit c = random_circuit(5, 100, 7);
+  FanoutTwoResult r = with_fanout_two(c);
+  EXPECT_LE(r.circuit.num_gates(), 100u * 100u);
+}
+
+TEST(FanoutTwo, HighFanoutNodeGetsSplit) {
+  // One input feeding 6 gates must be replicated.
+  std::vector<Gate> gates;
+  for (int g = 0; g < 6; ++g)
+    gates.push_back({0, 1});
+  // Tie them together so everything is live: pairwise NANDs.
+  gates.push_back({2, 3});
+  gates.push_back({4, 5});
+  gates.push_back({6, 7});
+  gates.push_back({8, 9});
+  gates.push_back({10, 11});
+  Circuit c(2, gates);
+  auto r = with_fanout_two(c);
+  EXPECT_TRUE(r.circuit.has_fanout_at_most(2));
+  EXPECT_GT(r.circuit.num_inputs(), 2u);
+  for (int m = 0; m < 4; ++m) {
+    std::vector<bool> in = {(m & 1) != 0, (m & 2) != 0};
+    EXPECT_EQ(r.circuit.evaluate(r.map_inputs(in)), c.evaluate(in));
+  }
+}
+
+TEST(FanoutTwo, InstanceConversion) {
+  CvpInstance inst{xor_circuit(), {true, false}};
+  CvpInstance conv = with_fanout_two(inst);
+  EXPECT_EQ(conv.expected(), inst.expected());
+  EXPECT_TRUE(conv.circuit.has_fanout_at_most(2));
+}
+
+TEST(Circuit, ToStringSmoke) {
+  Circuit c = xor_circuit();
+  std::string s = c.to_string();
+  EXPECT_NE(s.find("NAND"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pfact::circuit

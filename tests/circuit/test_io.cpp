@@ -1,0 +1,80 @@
+#include "circuit/io.h"
+
+#include <gtest/gtest.h>
+
+#include "circuit/builders.h"
+
+namespace pfact::circuit {
+namespace {
+
+TEST(CircuitIo, ParsesSimpleFile) {
+  auto p = parse_circuit_text(
+      "# xor-ish\n"
+      "inputs 2\n"
+      "nand 0 1\n"
+      "nand 0 2\n"
+      "nand 1 2\n"
+      "nand 3 4\n"
+      "assign 1 0\n");
+  EXPECT_EQ(p.circuit.num_inputs(), 2u);
+  EXPECT_EQ(p.circuit.num_gates(), 4u);
+  ASSERT_TRUE(p.inputs.has_value());
+  EXPECT_TRUE((*p.inputs)[0]);
+  EXPECT_FALSE((*p.inputs)[1]);
+  // This is XOR: 1 ^ 0 = 1.
+  EXPECT_TRUE(p.circuit.evaluate(*p.inputs));
+}
+
+TEST(CircuitIo, RoundTripsBuilders) {
+  for (const Circuit& c :
+       {xor_circuit(), majority3_circuit(), adder_carry_circuit(2)}) {
+    std::vector<bool> in(c.num_inputs(), true);
+    std::string text = circuit_to_text(c, &in);
+    auto p = parse_circuit_text(text);
+    EXPECT_EQ(p.circuit.num_gates(), c.num_gates());
+    ASSERT_TRUE(p.inputs.has_value());
+    for (unsigned m = 0; m < (1u << c.num_inputs()); ++m) {
+      std::vector<bool> bits(c.num_inputs());
+      for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = (m >> i) & 1;
+      EXPECT_EQ(p.circuit.evaluate(bits), c.evaluate(bits)) << m;
+    }
+  }
+}
+
+TEST(CircuitIo, CommentsAndBlankLines) {
+  auto p = parse_circuit_text(
+      "\n# leading comment\n\ninputs 1\n\nnand 0 0 # not\n");
+  EXPECT_EQ(p.circuit.num_gates(), 1u);
+  EXPECT_FALSE(p.inputs.has_value());
+}
+
+TEST(CircuitIo, Errors) {
+  EXPECT_THROW(parse_circuit_text(""), std::invalid_argument);
+  EXPECT_THROW(parse_circuit_text("inputs 0\n"), std::invalid_argument);
+  EXPECT_THROW(parse_circuit_text("nand 0 1\n"), std::invalid_argument);
+  EXPECT_THROW(parse_circuit_text("inputs 2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_circuit_text("inputs 2\nnand 0 5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_circuit_text("inputs 2\nnand 0 1\nassign 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_circuit_text("inputs 2\nnand 0 1\nassign 1 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_circuit_text("inputs 2\nfrob 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_circuit_text("inputs 2\nnand 0 1 9\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_circuit_text("inputs 2\ninputs 2\nnand 0 1\n"),
+               std::invalid_argument);
+}
+
+TEST(CircuitIo, ErrorMessagesCarryLineNumbers) {
+  try {
+    parse_circuit_text("inputs 2\nnand 0 7\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pfact::circuit

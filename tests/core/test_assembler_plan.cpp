@@ -1,0 +1,107 @@
+// Structural invariants of the block-assembly plan (the log-space reduction
+// skeleton of Section 2): every slot has exactly one producer and at most
+// one consumer, layers are well-formed, positions are consistent, and the
+// planted matrix has the expected support discipline.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "circuit/builders.h"
+#include "core/assembler.h"
+
+namespace pfact::core {
+namespace {
+
+using circuit::CvpInstance;
+
+class PlanTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlanTest, SlotsHaveUniqueProducersAndConsumers) {
+  circuit::Circuit c = circuit::random_circuit(3, 18, GetParam());
+  CvpInstance inst{c, {true, false, true}};
+  GemReduction red = build_gem_reduction(inst);
+  std::map<std::size_t, int> produced, consumed;
+  for (const auto& b : red.plan.blocks) {
+    for (std::size_t s : b.out_slots) ++produced[s];
+    for (std::size_t s : b.in_slots) ++consumed[s];
+  }
+  for (std::size_t s = 0; s < red.plan.num_slots; ++s) {
+    EXPECT_EQ(produced[s], 1) << "slot " << s;
+    EXPECT_LE(consumed[s], 1) << "slot " << s;
+  }
+  // Output slot is never consumed; dead slots likewise.
+  EXPECT_EQ(consumed[red.plan.output_slot], 0);
+  for (std::size_t s : red.plan.dead_slots) EXPECT_EQ(consumed[s], 0);
+}
+
+TEST_P(PlanTest, ConsumersComeAfterProducers) {
+  circuit::Circuit c = circuit::random_circuit(3, 18, GetParam());
+  CvpInstance inst{c, {false, false, true}};
+  GemReduction red = build_gem_reduction(inst);
+  std::map<std::size_t, std::size_t> producer_layer;
+  for (const auto& b : red.plan.blocks) {
+    for (std::size_t s : b.out_slots) producer_layer[s] = b.layer;
+  }
+  for (const auto& b : red.plan.blocks) {
+    for (std::size_t s : b.in_slots) {
+      EXPECT_LT(producer_layer[s], b.layer);
+    }
+  }
+}
+
+TEST_P(PlanTest, PositionsAreAPermutationWithOutputLast) {
+  circuit::Circuit c = circuit::random_circuit(3, 18, GetParam());
+  CvpInstance inst{c, {true, true, false}};
+  GemReduction red = build_gem_reduction(inst);
+  // slot positions are distinct and in range.
+  std::vector<char> seen(red.matrix.rows(), 0);
+  for (std::size_t s = 0; s < red.plan.num_slots; ++s) {
+    std::size_t p = red.slot_pos[s];
+    ASSERT_LT(p, red.matrix.rows());
+    EXPECT_FALSE(seen[p]) << "duplicate position " << p;
+    seen[p] = 1;
+  }
+  EXPECT_EQ(red.slot_pos[red.plan.output_slot], red.matrix.rows() - 1);
+}
+
+TEST_P(PlanTest, MatrixEntriesAreSmallIntegers) {
+  // The double-exactness argument requires |entries| <= 1 and integrality.
+  circuit::Circuit c = circuit::random_circuit(3, 18, GetParam());
+  CvpInstance inst{c, {false, true, false}};
+  GemReduction red = build_gem_reduction(inst);
+  for (std::size_t i = 0; i < red.matrix.rows(); ++i) {
+    for (std::size_t j = 0; j < red.matrix.cols(); ++j) {
+      double v = red.matrix(i, j);
+      EXPECT_EQ(v, std::round(v));
+      EXPECT_LE(std::abs(v), 1.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanTest, ::testing::Values(3, 14, 159));
+
+TEST(Plan, LayerCountMatchesGatePlusDupCount) {
+  // One layer per gate plus one per DUP plus the input layer.
+  CvpInstance inst{circuit::xor_circuit(), {true, true}};
+  GemReduction red = build_gem_reduction(inst);
+  std::size_t dups = 0, nands = 0;
+  for (const auto& b : red.plan.blocks) {
+    if (b.type == BlockType::kDup) ++dups;
+    if (b.type == BlockType::kNand) ++nands;
+  }
+  EXPECT_EQ(red.plan.num_layers, 1 + dups + nands);
+}
+
+TEST(Plan, RejectsUnnormalizedHighFanout) {
+  // plan_assembly itself requires fanout <= 2 (build_gem_reduction
+  // normalizes first; calling the planner raw must throw).
+  std::vector<circuit::Gate> gates;
+  for (int i = 0; i < 3; ++i) gates.push_back({0, 1});
+  gates.push_back({2, 3});
+  gates.push_back({4, 5});
+  circuit::Circuit c(2, gates);
+  EXPECT_THROW(plan_assembly(c), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pfact::core

@@ -1,0 +1,88 @@
+// Cross-arithmetic-model checks: the reductions behave identically over
+// IEEE double, exact rationals, and the Section-4 SoftFloat models — the
+// GEM/GEMS constructions use only small integers (exact in every model),
+// while GQR's +/-1 decode survives reduced precision at block scale.
+#include <gtest/gtest.h>
+
+#include "circuit/builders.h"
+#include "core/gqr_gadgets.h"
+#include "core/simulator.h"
+#include "factor/givens.h"
+#include "numeric/softfloat.h"
+
+namespace pfact::core {
+namespace {
+
+using circuit::CvpInstance;
+using numeric::Float24;
+using numeric::SoftFloat;
+
+TEST(CrossModel, GemReductionExactInEveryModel) {
+  // Small-integer entries, multipliers always +/-1: the simulation is an
+  // exact integer computation whatever the float width (>= ~11 bits).
+  CvpInstance inst{circuit::majority3_circuit(), {true, false, true}};
+  auto d = simulate_gem<double>(inst, factor::PivotStrategy::kMinimalShift);
+  auto f24 =
+      simulate_gem<Float24>(inst, factor::PivotStrategy::kMinimalShift);
+  auto f12 = simulate_gem<SoftFloat<12, -60, 60>>(
+      inst, factor::PivotStrategy::kMinimalShift);
+  ASSERT_TRUE(d.ok);
+  ASSERT_TRUE(f24.ok);
+  ASSERT_TRUE(f12.ok);
+  EXPECT_EQ(d.value, inst.expected());
+  EXPECT_EQ(f24.value, d.value);
+  EXPECT_EQ(f12.value, d.value);
+}
+
+TEST(CrossModel, GemReductionAllAssignmentsAt24Bits) {
+  circuit::Circuit c = circuit::xor_circuit();
+  for (unsigned m = 0; m < 4; ++m) {
+    CvpInstance inst{c, {(m & 1) != 0, (m & 2) != 0}};
+    auto r = simulate_gem<Float24>(inst, factor::PivotStrategy::kMinimalSwap);
+    ASSERT_TRUE(r.ok) << m;
+    EXPECT_EQ(r.value, inst.expected()) << m;
+  }
+}
+
+TEST(CrossModel, GqrNandDecodesAt24Bits) {
+  // Sign decode of the GQR N block under single precision: the conditional
+  // cancellation (a-1) is exact in every binary float model, so the block
+  // still computes NAND to within ~eps24.
+  for (int a : {1, -1}) {
+    for (int b : {1, -1}) {
+      Matrix<long double> master = gqr_nand_template();
+      master(0, 0) = a;
+      master(2, 2) = b;
+      Matrix<Float24> m(6, 6);
+      for (std::size_t i = 0; i < 6; ++i)
+        for (std::size_t j = 0; j < 6; ++j)
+          m(i, j) = Float24(static_cast<double>(master(i, j)));
+      factor::givens_steps(m, 100);
+      double nand = (a == 1 && b == 1) ? -1.0 : 1.0;
+      EXPECT_NEAR(m(4, 4).to_double(), nand, 1e-4)
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(CrossModel, GqrPassChainAt24Bits) {
+  GqrChain c = build_gqr_pass_chain(-1, 12);
+  Matrix<Float24> m(c.matrix.rows(), c.matrix.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      m(i, j) = Float24(static_cast<double>(c.matrix(i, j)));
+  factor::givens_steps(m, 1u << 20);
+  EXPECT_NEAR(m(c.value_pos, c.value_pos).to_double(), -1.0, 1e-3);
+}
+
+TEST(CrossModel, ConditionalCancellationExactAtAnyPrecision) {
+  // The (a*1 - 1) cancellation driving GQR's logic is EXACT in floating
+  // point (subtraction of equals), even at 8 bits — the reason the blocks'
+  // conditional structure is robust under the Section-4 model.
+  using F8 = SoftFloat<8, -60, 60>;
+  F8 a(1.0), one(1.0);
+  EXPECT_TRUE((a * one - one).is_zero());
+}
+
+}  // namespace
+}  // namespace pfact::core

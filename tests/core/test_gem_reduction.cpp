@@ -1,0 +1,174 @@
+// End-to-end tests of Theorem 3.1 and Corollary 3.2: for whole circuits,
+// the factorization of A_C computes what the circuit computes.
+#include <gtest/gtest.h>
+
+#include "circuit/builders.h"
+#include "core/simulator.h"
+#include "matrix/generators.h"
+#include "numeric/rational.h"
+
+namespace pfact::core {
+namespace {
+
+using circuit::CvpInstance;
+using factor::PivotStrategy;
+using numeric::Rational;
+
+std::vector<bool> bits_of(unsigned m, std::size_t k) {
+  std::vector<bool> out(k);
+  for (std::size_t i = 0; i < k; ++i) out[i] = (m >> i) & 1;
+  return out;
+}
+
+void expect_simulates(const circuit::Circuit& c, PivotStrategy strategy) {
+  const std::size_t k = c.num_inputs();
+  ASSERT_LE(k, 10u);
+  for (unsigned m = 0; m < (1u << k); ++m) {
+    CvpInstance inst{c, bits_of(m, k)};
+    SimulationResult res = simulate_gem<double>(inst, strategy);
+    ASSERT_TRUE(res.ok) << "undecodable entry " << res.decoded_entry
+                        << " assignment " << m;
+    EXPECT_EQ(res.value, inst.expected()) << "assignment " << m;
+  }
+}
+
+TEST(GemReduction, SingleNandAllStrategies) {
+  circuit::Circuit c(2, {{0, 1}});
+  expect_simulates(c, PivotStrategy::kMinimalSwap);
+  expect_simulates(c, PivotStrategy::kMinimalShift);
+}
+
+TEST(GemReduction, XorExhaustive) {
+  // The paper's own running example (Figure 4 computes XOR).
+  expect_simulates(circuit::xor_circuit(), PivotStrategy::kMinimalSwap);
+  expect_simulates(circuit::xor_circuit(), PivotStrategy::kMinimalShift);
+}
+
+TEST(GemReduction, Majority3Exhaustive) {
+  expect_simulates(circuit::majority3_circuit(),
+                   PivotStrategy::kMinimalSwap);
+  expect_simulates(circuit::majority3_circuit(),
+                   PivotStrategy::kMinimalShift);
+}
+
+TEST(GemReduction, Parity5Exhaustive) {
+  expect_simulates(circuit::parity_circuit(5), PivotStrategy::kMinimalSwap);
+  expect_simulates(circuit::parity_circuit(5), PivotStrategy::kMinimalShift);
+}
+
+TEST(GemReduction, AdderCarryExhaustive) {
+  expect_simulates(circuit::adder_carry_circuit(3),
+                   PivotStrategy::kMinimalSwap);
+  expect_simulates(circuit::adder_carry_circuit(3),
+                   PivotStrategy::kMinimalShift);
+}
+
+TEST(GemReduction, ComparatorExhaustive) {
+  expect_simulates(circuit::comparator_circuit(2),
+                   PivotStrategy::kMinimalSwap);
+  expect_simulates(circuit::comparator_circuit(2),
+                   PivotStrategy::kMinimalShift);
+}
+
+class RandomCircuitSim : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomCircuitSim, MatchesDirectEvaluation) {
+  circuit::Circuit c = circuit::random_circuit(4, 25, GetParam());
+  expect_simulates(c, PivotStrategy::kMinimalSwap);
+  expect_simulates(c, PivotStrategy::kMinimalShift);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuitSim,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(GemReduction, DeepChainBothStrategies) {
+  circuit::Circuit c = circuit::deep_chain_circuit(30);
+  expect_simulates(c, PivotStrategy::kMinimalSwap);
+  expect_simulates(c, PivotStrategy::kMinimalShift);
+}
+
+TEST(GemReduction, ExactRationalAgreesWithDouble) {
+  // The planted entries are tiny integers; double elimination must be exact.
+  // Cross-validate on the XOR circuit over the exact field.
+  circuit::Circuit c = circuit::xor_circuit();
+  for (unsigned m = 0; m < 4; ++m) {
+    CvpInstance inst{c, bits_of(m, 2)};
+    auto rd = simulate_gem<double>(inst, PivotStrategy::kMinimalShift);
+    auto rr = simulate_gem<Rational>(inst, PivotStrategy::kMinimalShift);
+    ASSERT_TRUE(rd.ok);
+    ASSERT_TRUE(rr.ok);
+    EXPECT_EQ(rd.value, rr.value);
+    EXPECT_EQ(rr.value, inst.expected());
+  }
+}
+
+TEST(GemReduction, MatrixIsSingularAsInTheorem31) {
+  // A_C contains identically zero columns (shield columns): singular.
+  CvpInstance inst{circuit::xor_circuit(), {true, false}};
+  GemReduction red = build_gem_reduction(inst);
+  auto d = factor::det(to_rational(red.matrix));
+  EXPECT_TRUE(d.is_zero());
+}
+
+TEST(GemReduction, OrderGrowsPolynomially) {
+  // order = O(n * w): sanity-bound it for a chain (w stays tiny).
+  auto c20 = circuit::deep_chain_circuit(20);
+  auto c40 = circuit::deep_chain_circuit(40);
+  CvpInstance i20{c20, {true, true}};
+  CvpInstance i40{c40, {true, true}};
+  std::size_t nu20 = build_gem_reduction(i20).matrix.rows();
+  std::size_t nu40 = build_gem_reduction(i40).matrix.rows();
+  EXPECT_LT(nu40, 4 * nu20);  // roughly linear for constant width
+}
+
+TEST(GemReduction, OutputPositionIsBottomRight) {
+  CvpInstance inst{circuit::xor_circuit(), {true, true}};
+  GemReduction red = build_gem_reduction(inst);
+  EXPECT_EQ(red.output_pos, red.matrix.rows() - 1);
+}
+
+// --- Corollary 3.2: the nonsingular GEM reduction ---------------------------
+
+TEST(BorderedReduction, DeterminantIsPlusMinusOne) {
+  CvpInstance inst{circuit::xor_circuit(), {true, false}};
+  GemReduction red = build_gem_reduction(inst);
+  auto bordered = border_nonsingular(to_rational(red.matrix));
+  Rational d = factor::det(bordered);
+  EXPECT_EQ(d.abs(), Rational(1));
+}
+
+TEST(BorderedReduction, DeterminantFormulaHoldsForArbitraryBlocks) {
+  // det [[A, E],[E, 0]] = +/-1 regardless of A.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    auto a = gen::random_integer_exact(4, 3, seed);
+    auto b = border_nonsingular(a);
+    EXPECT_EQ(factor::det(b).abs(), Rational(1)) << seed;
+  }
+}
+
+TEST(BorderedReduction, GemSimulatesOnNonsingularInput) {
+  for (auto c : {circuit::xor_circuit(), circuit::majority3_circuit()}) {
+    const std::size_t k = c.num_inputs();
+    for (unsigned m = 0; m < (1u << k); ++m) {
+      CvpInstance inst{c, bits_of(m, k)};
+      SimulationResult res = simulate_gem_nonsingular<double>(inst);
+      ASSERT_TRUE(res.ok) << "assignment " << m;
+      EXPECT_EQ(res.value, inst.expected()) << "assignment " << m;
+    }
+  }
+}
+
+TEST(BorderedReduction, RandomCircuitsNonsingular) {
+  for (std::uint64_t seed : {7u, 8u}) {
+    circuit::Circuit c = circuit::random_circuit(3, 15, seed);
+    for (unsigned m = 0; m < 8; ++m) {
+      CvpInstance inst{c, bits_of(m, 3)};
+      SimulationResult res = simulate_gem_nonsingular<double>(inst);
+      ASSERT_TRUE(res.ok) << "seed " << seed << " assignment " << m;
+      EXPECT_EQ(res.value, inst.expected());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pfact::core

@@ -1,0 +1,139 @@
+// Contract tests for the GEP (Theorem 3.4) blocks: the pivot-trace logic
+// (which row wins each magnitude contest) computes NAND; values chain
+// through PASS blocks; and the pivot trace itself — the object of the
+// theorem's P-complete language L — differs between inputs.
+#include "core/gep_gadgets.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "factor/gaussian.h"
+#include "matrix/matrix.h"
+
+namespace pfact::core {
+namespace {
+
+double enc(bool v) { return v ? 2.0 : 1.0; }
+
+TEST(GepNand, ContractAllFourCases) {
+  for (bool u : {true, false}) {
+    for (bool w : {true, false}) {
+      GepChain c = build_gep_nand_chain(u ? 2 : 1, w ? 2 : 1, 0);
+      double out = run_gep_chain(c);
+      EXPECT_NEAR(out, enc(!(u && w)), 1e-9) << "u=" << u << " w=" << w;
+    }
+  }
+}
+
+TEST(GepPass, ContractBothValues) {
+  for (bool v : {true, false}) {
+    GepChain c = build_gep_pass_chain(v ? 2 : 1, 1);
+    EXPECT_NEAR(run_gep_chain(c), enc(v), 1e-9) << v;
+  }
+}
+
+TEST(GepPass, ChainsCarryValues) {
+  for (std::size_t depth : {2u, 3u, 5u, 10u}) {
+    for (bool v : {true, false}) {
+      GepChain c = build_gep_pass_chain(v ? 2 : 1, depth);
+      EXPECT_NEAR(run_gep_chain(c), enc(v), 1e-8)
+          << "depth=" << depth << " v=" << v;
+    }
+  }
+}
+
+TEST(GepNand, ChainsThroughPasses) {
+  for (std::size_t depth : {1u, 2u, 4u}) {
+    for (bool u : {true, false}) {
+      for (bool w : {true, false}) {
+        GepChain c = build_gep_nand_chain(u ? 2 : 1, w ? 2 : 1, depth);
+        EXPECT_NEAR(run_gep_chain(c), enc(!(u && w)), 1e-8)
+            << "depth=" << depth << " u=" << u << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(GepNand, PivotTraceEncodesInputs) {
+  // Theorem 3.4's language is about the trace: "GEP uses row i to eliminate
+  // column j". The pivot row chosen for column 0 is the in-row (original
+  // row 2) exactly when u is True (|2| > 3/2), and the aux row (original
+  // row 3) when u is False.
+  for (bool u : {true, false}) {
+    GepChain c = build_gep_nand_chain(u ? 2 : 1, 2, 0);
+    factor::PivotTrace trace;
+    run_gep_chain(c, &trace);
+    ASSERT_GE(trace.size(), 1u);
+    EXPECT_EQ(trace[0].column, 0u);
+    EXPECT_EQ(trace[0].pivot_row, u ? 2u : 3u) << u;
+    EXPECT_TRUE(trace.used_row_for_column(u ? 2 : 3, 0));
+  }
+}
+
+TEST(GepNand, TraceDiffersAcrossAllInputs) {
+  // Distinct input vectors must produce distinct traces somewhere in the
+  // first two columns (the value contests).
+  std::vector<std::pair<std::size_t, std::size_t>> pivots;
+  for (bool u : {true, false}) {
+    for (bool w : {true, false}) {
+      GepChain c = build_gep_nand_chain(u ? 2 : 1, w ? 2 : 1, 0);
+      factor::PivotTrace trace;
+      run_gep_chain(c, &trace);
+      ASSERT_GE(trace.size(), 2u);
+      pivots.emplace_back(trace[0].pivot_row, trace[1].pivot_row);
+    }
+  }
+  for (std::size_t i = 0; i < pivots.size(); ++i)
+    for (std::size_t j = i + 1; j < pivots.size(); ++j)
+      EXPECT_NE(pivots[i], pivots[j]) << i << "," << j;
+}
+
+TEST(GepNand, CompanionIsCleanOne) {
+  // The surviving row's companion entry must be exactly ~1 so blocks chain.
+  for (bool u : {true, false}) {
+    for (bool w : {true, false}) {
+      GepChain c = build_gep_nand_chain(u ? 2 : 1, w ? 2 : 1, 0);
+      Matrix<double> m = c.matrix;
+      factor::eliminate_steps(m, factor::PivotStrategy::kPartial,
+                              c.value_col);
+      for (std::size_t i = c.value_col; i < m.rows(); ++i) {
+        if (std::fabs(m(i, c.value_col)) > 0.2) {
+          EXPECT_NEAR(m(i, c.companion_col), 1.0, 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST(GepChain, LeadingMinorsMostlyNonsingular) {
+  // The tiny diagonal fillers keep (almost) every leading principal minor
+  // nonsingular — the direction of Theorem 3.4's strengthening of [17].
+  // Spare columns behind the decoy's origin may stay singular; count and
+  // bound them.
+  GepChain c = build_gep_nand_chain(2, 1, 2);
+  Matrix<numeric::Rational> a = to_rational(c.matrix);
+  std::size_t singular = 0;
+  for (std::size_t k = 1; k <= a.rows(); ++k) {
+    if (factor::det(a.leading_minor(k)).is_zero()) ++singular;
+  }
+  EXPECT_LE(singular, 2u);
+}
+
+TEST(GepNand, GemOnSameMatrixGivesDifferentTrace) {
+  // Sanity contrast: the GEP gadget logic is specific to magnitude
+  // pivoting. Minimal pivoting picks the first NONZERO, which here is
+  // always the same row independent of u — so GEM's trace can't read u.
+  std::vector<std::size_t> first_pivots;
+  for (int u : {2, 1}) {
+    GepChain c = build_gep_nand_chain(u, 2, 0);
+    Matrix<double> m = c.matrix;
+    auto trace =
+        factor::eliminate_steps(m, factor::PivotStrategy::kMinimalSwap, 1);
+    first_pivots.push_back(trace[0].pivot_row);
+  }
+  EXPECT_EQ(first_pivots[0], first_pivots[1]);
+}
+
+}  // namespace
+}  // namespace pfact::core

@@ -1,0 +1,142 @@
+// GQR tests: rotation correctness, A = QR reconstruction, orthogonality,
+// agreement between the natural (sequential) and Sameh–Kuck (parallel)
+// orderings, and rotation/stage counting (the work/depth contrast of the
+// paper's introduction).
+#include "factor/givens.h"
+
+#include <gtest/gtest.h>
+
+#include "matrix/generators.h"
+#include "numeric/softfloat.h"
+
+namespace pfact::factor {
+namespace {
+
+void expect_orthogonal(const Matrix<double>& q, double tol) {
+  Matrix<double> qtq = q.transposed() * q;
+  EXPECT_LE(max_abs_diff(qtq, Matrix<double>::identity(q.rows())), tol);
+}
+
+TEST(Givens, SingleRotationAnnihilates) {
+  Matrix<double> a{{3, 1}, {4, 2}};
+  auto res = givens_qr(a, true);
+  EXPECT_EQ(res.rotations, 1u);
+  EXPECT_NEAR(res.r(1, 0), 0.0, 1e-15);
+  EXPECT_NEAR(res.r(0, 0), 5.0, 1e-12);  // sqrt(3^2+4^2)
+  expect_orthogonal(res.q, 1e-12);
+  EXPECT_LE(max_abs_diff(res.q * res.r, a), 1e-12);
+}
+
+TEST(Givens, DiagonalIsNonNegativeAfterElimination) {
+  // r = sqrt(a_ii^2 + a_ji^2) > 0: a rotated-through diagonal entry is
+  // forced positive — the reason Section 4 encodes booleans as +/-1 only on
+  // columns that are never rotated through.
+  auto a = gen::random_general(8, 5);
+  auto res = givens_qr(a, false);
+  for (std::size_t i = 0; i + 1 < 8; ++i) {
+    EXPECT_GE(res.r(i, i), 0.0) << i;
+  }
+}
+
+class GivensOrderingTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(GivensOrderingTest, ReconstructsAndOrthogonal) {
+  const bool sameh_kuck = GetParam();
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto a = gen::random_general(10, seed);
+    auto res = sameh_kuck ? givens_qr_sameh_kuck(a, true)
+                          : givens_qr(a, true);
+    EXPECT_TRUE(res.r.is_upper_triangular());
+    expect_orthogonal(res.q, 1e-10);
+    EXPECT_LE(max_abs_diff(res.q * res.r, a), 1e-10);
+  }
+}
+
+TEST_P(GivensOrderingTest, RectangularInput) {
+  const bool sameh_kuck = GetParam();
+  Matrix<double> a(6, 3);
+  auto rng = gen::random_general(6, 9);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = rng(i, j);
+  auto res = sameh_kuck ? givens_qr_sameh_kuck(a, true)
+                        : givens_qr(a, true);
+  EXPECT_TRUE(res.r.is_upper_triangular());
+  EXPECT_LE(max_abs_diff(res.q * res.r, a), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orderings, GivensOrderingTest,
+                         ::testing::Values(false, true),
+                         [](const auto& info) {
+                           return info.param ? "SamehKuck" : "Natural";
+                         });
+
+TEST(Givens, BothOrderingsGiveSameRUpToRowSigns) {
+  // R is unique up to the sign of each row (for full-rank A), so compare
+  // |R| entrywise.
+  auto a = gen::random_nonsingular(9, 3);
+  auto r1 = givens_qr(a, false).r;
+  auto r2 = givens_qr_sameh_kuck(a, false).r;
+  for (std::size_t i = 0; i < 9; ++i)
+    for (std::size_t j = i; j < 9; ++j)
+      EXPECT_NEAR(std::abs(r1(i, j)), std::abs(r2(i, j)), 1e-9)
+          << i << "," << j;
+}
+
+TEST(Givens, RotationAndStageCounts) {
+  // Dense n x n: n(n-1)/2 rotations. Natural order: one stage each.
+  // Sameh–Kuck: O(n) stages (exactly 2n-3 for dense square input).
+  const std::size_t n = 12;
+  auto a = gen::random_general(n, 1);
+  auto nat = givens_qr(a, false);
+  auto sk = givens_qr_sameh_kuck(a, false);
+  EXPECT_EQ(nat.rotations, n * (n - 1) / 2);
+  EXPECT_EQ(sk.rotations, n * (n - 1) / 2);
+  EXPECT_EQ(nat.stages, nat.rotations);
+  EXPECT_EQ(sk.stages, 2 * n - 3);
+}
+
+TEST(Givens, SkipsAlreadyZeroEntries) {
+  Matrix<double> a{{1, 2, 3}, {0, 1, 2}, {0, 0, 1}};
+  auto res = givens_qr(a, false);
+  EXPECT_EQ(res.rotations, 0u);
+  EXPECT_EQ(max_abs_diff(res.r, a), 0.0);
+}
+
+TEST(Givens, ZeroDiagonalNonzeroBelowStillWorks) {
+  Matrix<double> a{{0, 1}, {2, 0}};
+  auto res = givens_qr(a, true);
+  EXPECT_NEAR(res.r(1, 0), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(res.r(0, 0)), 2.0, 1e-12);
+  EXPECT_LE(max_abs_diff(res.q * res.r, a), 1e-12);
+}
+
+TEST(Givens, StepsRunsPrefixOfNaturalOrder) {
+  auto a = gen::random_general(5, 2);
+  Matrix<double> partial = a;
+  givens_steps(partial, 4);  // column 0 fully annihilated (4 rotations)
+  for (std::size_t j = 1; j < 5; ++j) EXPECT_EQ(partial(j, 0), 0.0);
+  EXPECT_NE(partial(2, 1), 0.0);  // column 1 untouched below diagonal
+  Matrix<double> full = a;
+  givens_steps(full, 10);
+  EXPECT_TRUE(full.is_upper_triangular());
+}
+
+TEST(Givens, WorksOverSoftFloat) {
+  using F = numeric::Float53;
+  Matrix<F> a(3, 3);
+  auto src = gen::random_general(3, 8);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) a(i, j) = F(src(i, j));
+  auto res = givens_qr(a, false);
+  EXPECT_TRUE(res.r.is_upper_triangular());
+  // Against double GQR: identical operation sequence at 53 bits should give
+  // near-identical results (sqrt in SoftFloat is correctly rounded; the
+  // hardware hypot-free formula matches ours).
+  auto dres = givens_qr(src, false);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(res.r(i, j).to_double(), dres.r(i, j), 1e-12);
+}
+
+}  // namespace
+}  // namespace pfact::factor

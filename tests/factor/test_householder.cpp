@@ -1,0 +1,65 @@
+#include "factor/householder.h"
+
+#include <gtest/gtest.h>
+
+#include "factor/givens.h"
+#include "matrix/generators.h"
+
+namespace pfact::factor {
+namespace {
+
+TEST(Householder, ReconstructsRandom) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto a = gen::random_general(9, seed);
+    auto res = householder_qr(a, true);
+    EXPECT_TRUE(res.r.is_upper_triangular());
+    Matrix<double> qtq = res.q.transposed() * res.q;
+    EXPECT_LE(max_abs_diff(qtq, Matrix<double>::identity(9)), 1e-10);
+    EXPECT_LE(max_abs_diff(res.q * res.r, a), 1e-10);
+  }
+}
+
+TEST(Householder, AgreesWithGivensUpToRowSigns) {
+  auto a = gen::random_nonsingular(8, 4);
+  auto h = householder_qr(a, false).r;
+  auto g = givens_qr(a, false).r;
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = i; j < 8; ++j)
+      EXPECT_NEAR(std::abs(h(i, j)), std::abs(g(i, j)), 1e-9);
+}
+
+TEST(Householder, TriangularInputNeedsNoReflections) {
+  Matrix<double> a{{2, 1, 1}, {0, 3, 1}, {0, 0, 4}};
+  auto res = householder_qr(a, false);
+  EXPECT_EQ(res.reflections, 0u);
+  EXPECT_EQ(max_abs_diff(res.r, a), 0.0);
+}
+
+TEST(Householder, RectangularTallInput) {
+  auto src = gen::random_general(7, 1);
+  Matrix<double> a(7, 4);
+  for (std::size_t i = 0; i < 7; ++i)
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = src(i, j);
+  auto res = householder_qr(a, true);
+  EXPECT_TRUE(res.r.is_upper_triangular());
+  EXPECT_LE(max_abs_diff(res.q * res.r, a), 1e-10);
+}
+
+TEST(Householder, SignChoiceAvoidsCancellation) {
+  // Column nearly parallel to e1: naive sign would cancel catastrophically;
+  // with the stable choice the factorization stays accurate.
+  Matrix<double> a{{1.0, 1.0}, {1e-14, 1.0}};
+  auto res = householder_qr(a, true);
+  EXPECT_LE(max_abs_diff(res.q * res.r, a), 1e-12);
+  EXPECT_NEAR(std::abs(res.r(0, 0)), 1.0, 1e-10);
+}
+
+TEST(Householder, ZeroColumnSkipped) {
+  Matrix<double> a{{0, 1}, {0, 2}};
+  auto res = householder_qr(a, true);
+  EXPECT_TRUE(res.r.is_upper_triangular());
+  EXPECT_LE(max_abs_diff(res.q * res.r, a), 1e-12);
+}
+
+}  // namespace
+}  // namespace pfact::factor

@@ -1,0 +1,84 @@
+#include "matrix/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "factor/gaussian.h"
+
+namespace pfact::gen {
+namespace {
+
+TEST(Generators, RandomGeneralShapeAndRange) {
+  auto a = random_general(8, 1);
+  EXPECT_EQ(a.rows(), 8u);
+  EXPECT_LE(a.max_abs(), 1.0);
+  // Determinism: same seed, same matrix.
+  EXPECT_EQ(max_abs_diff(a, random_general(8, 1)), 0.0);
+  EXPECT_GT(max_abs_diff(a, random_general(8, 2)), 0.0);
+}
+
+TEST(Generators, RandomNonsingularHasNonzeroDet) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto a = random_nonsingular(10, seed);
+    EXPECT_GT(std::abs(factor::det(a)), 1e-8) << "seed " << seed;
+  }
+}
+
+TEST(Generators, DiagonallyDominantIsDominantAndStronglyNonsingular) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto a = random_diagonally_dominant(12, seed);
+    EXPECT_TRUE(a.is_strictly_diagonally_dominant());
+    // Strong nonsingularity: every leading principal minor nonsingular,
+    // equivalently plain GE runs to completion.
+    auto f = factor::ge(a);
+    EXPECT_TRUE(f.ok) << "seed " << seed;
+  }
+}
+
+TEST(Generators, SpdIsSymmetricAndGeSucceeds) {
+  auto a = random_spd(10, 3);
+  EXPECT_LT(max_abs_diff(a, a.transposed()), 1e-12);
+  EXPECT_TRUE(factor::ge(a).ok);  // SPD => strongly nonsingular
+}
+
+TEST(Generators, HilbertExactMatchesDouble) {
+  auto hd = hilbert(6);
+  auto hr = hilbert_exact(6);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 6; ++j)
+      EXPECT_NEAR(hr(i, j).to_double(), hd(i, j), 1e-15);
+}
+
+TEST(Generators, HilbertIsStronglyNonsingularExactly) {
+  auto f = factor::ge(hilbert_exact(8));
+  EXPECT_TRUE(f.ok);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_FALSE(f.u(i, i).is_zero());
+}
+
+TEST(Generators, RandomNonsingularExactHasNonzeroDet) {
+  auto a = random_nonsingular_exact(6, 5, 42);
+  auto d = factor::det(a);
+  EXPECT_FALSE(d.is_zero());
+}
+
+TEST(Generators, SingularMinorMatrixBehavesAsAdvertised) {
+  auto a = nonsingular_with_singular_minor(5);
+  EXPECT_FALSE(factor::ge(a).ok);              // plain GE fails
+  EXPECT_TRUE(factor::gep(a).ok);              // GEP succeeds
+  EXPECT_GT(std::abs(factor::det(a)), 0.5);    // |det| = 1
+}
+
+TEST(Generators, WilkinsonGrowthShape) {
+  auto a = wilkinson_growth(6);
+  EXPECT_EQ(a(5, 0), -1.0);
+  EXPECT_EQ(a(3, 3), 1.0);
+  EXPECT_EQ(a(0, 5), 1.0);
+  EXPECT_TRUE(factor::gep(a).ok);
+}
+
+TEST(Generators, GradedSpansScales) {
+  auto a = graded(10, 0.125);
+  EXPECT_GT(a(0, 0) / a(9, 9), 1e6);
+}
+
+}  // namespace
+}  // namespace pfact::gen

@@ -1,0 +1,155 @@
+#include "matrix/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "numeric/rational.h"
+
+namespace pfact {
+namespace {
+
+using numeric::Rational;
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix<double> a(2, 3);
+  EXPECT_EQ(a.rows(), 2u);
+  EXPECT_EQ(a.cols(), 3u);
+  EXPECT_EQ(a(1, 2), 0.0);
+  a(1, 2) = 5.0;
+  EXPECT_EQ(a(1, 2), 5.0);
+  EXPECT_THROW(a.at(2, 0), std::out_of_range);
+  EXPECT_THROW(a.at(0, 3), std::out_of_range);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix<int> a{{1, 2}, {3, 4}};
+  EXPECT_EQ(a(0, 1), 2);
+  EXPECT_EQ(a(1, 0), 3);
+  EXPECT_THROW((Matrix<int>{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndMultiply) {
+  Matrix<double> a{{1, 2}, {3, 4}};
+  Matrix<double> i = Matrix<double>::identity(2);
+  EXPECT_EQ(a * i, a);
+  EXPECT_EQ(i * a, a);
+  Matrix<double> b{{5, 6}, {7, 8}};
+  Matrix<double> ab = a * b;
+  EXPECT_EQ(ab(0, 0), 19.0);
+  EXPECT_EQ(ab(0, 1), 22.0);
+  EXPECT_EQ(ab(1, 0), 43.0);
+  EXPECT_EQ(ab(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyShapeMismatchThrows) {
+  Matrix<double> a(2, 3), b(2, 2);
+  EXPECT_THROW(a * b, std::invalid_argument);
+}
+
+TEST(Matrix, AddSubScale) {
+  Matrix<double> a{{1, 2}, {3, 4}};
+  Matrix<double> b{{4, 3}, {2, 1}};
+  EXPECT_EQ((a + b)(0, 0), 5.0);
+  EXPECT_EQ((a - b)(1, 1), 3.0);
+  EXPECT_EQ((2.0 * a)(1, 0), 6.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix<double> a{{1, 2, 3}, {4, 5, 6}};
+  Matrix<double> t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t.transposed(), a);
+}
+
+TEST(Matrix, SwapAndCycleRows) {
+  Matrix<int> a{{1, 1}, {2, 2}, {3, 3}, {4, 4}};
+  a.swap_rows(0, 3);
+  EXPECT_EQ(a(0, 0), 4);
+  EXPECT_EQ(a(3, 0), 1);
+  Matrix<int> b{{1, 1}, {2, 2}, {3, 3}, {4, 4}};
+  b.cycle_row_up(0, 2);  // row 2 -> position 0, rows 0,1 slide down
+  EXPECT_EQ(b(0, 0), 3);
+  EXPECT_EQ(b(1, 0), 1);
+  EXPECT_EQ(b(2, 0), 2);
+  EXPECT_EQ(b(3, 0), 4);
+}
+
+TEST(Matrix, TriangularPredicates) {
+  Matrix<double> u{{1, 2}, {0, 3}};
+  Matrix<double> l{{1, 0}, {2, 1}};
+  EXPECT_TRUE(u.is_upper_triangular());
+  EXPECT_FALSE(u.is_lower_triangular());
+  EXPECT_TRUE(l.is_lower_triangular());
+  EXPECT_TRUE(l.is_unit_lower_triangular());
+  Matrix<double> l2{{2, 0}, {2, 1}};
+  EXPECT_FALSE(l2.is_unit_lower_triangular());
+}
+
+TEST(Matrix, DiagonalDominance) {
+  Matrix<double> d{{3, 1, 1}, {0, 2, 1}, {1, 1, -4}};
+  EXPECT_TRUE(d.is_strictly_diagonally_dominant());
+  Matrix<double> nd{{2, 1, 1}, {0, 2, 1}, {1, 1, -4}};
+  EXPECT_FALSE(nd.is_strictly_diagonally_dominant());
+}
+
+TEST(Matrix, SubmatrixAndMinor) {
+  Matrix<int> a{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  Matrix<int> s = a.submatrix(1, 1, 2, 2);
+  EXPECT_EQ(s(0, 0), 5);
+  EXPECT_EQ(s(1, 1), 9);
+  Matrix<int> m = a.leading_minor(2);
+  EXPECT_EQ(m(1, 1), 5);
+}
+
+TEST(Matrix, RationalLiftIsExact) {
+  Matrix<double> a{{0.5, 0.1}, {-2.25, 3.0}};
+  Matrix<Rational> r = to_rational(a);
+  EXPECT_DOUBLE_EQ(r(0, 1).to_double(), 0.1);
+  EXPECT_EQ(r(1, 0), Rational(-9, 4));
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix<double> a{{1, 2}, {3, 4}};
+  Matrix<double> b{{1, 2.5}, {3, 4}};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+}
+
+TEST(Permutation, IdentityAndSwap) {
+  Permutation p(4);
+  EXPECT_TRUE(p.is_identity());
+  EXPECT_EQ(p.sign(), 1);
+  p.swap(0, 2);
+  EXPECT_FALSE(p.is_identity());
+  EXPECT_EQ(p.sign(), -1);
+  EXPECT_EQ(p[0], 2u);
+}
+
+TEST(Permutation, CycleUp) {
+  Permutation p(4);
+  p.cycle_up(0, 2);  // 3-cycle: sign +1
+  EXPECT_EQ(p[0], 2u);
+  EXPECT_EQ(p[1], 0u);
+  EXPECT_EQ(p[2], 1u);
+  EXPECT_EQ(p.sign(), 1);
+}
+
+TEST(Permutation, InverseComposesToIdentity) {
+  Permutation p(std::vector<std::size_t>{2, 0, 3, 1});
+  Permutation q = p.inverse();
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(q[p[i]], i);
+}
+
+TEST(Permutation, ApplyRowsMatchesMatrixProduct) {
+  Permutation p(std::vector<std::size_t>{1, 2, 0});
+  Matrix<double> a{{1, 0}, {2, 0}, {3, 0}};
+  Matrix<double> permuted = p.apply_rows(a);
+  EXPECT_EQ(permuted(0, 0), 2.0);
+  EXPECT_EQ(permuted(1, 0), 3.0);
+  EXPECT_EQ(permuted(2, 0), 1.0);
+  EXPECT_EQ(p.to_matrix<double>() * a, permuted);
+}
+
+}  // namespace
+}  // namespace pfact

@@ -1,0 +1,80 @@
+#include "nc/bareiss.h"
+
+#include <gtest/gtest.h>
+
+#include "factor/gaussian.h"
+#include "matrix/generators.h"
+
+namespace pfact::nc {
+namespace {
+
+using numeric::BigInt;
+using numeric::Rational;
+
+TEST(Bareiss, KnownDeterminants) {
+  Matrix<BigInt> a{{1, 2}, {3, 4}};
+  EXPECT_EQ(bareiss_det(a), BigInt(-2));
+  Matrix<BigInt> b{{2, 0, 0}, {0, 3, 0}, {0, 0, 5}};
+  EXPECT_EQ(bareiss_det(b), BigInt(30));
+  Matrix<BigInt> anti{{0, 1}, {1, 0}};
+  EXPECT_EQ(bareiss_det(anti), BigInt(-1));
+}
+
+TEST(Bareiss, SingularGivesZeroDetAndReducedRank) {
+  Matrix<BigInt> a{{1, 2, 3}, {2, 4, 6}, {1, 1, 1}};
+  auto r = bareiss_eliminate(a);
+  EXPECT_TRUE(r.det.is_zero());
+  EXPECT_EQ(r.rank, 2u);
+}
+
+TEST(Bareiss, MatchesRationalGeDetRandomized) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    auto ra = gen::random_integer_exact(6, 9, seed);
+    Matrix<BigInt> ia(6, 6);
+    for (std::size_t i = 0; i < 6; ++i)
+      for (std::size_t j = 0; j < 6; ++j) ia(i, j) = ra(i, j).num();
+    Rational ge_det = factor::det(ra);
+    EXPECT_EQ(Rational(bareiss_det(ia), BigInt(1)), ge_det) << seed;
+  }
+}
+
+TEST(Bareiss, ZeroPivotNeedsRowSwap) {
+  Matrix<BigInt> a{{0, 1, 2}, {1, 0, 3}, {4, 5, 0}};
+  // det = 0*(0-15) - 1*(0-12) + 2*(5-0) = 12 + 10 = 22
+  EXPECT_EQ(bareiss_det(a), BigInt(22));
+}
+
+TEST(Bareiss, RectangularRank) {
+  Matrix<BigInt> a{{1, 2, 3, 4}, {2, 4, 6, 8}};
+  EXPECT_EQ(bareiss_eliminate(a).rank, 1u);
+  Matrix<BigInt> b{{1, 0}, {0, 1}, {1, 1}};
+  EXPECT_EQ(bareiss_eliminate(b).rank, 2u);
+}
+
+TEST(Bareiss, EntryGrowthStaysExact) {
+  // 10x10 with entries up to 99: determinant magnitude ~ Hadamard bound;
+  // cross-check against rational GE.
+  auto ra = gen::random_integer_exact(10, 99, 7);
+  Matrix<BigInt> ia(10, 10);
+  for (std::size_t i = 0; i < 10; ++i)
+    for (std::size_t j = 0; j < 10; ++j) ia(i, j) = ra(i, j).num();
+  EXPECT_EQ(Rational(bareiss_det(ia), BigInt(1)), factor::det(ra));
+}
+
+TEST(RankExact, RationalEntriesAndScaling) {
+  Matrix<Rational> a{{Rational(1, 2), Rational(1, 3)},
+                     {Rational(3, 2), Rational(2, 1)}};
+  EXPECT_EQ(rank_exact(a), 2u);
+  Matrix<Rational> s{{Rational(1, 2), Rational(1, 4)},
+                     {Rational(2, 3), Rational(1, 3)}};  // rows parallel
+  EXPECT_EQ(rank_exact(s), 1u);
+  Matrix<Rational> z(3, 3);
+  EXPECT_EQ(rank_exact(z), 0u);
+}
+
+TEST(RankExact, HilbertFullRank) {
+  EXPECT_EQ(rank_exact(gen::hilbert_exact(7)), 7u);
+}
+
+}  // namespace
+}  // namespace pfact::nc

@@ -1,0 +1,88 @@
+#include "nc/csanky.h"
+
+#include <gtest/gtest.h>
+
+#include "factor/gaussian.h"
+#include "factor/triangular.h"
+#include "matrix/generators.h"
+
+namespace pfact::nc {
+namespace {
+
+using numeric::Rational;
+
+TEST(Csanky, ExactDeterminantMatchesGe) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    auto a = gen::random_integer_exact(6, 4, seed);
+    EXPECT_EQ(csanky(a).det, factor::det(a)) << seed;
+  }
+}
+
+TEST(Csanky, ExactInverse) {
+  auto a = gen::random_nonsingular_exact(5, 3, 9);
+  auto r = csanky(a);
+  ASSERT_TRUE(r.invertible);
+  EXPECT_EQ(a * r.inverse, Matrix<Rational>::identity(5));
+  EXPECT_EQ(r.inverse * a, Matrix<Rational>::identity(5));
+}
+
+TEST(Csanky, SingularDetected) {
+  Matrix<Rational> a{{1, 2}, {2, 4}};
+  auto r = csanky(a);
+  EXPECT_TRUE(r.det.is_zero());
+  EXPECT_FALSE(r.invertible);
+}
+
+TEST(Csanky, OneByOne) {
+  Matrix<Rational> a{{7}};
+  auto r = csanky(a);
+  EXPECT_EQ(r.det, Rational(7));
+  ASSERT_TRUE(r.invertible);
+  EXPECT_EQ(r.inverse(0, 0), Rational(1, 7));
+}
+
+TEST(Csanky, CharpolyCayleyHamilton) {
+  // p(A) = A^n + c_1 A^{n-1} + ... + c_n I must vanish.
+  auto a = gen::random_integer_exact(4, 3, 11);
+  auto r = csanky(a);
+  Matrix<Rational> acc = Matrix<Rational>::identity(4);  // A^0
+  Matrix<Rational> p(4, 4);
+  // Compute A^n + sum c_k A^{n-k}: iterate Horner-style.
+  Matrix<Rational> h = a;  // will become p(A) via Horner
+  for (std::size_t k = 0; k < 4; ++k) {
+    for (std::size_t i = 0; i < 4; ++i) h(i, i) += r.charpoly[k];
+    if (k + 1 < 4) h = a * h;
+  }
+  EXPECT_EQ(h, p);  // p initialized to zero matrix
+  (void)acc;
+}
+
+TEST(Csanky, SolveExact) {
+  auto a = gen::random_nonsingular_exact(5, 3, 21);
+  std::vector<Rational> b(5);
+  for (int i = 0; i < 5; ++i) b[i] = Rational(i + 1, 2);
+  auto x = csanky_solve(a, b);
+  auto ax = factor::matvec(a, x);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(ax[i], b[i]);
+}
+
+TEST(Csanky, DoubleIsUnstableOnModestMatrices) {
+  // The accuracy/parallelism tradeoff in one assertion: on a 24x24 random
+  // matrix Csanky-in-double already loses most digits relative to GEP.
+  auto a = gen::random_general(24, 3);
+  std::vector<double> b(24, 1.0);
+  auto x_csanky = csanky_solve(a, b);
+  auto x_gep = factor::solve_plu(a, b);
+  double r_csanky = 0.0, r_gep = 0.0;
+  auto ax1 = factor::matvec(a, x_csanky);
+  auto ax2 = factor::matvec(a, x_gep);
+  for (int i = 0; i < 24; ++i) {
+    r_csanky = std::max(r_csanky, std::abs(ax1[i] - b[i]));
+    r_gep = std::max(r_gep, std::abs(ax2[i] - b[i]));
+  }
+  EXPECT_LT(r_gep, 1e-10);
+  EXPECT_GT(r_csanky, r_gep * 1e3);  // at least 3 digits worse
+}
+
+}  // namespace
+}  // namespace pfact::nc

@@ -1,0 +1,108 @@
+// Theorem 3.3 tests: the LFMIS-derived permutation equals the permutation
+// GEMS actually selects, and the NC factorization reconstructs P^T A = LU.
+#include "nc/gems_nc.h"
+
+#include <gtest/gtest.h>
+
+#include "matrix/generators.h"
+#include "nc/bareiss.h"
+#include "nc/lfmis.h"
+
+namespace pfact::nc {
+namespace {
+
+using numeric::Rational;
+
+TEST(Lfmis, KnownSmallCases) {
+  // Rows: r0 and r1 dependent, r2 independent.
+  Matrix<Rational> a{{1, 2}, {2, 4}, {0, 1}};
+  auto s = lfmis_rows(a);
+  EXPECT_EQ(s, (std::vector<std::size_t>{0, 2}));
+  // Zero first row is skipped.
+  Matrix<Rational> b{{0, 0}, {1, 0}, {0, 1}};
+  EXPECT_EQ(lfmis_rows(b), (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(Lfmis, PrefixRanksAreMonotone) {
+  auto a = gen::random_integer_exact(6, 4, 5);
+  auto ranks = prefix_row_ranks(a);
+  for (std::size_t i = 1; i < ranks.size(); ++i) {
+    EXPECT_GE(ranks[i], ranks[i - 1]);
+    EXPECT_LE(ranks[i], ranks[i - 1] + 1);
+  }
+}
+
+TEST(Lfmis, GreedyPropertyRandomized) {
+  // The LFMIS must be exactly what sequential greedy (add row if it
+  // increases the rank) produces.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto a = gen::random_integer_exact(6, 2, seed);  // small range: some
+                                                     // dependencies likely
+    auto s = lfmis_rows(a);
+    std::vector<std::size_t> greedy;
+    Matrix<Rational> acc(0, 0);
+    std::size_t rank_so_far = 0;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      Matrix<Rational> pref = a.submatrix(0, 0, i + 1, a.cols());
+      std::size_t r = rank_exact(pref);
+      if (r > rank_so_far) {
+        greedy.push_back(i);
+        rank_so_far = r;
+      }
+    }
+    EXPECT_EQ(s, greedy) << seed;
+    (void)acc;
+  }
+}
+
+class GemsNcVsGems : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GemsNcVsGems, PermutationMatchesGems) {
+  // The heart of Theorem 3.3: P(NC) == P(GEMS) on nonsingular input.
+  auto a = gen::random_nonsingular_exact(7, 3, GetParam());
+  auto nc_perm = gems_nc_permutation(a);
+  auto gems = factor::gems(a);
+  ASSERT_TRUE(gems.ok);
+  EXPECT_EQ(nc_perm, gems.row_perm.map());
+}
+
+TEST_P(GemsNcVsGems, FactorizationReconstructs) {
+  auto a = gen::random_nonsingular_exact(6, 3, GetParam() + 100);
+  auto r = gems_nc_factor(a);
+  ASSERT_TRUE(r.ok);
+  Matrix<Rational> pa = r.row_perm.apply_rows(a);
+  EXPECT_EQ(pa, r.l * r.u);
+  EXPECT_TRUE(r.l.is_unit_lower_triangular());
+  EXPECT_TRUE(r.u.is_upper_triangular());
+  // And the factors agree with sequential GEMS exactly (unique LU of PA).
+  auto gems = factor::gems(a);
+  EXPECT_EQ(r.l, gems.l);
+  EXPECT_EQ(r.u, gems.u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GemsNcVsGems,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(GemsNc, PermutationNontrivialWhenLeadingMinorSingular) {
+  // First two rows dependent in column 1 => GEMS must pivot past row 1.
+  Matrix<Rational> a{{0, 1, 0}, {1, 0, 0}, {0, 0, 1}};
+  auto perm = gems_nc_permutation(a);
+  EXPECT_EQ(perm, (std::vector<std::size_t>{1, 0, 2}));
+}
+
+TEST(GemsNc, SingularInputReportsNotOk) {
+  Matrix<Rational> a{{1, 2}, {2, 4}};
+  auto r = gems_nc_factor(a);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(GemsNc, StronglyNonsingularGivesIdentityPermutation) {
+  // On strongly nonsingular input GEMS does no row exchange (Section 3.1),
+  // so the NC permutation must be the identity.
+  auto a = gen::hilbert_exact(6);
+  auto perm = gems_nc_permutation(a);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(perm[i], i);
+}
+
+}  // namespace
+}  // namespace pfact::nc

@@ -1,0 +1,116 @@
+// Tests for the NC QR upper bounds of the paper's introduction: QR via
+// reduction to (strongly nonsingular) LU, and the QRPi column selection via
+// LFMIS. Includes the numerical counterpart: the Gram route squares the
+// condition number, i.e. it is exactly the kind of fast-parallel-but-
+// fragile algorithm the paper contrasts with GQR/HQR.
+#include "nc/nc_qr.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/error_analysis.h"
+#include "factor/givens.h"
+#include "matrix/generators.h"
+#include "nc/bareiss.h"
+
+namespace pfact::nc {
+namespace {
+
+using numeric::Rational;
+
+TEST(QrViaGram, ReconstructsAndOrthogonal) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto a = gen::random_nonsingular(8, seed);
+    auto res = qr_via_gram(a);
+    ASSERT_TRUE(res.ok);
+    EXPECT_TRUE(res.r.is_upper_triangular());
+    for (std::size_t i = 0; i < 8; ++i) EXPECT_GT(res.r(i, i), 0.0);
+    EXPECT_LE(max_abs_diff(res.q * res.r, a), 1e-8);
+    EXPECT_LE(analysis::orthogonality_loss(res.q), 1e-6);
+  }
+}
+
+TEST(QrViaGram, TallMatrix) {
+  auto src = gen::random_general(9, 3);
+  Matrix<double> a(9, 4);
+  for (std::size_t i = 0; i < 9; ++i)
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = src(i, j);
+  auto res = qr_via_gram(a);
+  ASSERT_TRUE(res.ok);
+  EXPECT_LE(max_abs_diff(res.q * res.r, a), 1e-9);
+}
+
+TEST(QrViaGram, AgreesWithGivensUpToSigns) {
+  auto a = gen::random_nonsingular(7, 9);
+  auto gram = qr_via_gram(a);
+  auto giv = factor::givens_qr(a, false);
+  ASSERT_TRUE(gram.ok);
+  for (std::size_t i = 0; i < 7; ++i)
+    for (std::size_t j = i; j < 7; ++j)
+      EXPECT_NEAR(std::abs(gram.r(i, j)), std::abs(giv.r(i, j)), 1e-7);
+}
+
+TEST(QrViaGram, RankDeficientDetected) {
+  Matrix<double> a{{1, 2}, {2, 4}, {3, 6}};  // rank 1
+  EXPECT_FALSE(qr_via_gram(a).ok);
+}
+
+TEST(QrViaGram, LosesAccuracyOnIllConditionedInput) {
+  // The tradeoff in miniature: squaring the condition number makes the
+  // NC route visibly less orthogonal than Givens on a Hilbert matrix.
+  auto h = gen::hilbert(6);
+  auto gram = qr_via_gram(h);
+  ASSERT_TRUE(gram.ok);
+  auto giv = factor::givens_qr(h, true);
+  double loss_gram = analysis::orthogonality_loss(gram.q);
+  double loss_giv = analysis::orthogonality_loss(giv.q);
+  EXPECT_GT(loss_gram, loss_giv * 1e2);
+  // At n=8 the squared condition number exceeds 1/eps entirely: the Gram
+  // route cannot even complete, while Givens remains perfectly happy.
+  auto h8 = gen::hilbert(8);
+  EXPECT_FALSE(qr_via_gram(h8).ok);
+  EXPECT_LE(analysis::orthogonality_loss(factor::givens_qr(h8, true).q),
+            1e-12);
+}
+
+TEST(QrPi, FullRankKeepsNaturalOrder) {
+  auto a = gen::random_nonsingular_exact(5, 3, 4);
+  auto res = qr_pi_permutation(a);
+  EXPECT_EQ(res.rank, 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(res.column_order[i], i);
+}
+
+TEST(QrPi, SelectsLexicographicallyFirstColumns) {
+  // col1 = 2*col0; col2 independent: LFMIS picks {0, 2}.
+  Matrix<Rational> a{{1, 2, 0}, {1, 2, 1}, {0, 0, 1}};
+  auto res = qr_pi_permutation(a);
+  EXPECT_EQ(res.rank, 2u);
+  EXPECT_EQ(res.column_order,
+            (std::vector<std::size_t>{0, 2, 1}));
+}
+
+TEST(QrPi, ZeroLeadingColumnSkipped) {
+  Matrix<Rational> a{{0, 1, 0}, {0, 0, 1}, {0, 0, 0}};
+  auto res = qr_pi_permutation(a);
+  EXPECT_EQ(res.rank, 2u);
+  EXPECT_EQ(res.column_order[0], 1u);
+  EXPECT_EQ(res.column_order[1], 2u);
+}
+
+TEST(QrPi, PermutedPrefixHasFullColumnRankRandomized) {
+  // The QRPi contract: the leftmost r columns of A Pi are independent, so
+  // GQR on them yields the QR part of a QRPi factorization.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto a = gen::random_integer_exact(5, 1, seed);  // range 1: low rank
+                                                     // happens often
+    auto res = qr_pi_permutation(a);
+    Matrix<Rational> prefix(5, res.rank);
+    for (std::size_t i = 0; i < 5; ++i)
+      for (std::size_t j = 0; j < res.rank; ++j)
+        prefix(i, j) = a(i, res.column_order[j]);
+    EXPECT_EQ(rank_exact(prefix), res.rank) << seed;
+    EXPECT_EQ(rank_exact(a), res.rank) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace pfact::nc

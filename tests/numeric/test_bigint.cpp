@@ -1,0 +1,180 @@
+#include "numeric/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+namespace pfact::numeric {
+namespace {
+
+TEST(BigInt, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.to_string(), "0");
+  EXPECT_EQ(z.signum(), 0);
+}
+
+TEST(BigInt, SmallConstruction) {
+  EXPECT_EQ(BigInt(42).to_string(), "42");
+  EXPECT_EQ(BigInt(-42).to_string(), "-42");
+  EXPECT_EQ(BigInt(0).to_string(), "0");
+}
+
+TEST(BigInt, Int64Extremes) {
+  long long mn = std::numeric_limits<long long>::min();
+  long long mx = std::numeric_limits<long long>::max();
+  EXPECT_EQ(BigInt(mn).to_string(), std::to_string(mn));
+  EXPECT_EQ(BigInt(mx).to_string(), std::to_string(mx));
+  EXPECT_EQ(BigInt(mn).to_int64(), mn);
+  EXPECT_EQ(BigInt(mx).to_int64(), mx);
+}
+
+TEST(BigInt, StringRoundTrip) {
+  const char* cases[] = {"0",
+                         "1",
+                         "-1",
+                         "123456789012345678901234567890",
+                         "-999999999999999999999999999999999999"};
+  for (const char* s : cases) {
+    EXPECT_EQ(BigInt::from_string(s).to_string(), s) << s;
+  }
+}
+
+TEST(BigInt, FromStringRejectsGarbage) {
+  EXPECT_THROW(BigInt::from_string(""), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_string("-"), std::invalid_argument);
+  EXPECT_THROW(BigInt::from_string("12x3"), std::invalid_argument);
+}
+
+TEST(BigInt, AddSubSignCases) {
+  EXPECT_EQ((BigInt(7) + BigInt(-3)).to_int64(), 4);
+  EXPECT_EQ((BigInt(-7) + BigInt(3)).to_int64(), -4);
+  EXPECT_EQ((BigInt(-7) + BigInt(-3)).to_int64(), -10);
+  EXPECT_EQ((BigInt(3) - BigInt(7)).to_int64(), -4);
+  EXPECT_TRUE((BigInt(5) - BigInt(5)).is_zero());
+}
+
+TEST(BigInt, CarryPropagation) {
+  BigInt a = BigInt::from_string("4294967295");  // 2^32 - 1
+  EXPECT_EQ((a + BigInt(1)).to_string(), "4294967296");
+  BigInt b = BigInt::from_string("18446744073709551615");  // 2^64 - 1
+  EXPECT_EQ((b + BigInt(1)).to_string(), "18446744073709551616");
+}
+
+TEST(BigInt, MultiplyLarge) {
+  BigInt a = BigInt::from_string("123456789123456789");
+  BigInt b = BigInt::from_string("987654321987654321");
+  EXPECT_EQ((a * b).to_string(), "121932631356500531347203169112635269");
+}
+
+TEST(BigInt, DivModTruncatesTowardZero) {
+  EXPECT_EQ((BigInt(7) / BigInt(2)).to_int64(), 3);
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).to_int64(), -3);
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).to_int64(), -3);
+  EXPECT_EQ((BigInt(-7) / BigInt(-2)).to_int64(), 3);
+  EXPECT_EQ((BigInt(7) % BigInt(2)).to_int64(), 1);
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).to_int64(), -1);
+  EXPECT_EQ((BigInt(7) % BigInt(-2)).to_int64(), 1);
+}
+
+TEST(BigInt, DivisionByZeroThrows) {
+  EXPECT_THROW(BigInt(1) / BigInt(0), std::domain_error);
+}
+
+TEST(BigInt, DivModIdentityRandomized) {
+  std::mt19937_64 rng(12345);
+  std::uniform_int_distribution<std::int64_t> dist(-1000000000000LL,
+                                                   1000000000000LL);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::int64_t x = dist(rng);
+    std::int64_t y = dist(rng);
+    if (y == 0) continue;
+    BigInt bx(x), by(y);
+    BigInt q, r;
+    BigInt::divmod(bx, by, q, r);
+    EXPECT_EQ(q.to_int64(), x / y);
+    EXPECT_EQ(r.to_int64(), x % y);
+    EXPECT_EQ((q * by + r), bx);
+  }
+}
+
+TEST(BigInt, ArithmeticMatchesInt128Randomized) {
+  std::mt19937_64 rng(777);
+  std::uniform_int_distribution<std::int64_t> dist(-2000000000LL,
+                                                   2000000000LL);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::int64_t x = dist(rng);
+    std::int64_t y = dist(rng);
+    __int128 prod = static_cast<__int128>(x) * y;
+    BigInt bp = BigInt(x) * BigInt(y);
+    // Compare through strings of the low/high decomposition.
+    long long lo = static_cast<long long>(prod % 1000000000000000000LL);
+    long long hi = static_cast<long long>(prod / 1000000000000000000LL);
+    BigInt recon =
+        BigInt(hi) * BigInt(1000000000000000000LL) + BigInt(lo);
+    EXPECT_EQ(bp, recon);
+  }
+}
+
+TEST(BigInt, Shifts) {
+  EXPECT_EQ((BigInt(1) << 100).to_string(),
+            "1267650600228229401496703205376");
+  EXPECT_EQ(((BigInt(1) << 100) >> 100).to_int64(), 1);
+  EXPECT_EQ((BigInt(-5) << 2).to_int64(), -20);
+  EXPECT_TRUE((BigInt(1) >> 1).is_zero());
+}
+
+TEST(BigInt, BitLength) {
+  EXPECT_EQ(BigInt(0).bit_length(), 0u);
+  EXPECT_EQ(BigInt(1).bit_length(), 1u);
+  EXPECT_EQ(BigInt(255).bit_length(), 8u);
+  EXPECT_EQ(BigInt(256).bit_length(), 9u);
+  EXPECT_EQ((BigInt(1) << 1000).bit_length(), 1001u);
+}
+
+TEST(BigInt, Gcd) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)).to_int64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).to_int64(), 5);
+  EXPECT_EQ(BigInt::gcd(BigInt(7), BigInt(0)).to_int64(), 7);
+  BigInt big = BigInt::from_string("123456789012345678901234567890");
+  EXPECT_EQ(BigInt::gcd(big * BigInt(77), big * BigInt(21)),
+            big * BigInt(7));
+}
+
+TEST(BigInt, Pow) {
+  EXPECT_EQ(BigInt::pow(BigInt(2), 64).to_string(),
+            "18446744073709551616");
+  EXPECT_EQ(BigInt::pow(BigInt(10), 0).to_int64(), 1);
+  EXPECT_EQ(BigInt::pow(BigInt(-3), 3).to_int64(), -27);
+}
+
+TEST(BigInt, Comparisons) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(3), BigInt(5));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_GT(BigInt::from_string("10000000000000000000000"),
+            BigInt::from_string("9999999999999999999999"));
+  EXPECT_EQ(BigInt(0), BigInt(0));
+}
+
+TEST(BigInt, ToDouble) {
+  EXPECT_DOUBLE_EQ(BigInt(12345).to_double(), 12345.0);
+  EXPECT_DOUBLE_EQ(BigInt(-12345).to_double(), -12345.0);
+  double big = (BigInt(1) << 200).to_double();
+  EXPECT_NEAR(big, std::ldexp(1.0, 200), std::ldexp(1.0, 150));
+}
+
+TEST(BigInt, FitsInt64Boundary) {
+  BigInt mx(std::numeric_limits<long long>::max());
+  BigInt mn(std::numeric_limits<long long>::min());
+  EXPECT_TRUE(mx.fits_int64());
+  EXPECT_TRUE(mn.fits_int64());
+  EXPECT_FALSE((mx + BigInt(1)).fits_int64());
+  EXPECT_FALSE((mn - BigInt(1)).fits_int64());
+  EXPECT_THROW((mx + BigInt(1)).to_int64(), std::overflow_error);
+}
+
+}  // namespace
+}  // namespace pfact::numeric

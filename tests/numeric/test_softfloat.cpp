@@ -1,0 +1,163 @@
+// Tests for the Section-4 floating point model. The two "crucial
+// properties" the GQR reduction relies on are tested explicitly:
+//   1. fl(a + b) = a when |b| < eps |a|
+//   2. |x| < omega  =>  x is machine zero
+#include "numeric/softfloat.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace pfact::numeric {
+namespace {
+
+using F8 = SoftFloat<8, -60, 60>;
+
+TEST(SoftFloat, ZeroAndSigns) {
+  Float53 z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.to_double(), 0.0);
+  EXPECT_EQ(z.signum(), 0);
+  Float53 a(3.5);
+  EXPECT_EQ(a.signum(), 1);
+  EXPECT_EQ((-a).signum(), -1);
+  EXPECT_EQ((-a).to_double(), -3.5);
+  EXPECT_EQ(a.abs().to_double(), 3.5);
+  EXPECT_EQ((-a).abs().to_double(), 3.5);
+}
+
+TEST(SoftFloat, Float53MatchesHardwareDoubleOnRandomOps) {
+  // With 53 mantissa bits and RNE, SoftFloat must agree bit-for-bit with
+  // IEEE double on every individual operation (no denormals involved).
+  std::mt19937_64 rng(4242);
+  std::uniform_real_distribution<double> dist(-1e6, 1e6);
+  for (int trial = 0; trial < 2000; ++trial) {
+    double x = dist(rng);
+    double y = dist(rng);
+    Float53 fx(x), fy(y);
+    EXPECT_EQ((fx + fy).to_double(), x + y);
+    EXPECT_EQ((fx - fy).to_double(), x - y);
+    EXPECT_EQ((fx * fy).to_double(), x * y);
+    if (y != 0.0) {
+      EXPECT_EQ((fx / fy).to_double(), x / y);
+    }
+    if (x > 0.0) {
+      EXPECT_EQ(sqrt(fx).to_double(), std::sqrt(x));
+    }
+  }
+}
+
+TEST(SoftFloat, RoundToNearestEvenTies) {
+  // 8-bit significand: representable integers step by 2 above 256.
+  F8 a(256.0);
+  EXPECT_EQ((a + F8(1.0)).to_double(), 256.0);  // tie -> even (256)
+  F8 b(258.0);
+  EXPECT_EQ((b + F8(1.0)).to_double(), 260.0);  // tie -> even (260)
+  EXPECT_EQ((a + F8(1.5)).to_double(), 258.0);  // above tie -> up
+}
+
+TEST(SoftFloat, Property1SmallAddendAbsorbed) {
+  // fl(a + b) = a whenever |b| < eps * |a| — the paper's property 1.
+  Float53 one(1.0);
+  Float53 tiny(Float53::eps() / 4.0);
+  EXPECT_EQ((one + tiny).to_double(), 1.0);
+  EXPECT_EQ((one - tiny).to_double(), 1.0);
+  F8 a(1000.0);
+  F8 small(1.0);  // eps(F8) = 2^-8, 1 < 1000 * 2^-8 ~ 3.9
+  EXPECT_EQ((a + small).to_double(), 1000.0);
+}
+
+TEST(SoftFloat, Property2UnderflowFlushesToMachineZero) {
+  // |x| < omega => machine zero — the paper's property 2.
+  F8 w(F8::omega());
+  EXPECT_FALSE(w.is_zero());
+  F8 half(0.5);
+  EXPECT_TRUE((w * half).is_zero());
+  Float53 om(Float53::omega());
+  EXPECT_TRUE((om * Float53(0.25)).is_zero());
+  EXPECT_FALSE((om * Float53(1.0)).is_zero());
+}
+
+TEST(SoftFloat, OverflowThrows) {
+  F8 big(std::ldexp(1.0, 59));
+  EXPECT_THROW(big * big, std::overflow_error);
+}
+
+TEST(SoftFloat, DivisionByZeroThrows) {
+  EXPECT_THROW(Float53(1.0) / Float53(0.0), std::domain_error);
+}
+
+TEST(SoftFloat, SqrtOfNegativeThrows) {
+  EXPECT_THROW(sqrt(Float53(-1.0)), std::domain_error);
+}
+
+TEST(SoftFloat, SqrtExactOnPerfectSquares) {
+  for (double v : {1.0, 4.0, 9.0, 1024.0, 0.25}) {
+    EXPECT_EQ(sqrt(Float53(v)).to_double(), std::sqrt(v)) << v;
+    EXPECT_EQ(sqrt(F8(v)).to_double(), std::sqrt(v)) << v;
+  }
+}
+
+TEST(SoftFloat, LowPrecisionRoundsMantissa) {
+  // 8-bit model: 1 + 2^-9 rounds to 1; 1 + 2^-7 is representable-ish.
+  F8 one(1.0);
+  F8 eps2(std::ldexp(1.0, -9));
+  EXPECT_EQ((one + eps2).to_double(), 1.0);
+  F8 repr(std::ldexp(1.0, -7));
+  EXPECT_EQ((one + repr).to_double(), 1.0 + std::ldexp(1.0, -7));
+}
+
+TEST(SoftFloat, FromDoubleRoundsToModelPrecision) {
+  // 0.1 in 8 bits: mantissa 0x1.99999Ap-4 rounds to 8 significant bits.
+  F8 tenth(0.1);
+  double expect = std::ldexp(std::round(std::ldexp(0.1, 3 + 8)), -11);
+  EXPECT_EQ(tenth.to_double(), expect);
+}
+
+TEST(SoftFloat, ComparisonsTotalOrder) {
+  EXPECT_LT(Float53(-2.0), Float53(1.0));
+  EXPECT_LT(Float53(1.0), Float53(2.0));
+  EXPECT_LT(Float53(-2.0), Float53(-1.0));
+  EXPECT_EQ(Float53(0.0), -Float53(0.0));
+  EXPECT_LT(Float53(0.0), Float53(0.5));
+  EXPECT_LT(Float53(-0.5), Float53(0.0));
+}
+
+TEST(SoftFloat, AdditionIsCommutativeRandomized) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(-100.0, 100.0);
+  for (int trial = 0; trial < 500; ++trial) {
+    F8 x(dist(rng)), y(dist(rng));
+    EXPECT_EQ((x + y).to_double(), (y + x).to_double());
+    EXPECT_EQ((x * y).to_double(), (y * x).to_double());
+  }
+}
+
+TEST(SoftFloat, KnownNonAssociativity) {
+  // (1 + eps) + eps == 1 (each addend ties and rounds to even) but
+  // 1 + (eps + eps) = 1 + ulp > 1: the fixed-size model is genuinely a
+  // floating point model, not the reals.
+  Float53 one(1.0), eps(Float53::eps());
+  Float53 left = (one + eps) + eps;
+  Float53 right = one + (eps + eps);
+  EXPECT_EQ(left.to_double(), 1.0);
+  EXPECT_GT(right.to_double(), 1.0);
+}
+
+TEST(SoftFloat, EpsAndOmegaAccessors) {
+  EXPECT_EQ(Float53::eps(), std::ldexp(1.0, -53));
+  EXPECT_EQ(Float24::eps(), std::ldexp(1.0, -24));
+  EXPECT_EQ(F8::omega(), std::ldexp(1.0, -60));
+}
+
+TEST(SoftFloat, PowerOfTwoScalingIsExact) {
+  // Multiplying by 2^m must be exact — load-bearing for the 2^m gap trick.
+  F8 x(0.7109375);  // representable in 8 bits
+  F8 p(std::ldexp(1.0, 20));
+  EXPECT_EQ((x * p).to_double(), std::ldexp(x.to_double(), 20));
+  EXPECT_EQ(((x * p) / p).to_double(), x.to_double());
+}
+
+}  // namespace
+}  // namespace pfact::numeric

@@ -1,0 +1,115 @@
+// Development harness for deriving the GEM/GEMS functional blocks.
+#include <cstdio>
+#include <vector>
+
+#include "factor/gaussian.h"
+#include "matrix/matrix.h"
+#include "numeric/rational.h"
+
+using pfact::Matrix;
+using pfact::Permutation;
+using pfact::factor::eliminate_steps;
+using pfact::factor::PivotStrategy;
+using R = pfact::numeric::Rational;
+
+void run_candidate(const char* name, const Matrix<R>& tmpl,
+                   const std::vector<std::pair<std::size_t, std::size_t>>&
+                       value_slots,
+                   std::size_t steps) {
+  std::printf("==== %s ====\n", name);
+  const std::size_t nvals = value_slots.size();
+  for (unsigned m = 0; m < (1u << nvals); ++m) {
+    for (auto strat :
+         {PivotStrategy::kMinimalSwap, PivotStrategy::kMinimalShift}) {
+      Matrix<R> a = tmpl;
+      std::printf("-- %s  inputs:", strat == PivotStrategy::kMinimalSwap
+                                        ? "GEM "
+                                        : "GEMS");
+      for (std::size_t v = 0; v < nvals; ++v) {
+        int bit = (m >> v) & 1;
+        a(value_slots[v].first, value_slots[v].second) = R(bit);
+        std::printf(" %d", bit);
+      }
+      std::printf("\n");
+      Permutation perm(a.rows());
+      auto trace = eliminate_steps(a, strat, steps, &perm);
+      std::printf("%s", a.to_string(3).c_str());
+      std::printf("final perm:");
+      for (std::size_t i = 0; i < perm.size(); ++i)
+        std::printf(" %zu", perm[i]);
+      std::printf("\n");
+    }
+  }
+}
+
+int main() {
+  // PASS gadget: in-slot 0 (value a), aux rows/cols 1,2, out slot 3.
+  // Contract: after eliminating cols 0..2, row 3 = (0,0,0,a), undisplaced.
+  Matrix<R> pass{{0, 0, 0, 0},
+                 {1, 1, 0, -1},
+                 {0, 1, 0, 0},
+                 {1, 2, 0, -1}};
+  run_candidate("PASS", pass, {{0, 0}}, 3);
+
+  // PASS with a foreign spacer row/col between aux and carrier (position 3
+  // belongs to another gadget; carrier at 4). Spacer has support only in its
+  // own column 3.
+  Matrix<R> pass_spaced{{0, 0, 0, 0, 0},
+                        {1, 1, 0, -1, 0},
+                        {0, 1, 0, 0, 0},
+                        {0, 0, 0, 5, 0},
+                        {1, 2, 0, 0, -1}};
+  run_candidate("PASS+spacer", pass_spaced, {{0, 0}}, 4);
+
+  // NAND gadget: in-slots 0,1; compute row 2; shield row 3; carrier 5 with
+  // a spacer at 4. Contract: row 5 -> (0,...,0, NAND(a,b)).
+  Matrix<R> nand{{0, 0, 0, 0, 0, 0},
+                 {0, 0, 0, 0, 0, 0},
+                 {1, 1, -1, 0, 0, 0},
+                 {0, 0, 1, 0, 0, -1},
+                 {0, 0, 0, 0, 7, 0},
+                 {1, 1, 0, 0, 0, 0}};
+  run_candidate("NAND", nand, {{0, 0}, {1, 1}}, 5);
+
+  // DUP v2: in-slot 0; aux rows 1..4 (compute1, shield1, compute2, shield2);
+  // carriers B at 5 (target col 5) and A at 6 (target col 6).
+  Matrix<R> dup{{0, 0, 0, 0, 0, 0, 0},
+                {1, 1, 0, 1, 0, 0, -1},
+                {0, 1, 0, 0, 0, 0, 0},
+                {1, 0, 0, 1, 0, -1, 0},
+                {0, 0, 0, 1, 0, 0, 0},
+                {0, 0, 0, 1, 0, 0, 0},
+                {0, 1, 0, 1, 0, 0, 0}};
+  run_candidate("DUP v2", dup, {{0, 0}}, 5);
+
+  // DUP v2 with spacers: foreign rows between shield2 and carrier B, and
+  // between the carriers.
+  Matrix<R> dup_sp{{0, 0, 0, 0, 0, 0, 0, 0, 0},
+                   {1, 1, 0, 1, 0, 0, 0, 0, -1},
+                   {0, 1, 0, 0, 0, 0, 0, 0, 0},
+                   {1, 0, 0, 1, 0, 0, -1, 0, 0},
+                   {0, 0, 0, 1, 0, 0, 0, 0, 0},
+                   {0, 0, 0, 0, 0, 3, 0, 0, 0},
+                   {0, 0, 0, 1, 0, 0, 0, 0, 0},
+                   {0, 0, 0, 0, 0, 0, 0, 4, 0},
+                   {0, 1, 0, 1, 0, 0, 0, 0, 0}};
+  run_candidate("DUP v2 + spacers", dup_sp, {{0, 0}}, 7);
+
+  // Composition smoke test: DUP(a) -> two slots -> NAND of the two copies
+  // == NOT(a). Layout: 0 a; 1..4 dup aux; 5,6 dup targets; 7 nand compute;
+  // 8 nand shield; 9 nand carrier (target col 9).
+  Matrix<R> notviad{
+      // 0  1  2  3  4  5  6  7  8  9
+      {0, 0, 0, 0, 0, 0, 0, 0, 0, 0},    // 0: a
+      {1, 1, 0, 1, 0, 0, -1, 0, 0, 0},   // 1: dup compute1 (target A = 6)
+      {0, 1, 0, 0, 0, 0, 0, 0, 0, 0},    // 2: dup shield1
+      {1, 0, 0, 1, 0, -1, 0, 0, 0, 0},   // 3: dup compute2 (target B = 5)
+      {0, 0, 0, 1, 0, 0, 0, 0, 0, 0},    // 4: dup shield2
+      {0, 0, 0, 1, 0, 0, 0, 0, 0, 0},    // 5: carrier B -> becomes nand in0
+      {0, 1, 0, 1, 0, 0, 0, 0, 0, 0},    // 6: carrier A -> becomes nand in1
+      {0, 0, 0, 0, 0, 1, 1, -1, 0, 0},   // 7: nand compute
+      {0, 0, 0, 0, 0, 0, 0, 1, 0, -1},   // 8: nand shield
+      {0, 0, 0, 0, 0, 1, 1, 0, 0, 0}};   // 9: nand carrier
+  run_candidate("NOT via DUP+NAND", notviad, {{0, 0}}, 9);
+  return 0;
+}

@@ -1,0 +1,184 @@
+// Development harness for the GEP (Theorem 3.4) functional blocks.
+// Encodings: False = 1, True = 2 (magnitudes; GEP compares |entries|).
+// In-contract: a value v arrives as a row (v at slot col, 1 at companion
+// col), positioned below the slot's diagonal. The aux row carries 3/2 at the
+// slot col so that the magnitude contest v vs 3/2 decides the pivot.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "factor/gaussian.h"
+#include "matrix/matrix.h"
+
+using pfact::Matrix;
+using pfact::Permutation;
+using pfact::factor::eliminate_steps;
+using pfact::factor::PivotStrategy;
+
+namespace {
+
+// NAND candidate layout (7x7):
+// cols: 0 = s0 (u), 1 = s1 (w), 2 = m1, 3 = m2, 4 = t, 5 = t' , 6 = spare
+// rows: 0 filler diag s0, 1 filler diag s1, 2 = X1 (in u), 3 = Y1,
+//       4 = X2 (in w), 5 = Y2, 6 = filler...
+// Simpler: rows positioned so in/aux rows are below the slot diagonals.
+// p = [a1 a2 a3 a4 b1 b2 b3 b4 d1 d2]
+Matrix<double> nand_candidate(int u, int w, const std::vector<double>& p) {
+  // Columns: 0=s0, 1=s1, 2=m1, 3=m2, 4=t, 5=t'; positions 6..8 spare.
+  // Rows: 0,1 tiny diagonal fillers; 2=X1 (in u, companion at m1);
+  //       3=Y1; 4=X2 (in w, companion at m2); 5=Y2;
+  //       6=decoy for column m2 (absorbs the survivor's m2 entry);
+  //       7,8 tiny fillers.
+  Matrix<double> m(9, 9);
+  for (int i = 0; i < 9; ++i) m(i, i) = 1e-3 * (i + 1);
+  m(2, 2) = 0;
+  m(6, 6) = 0;
+  m(2, 0) = u;
+  m(2, 2) = 1;  // X1 companion doubles as column-2 presence
+  m(3, 0) = 1.5;
+  m(3, 2) = p[0];
+  m(3, 3) = p[1];
+  m(3, 4) = p[2];
+  m(3, 5) = p[3];
+  m(4, 1) = w;
+  m(4, 3) = 1;
+  m(5, 1) = 1.5;
+  m(5, 2) = p[4];
+  m(5, 3) = p[5];
+  m(5, 4) = p[6];
+  m(5, 5) = p[7];
+  m(6, 3) = 4.0;  // decoy: wins column m2; its payload entries are what the
+  m(6, 4) = p[8];  // survivor's (informative) m2 entry mixes into t, t'
+  m(6, 5) = p[9];
+  return m;
+}
+
+// After eliminating columns 0..3, exactly one "active" row should remain
+// with support {4, 5} = (enc(NAND), 1). Find it among rows at positions
+// >= 4 and return its (t, t') entries.
+bool decode(Matrix<double> m, double* t, double* tp) {
+  eliminate_steps(m, PivotStrategy::kPartial, 4);
+  int found = -1;
+  for (std::size_t i = 4; i < 9; ++i) {
+    if (std::fabs(m(i, 4)) > 0.2) {
+      if (found >= 0) return false;  // two live rows: malformed
+      found = static_cast<int>(i);
+    }
+  }
+  if (found < 0) return false;
+  *t = m(found, 4);
+  *tp = m(found, 5);
+  return true;
+}
+
+std::vector<double> residual(const std::vector<double>& p) {
+  std::vector<double> r;
+  for (int u : {2, 1}) {
+    for (int w : {2, 1}) {
+      double t = 0, tp = 0;
+      if (!decode(nand_candidate(u, w, p), &t, &tp)) {
+        r.push_back(50);
+        r.push_back(50);
+        continue;
+      }
+      double nand = (u == 2 && w == 2) ? 1.0 : 2.0;
+      r.push_back(t - nand);  // signed target: chainable positive encoding
+      r.push_back(tp - 1.0);
+    }
+  }
+  return r;
+}
+
+double loss(const std::vector<double>& p) {
+  double s = 0;
+  for (double v : residual(p)) s += v * v;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  for (unsigned seed = 0; seed < 200; ++seed) {
+    std::vector<double> p(10);
+    unsigned s = seed * 2654435761u + 777u;
+    for (int i = 0; i < 10; ++i) {
+      s = s * 1664525u + 1013904223u;
+      p[i] = ((s >> 8) % 4000) / 1000.0 - 2.0;
+    }
+    bool ok = false;
+    for (int iter = 0; iter < 300; ++iter) {
+      auto r = residual(p);
+      double l = 0;
+      for (auto v : r) l += v * v;
+      if (l < 1e-22) {
+        ok = true;
+        break;
+      }
+      if (l > 1e4) break;
+      const int mq = static_cast<int>(r.size());
+      const int nv = 10;
+      std::vector<std::vector<double>> J(mq, std::vector<double>(nv));
+      for (int j = 0; j < nv; ++j) {
+        double h = 1e-7;
+        auto pj = p;
+        pj[j] += h;
+        auto rj = residual(pj);
+        for (int i = 0; i < mq; ++i) J[i][j] = (rj[i] - r[i]) / h;
+      }
+      std::vector<std::vector<double>> A(nv,
+                                         std::vector<double>(nv + 1, 0));
+      for (int i = 0; i < nv; ++i) {
+        for (int j = 0; j < nv; ++j)
+          for (int k = 0; k < mq; ++k) A[i][j] += J[k][i] * J[k][j];
+        A[i][i] += 1e-8;
+        for (int k = 0; k < mq; ++k) A[i][nv] -= J[k][i] * r[k];
+      }
+      bool sing = false;
+      for (int c = 0; c < nv; ++c) {
+        int piv = c;
+        for (int i = c + 1; i < nv; ++i)
+          if (std::fabs(A[i][c]) > std::fabs(A[piv][c])) piv = i;
+        if (std::fabs(A[piv][c]) < 1e-14) {
+          sing = true;
+          break;
+        }
+        std::swap(A[piv], A[c]);
+        for (int i = 0; i < nv; ++i) {
+          if (i == c) continue;
+          double f = A[i][c] / A[c][c];
+          for (int j = c; j <= nv; ++j) A[i][j] -= f * A[c][j];
+        }
+      }
+      if (sing) break;
+      double step = 1.0;
+      bool moved = false;
+      for (int back = 0; back < 25; ++back) {
+        auto pn = p;
+        for (int j = 0; j < nv; ++j) pn[j] += step * A[j][nv] / A[j][j];
+        if (loss(pn) < l) {
+          p = pn;
+          moved = true;
+          break;
+        }
+        step /= 2;
+      }
+      if (!moved) break;
+    }
+    if (ok) {
+      std::printf("seed=%u SOLVED loss=%.3g\n  p =", seed, loss(p));
+      for (int i = 0; i < 10; ++i) std::printf(" %.17g", p[i]);
+      std::printf("\n");
+      for (int u : {2, 1}) {
+        for (int w : {2, 1}) {
+          double t = 0, tp = 0;
+          decode(nand_candidate(u, w, p), &t, &tp);
+          std::printf("  u=%d w=%d -> t=%.12g t'=%.12g (NAND enc %d)\n", u,
+                      w, t, tp, (u == 2 && w == 2) ? 1 : 2);
+        }
+      }
+      return 0;
+    }
+  }
+  std::printf("no convergence\n");
+  return 1;
+}

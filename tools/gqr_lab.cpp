@@ -1,0 +1,189 @@
+// Development harness for the GQR (Theorem 4.1) functional blocks.
+// Derives the NAND block constants by Newton iteration on the block
+// contract; the PASS block is verified from its closed form.
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "factor/givens.h"
+#include "matrix/matrix.h"
+
+using pfact::Matrix;
+using pfact::factor::givens_steps;
+
+namespace {
+
+constexpr long double kS2 = 1.4142135623730950488L;  // sqrt(2)
+
+// Builds the 6x6 NAND candidate for inputs (a, b) and parameter vector
+//   p = [p0 p1 p2 q1 q2 rho1 rho2 z w q0]
+// Layout: cols 0 a-slot, 1 companion/aux Y1, 2 b-slot, 3 companion/aux Y2,
+// 4 out slot t, 5 next companion t+1.
+Matrix<long double> nand_candidate(int a, int b,
+                                   const std::vector<long double>& p) {
+  Matrix<long double> m(6, 6);
+  m(0, 0) = a;
+  m(0, 1) = 1;
+  m(1, 0) = 1;
+  m(1, 1) = 1;
+  m(1, 3) = p[0];
+  m(1, 4) = p[1];
+  m(1, 5) = p[2];
+  m(2, 2) = b;
+  m(2, 3) = 1;
+  m(3, 2) = 1;
+  m(3, 3) = p[9];
+  m(3, 4) = p[3];
+  m(3, 5) = p[4];
+  m(4, 1) = p[5];
+  m(4, 3) = p[6];
+  m(4, 4) = p[7];
+  m(4, 5) = p[8];
+  return m;
+}
+
+// Residual: carrier row (4) must equal (0,0,0,0, NAND(a,b), 1) after all
+// rotations, for all four input combinations.
+std::vector<long double> residual(const std::vector<long double>& p) {
+  std::vector<long double> r;
+  for (int a : {1, -1}) {
+    for (int b : {1, -1}) {
+      Matrix<long double> m = nand_candidate(a, b, p);
+      givens_steps(m, 100);
+      long double nand = (a == 1 && b == 1) ? -1.0L : 1.0L;
+      r.push_back(m(4, 4) - nand);
+      r.push_back(m(4, 5) - 1.0L);
+    }
+  }
+  return r;
+}
+
+long double loss(const std::vector<long double>& p) {
+  long double s = 0;
+  for (long double v : residual(p)) s += v * v;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  // --- PASS block: closed form -------------------------------------------
+  // cols: 0 slot, 1 companion/aux, 2 out t, 3 next companion t+1.
+  std::printf("=== GQR PASS ===\n");
+  for (int a : {1, -1}) {
+    Matrix<long double> m(4, 4);
+    m(0, 0) = a;
+    m(0, 1) = 1;
+    m(1, 0) = 1;
+    m(1, 1) = 1;
+    m(1, 2) = -kS2;
+    m(1, 3) = -kS2;
+    m(2, 1) = kS2;
+    m(2, 2) = kS2 - 1;
+    m(2, 3) = -(1 + kS2);
+    givens_steps(m, 100);
+    std::printf("a=%+d  carrier: %.17Lg %.17Lg %.17Lg %.17Lg\n", a, m(2, 0),
+                m(2, 1), m(2, 2), m(2, 3));
+  }
+
+  // --- NAND block: Newton solve -------------------------------------------
+  std::printf("=== GQR NAND solve ===\n");
+  for (long double q0 : {1.0L, -1.0L}) {
+    for (unsigned seed = 0; seed < 40; ++seed) {
+      // Deterministic pseudo-random start.
+      std::vector<long double> p(10);
+      unsigned s = seed * 2654435761u + 12345u;
+      for (int i = 0; i < 9; ++i) {
+        s = s * 1664525u + 1013904223u;
+        p[i] = ((s >> 8) % 2000) / 500.0L - 2.0L;
+        if (std::fabs((double)p[i]) < 0.1) p[i] += 0.5L;
+      }
+      p[9] = q0;
+      // Gauss-Newton with numeric Jacobian on 9 free params.
+      bool ok = false;
+      for (int iter = 0; iter < 200; ++iter) {
+        auto r = residual(p);
+        long double l = 0;
+        for (auto v : r) l += v * v;
+        if (l < 1e-28L) {
+          ok = true;
+          break;
+        }
+        // Jacobian 8x9.
+        const int m_eq = static_cast<int>(r.size());
+        const int n_var = 9;
+        std::vector<std::vector<long double>> J(
+            m_eq, std::vector<long double>(n_var));
+        for (int j = 0; j < n_var; ++j) {
+          long double h = 1e-7L;
+          auto pj = p;
+          pj[j] += h;
+          auto rj = residual(pj);
+          for (int i = 0; i < m_eq; ++i) J[i][j] = (rj[i] - r[i]) / h;
+        }
+        // Solve (J^T J + lambda I) d = -J^T r.
+        std::vector<std::vector<long double>> A(
+            n_var, std::vector<long double>(n_var + 1, 0));
+        for (int i = 0; i < n_var; ++i) {
+          for (int j = 0; j < n_var; ++j)
+            for (int k = 0; k < m_eq; ++k) A[i][j] += J[k][i] * J[k][j];
+          A[i][i] += 1e-9L;
+          for (int k = 0; k < m_eq; ++k) A[i][n_var] -= J[k][i] * r[k];
+        }
+        // Gaussian elimination.
+        bool sing = false;
+        for (int c = 0; c < n_var; ++c) {
+          int piv = c;
+          for (int i = c + 1; i < n_var; ++i)
+            if (std::fabs((double)A[i][c]) > std::fabs((double)A[piv][c]))
+              piv = i;
+          if (std::fabs((double)A[piv][c]) < 1e-18) {
+            sing = true;
+            break;
+          }
+          std::swap(A[piv], A[c]);
+          for (int i = 0; i < n_var; ++i) {
+            if (i == c) continue;
+            long double f = A[i][c] / A[c][c];
+            for (int j = c; j <= n_var; ++j) A[i][j] -= f * A[c][j];
+          }
+        }
+        if (sing) break;
+        long double step = 1.0L;
+        long double base = l;
+        for (int back = 0; back < 30; ++back) {
+          auto pn = p;
+          for (int j = 0; j < n_var; ++j)
+            pn[j] += step * A[j][n_var] / A[j][j];
+          if (loss(pn) < base) {
+            p = pn;
+            break;
+          }
+          step /= 2;
+          if (back == 29) iter = 200;
+        }
+      }
+      if (ok) {
+        std::printf("q0=%+.0Lf seed=%u SOLVED loss=%.3Lg\n  p =", q0, seed,
+                    loss(p));
+        for (int i = 0; i < 10; ++i) std::printf(" %.17Lg", p[i]);
+        std::printf("\n");
+        // Re-verify all four cases and print the final carrier rows.
+        for (int a : {1, -1}) {
+          for (int b : {1, -1}) {
+            Matrix<long double> m = nand_candidate(a, b, p);
+            givens_steps(m, 100);
+            std::printf("  a=%+d b=%+d carrier:", a, b);
+            for (int j = 0; j < 6; ++j)
+              std::printf(" %.12Lg", m(4, j));
+            std::printf("\n");
+          }
+        }
+        return 0;
+      }
+    }
+    std::printf("q0=%+.0Lf: no convergence in 40 restarts\n", q0);
+  }
+  return 1;
+}
