@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_assembly.dir/bench_fig1_assembly.cpp.o"
+  "CMakeFiles/bench_fig1_assembly.dir/bench_fig1_assembly.cpp.o.d"
+  "bench_fig1_assembly"
+  "bench_fig1_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig45_gep.dir/bench_fig45_gep.cpp.o"
+  "CMakeFiles/bench_fig45_gep.dir/bench_fig45_gep.cpp.o.d"
+  "bench_fig45_gep"
+  "bench_fig45_gep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig45_gep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

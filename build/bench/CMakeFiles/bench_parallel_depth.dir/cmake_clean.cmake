@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_depth.dir/bench_parallel_depth.cpp.o"
+  "CMakeFiles/bench_parallel_depth.dir/bench_parallel_depth.cpp.o.d"
+  "bench_parallel_depth"
+  "bench_parallel_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

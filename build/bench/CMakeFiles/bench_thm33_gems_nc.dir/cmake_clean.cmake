@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm33_gems_nc.dir/bench_thm33_gems_nc.cpp.o"
+  "CMakeFiles/bench_thm33_gems_nc.dir/bench_thm33_gems_nc.cpp.o.d"
+  "bench_thm33_gems_nc"
+  "bench_thm33_gems_nc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm33_gems_nc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_thm33_gems_nc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm41_fp.dir/bench_thm41_fp.cpp.o"
+  "CMakeFiles/bench_thm41_fp.dir/bench_thm41_fp.cpp.o.d"
+  "bench_thm41_fp"
+  "bench_thm41_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm41_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

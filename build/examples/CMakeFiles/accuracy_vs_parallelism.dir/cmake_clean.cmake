@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_vs_parallelism.dir/accuracy_vs_parallelism.cpp.o"
+  "CMakeFiles/accuracy_vs_parallelism.dir/accuracy_vs_parallelism.cpp.o.d"
+  "accuracy_vs_parallelism"
+  "accuracy_vs_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_vs_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_as_matrix.dir/circuit_as_matrix.cpp.o"
+  "CMakeFiles/circuit_as_matrix.dir/circuit_as_matrix.cpp.o.d"
+  "circuit_as_matrix"
+  "circuit_as_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_as_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compile_circuit.dir/compile_circuit.cpp.o"
+  "CMakeFiles/compile_circuit.dir/compile_circuit.cpp.o.d"
+  "compile_circuit"
+  "compile_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compile_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

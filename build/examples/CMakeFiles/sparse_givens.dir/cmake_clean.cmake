@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_givens.dir/sparse_givens.cpp.o"
+  "CMakeFiles/sparse_givens.dir/sparse_givens.cpp.o.d"
+  "sparse_givens"
+  "sparse_givens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_givens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/depth_model.cpp" "src/CMakeFiles/pfact.dir/analysis/depth_model.cpp.o" "gcc" "src/CMakeFiles/pfact.dir/analysis/depth_model.cpp.o.d"
+  "/root/repo/src/analysis/error_analysis.cpp" "src/CMakeFiles/pfact.dir/analysis/error_analysis.cpp.o" "gcc" "src/CMakeFiles/pfact.dir/analysis/error_analysis.cpp.o.d"
+  "/root/repo/src/circuit/builders.cpp" "src/CMakeFiles/pfact.dir/circuit/builders.cpp.o" "gcc" "src/CMakeFiles/pfact.dir/circuit/builders.cpp.o.d"
+  "/root/repo/src/circuit/circuit.cpp" "src/CMakeFiles/pfact.dir/circuit/circuit.cpp.o" "gcc" "src/CMakeFiles/pfact.dir/circuit/circuit.cpp.o.d"
+  "/root/repo/src/circuit/io.cpp" "src/CMakeFiles/pfact.dir/circuit/io.cpp.o" "gcc" "src/CMakeFiles/pfact.dir/circuit/io.cpp.o.d"
+  "/root/repo/src/core/assembler.cpp" "src/CMakeFiles/pfact.dir/core/assembler.cpp.o" "gcc" "src/CMakeFiles/pfact.dir/core/assembler.cpp.o.d"
+  "/root/repo/src/core/gem_gadgets.cpp" "src/CMakeFiles/pfact.dir/core/gem_gadgets.cpp.o" "gcc" "src/CMakeFiles/pfact.dir/core/gem_gadgets.cpp.o.d"
+  "/root/repo/src/core/gep_gadgets.cpp" "src/CMakeFiles/pfact.dir/core/gep_gadgets.cpp.o" "gcc" "src/CMakeFiles/pfact.dir/core/gep_gadgets.cpp.o.d"
+  "/root/repo/src/core/gqr_gadgets.cpp" "src/CMakeFiles/pfact.dir/core/gqr_gadgets.cpp.o" "gcc" "src/CMakeFiles/pfact.dir/core/gqr_gadgets.cpp.o.d"
+  "/root/repo/src/factor/pivot_trace.cpp" "src/CMakeFiles/pfact.dir/factor/pivot_trace.cpp.o" "gcc" "src/CMakeFiles/pfact.dir/factor/pivot_trace.cpp.o.d"
+  "/root/repo/src/matrix/generators.cpp" "src/CMakeFiles/pfact.dir/matrix/generators.cpp.o" "gcc" "src/CMakeFiles/pfact.dir/matrix/generators.cpp.o.d"
+  "/root/repo/src/nc/gems_nc.cpp" "src/CMakeFiles/pfact.dir/nc/gems_nc.cpp.o" "gcc" "src/CMakeFiles/pfact.dir/nc/gems_nc.cpp.o.d"
+  "/root/repo/src/nc/lfmis.cpp" "src/CMakeFiles/pfact.dir/nc/lfmis.cpp.o" "gcc" "src/CMakeFiles/pfact.dir/nc/lfmis.cpp.o.d"
+  "/root/repo/src/nc/nc_qr.cpp" "src/CMakeFiles/pfact.dir/nc/nc_qr.cpp.o" "gcc" "src/CMakeFiles/pfact.dir/nc/nc_qr.cpp.o.d"
+  "/root/repo/src/numeric/bigint.cpp" "src/CMakeFiles/pfact.dir/numeric/bigint.cpp.o" "gcc" "src/CMakeFiles/pfact.dir/numeric/bigint.cpp.o.d"
+  "/root/repo/src/numeric/rational.cpp" "src/CMakeFiles/pfact.dir/numeric/rational.cpp.o" "gcc" "src/CMakeFiles/pfact.dir/numeric/rational.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/pfact.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/pfact.dir/parallel/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assembler_plan.dir/core/test_assembler_plan.cpp.o"
+  "CMakeFiles/test_assembler_plan.dir/core/test_assembler_plan.cpp.o.d"
+  "test_assembler_plan"
+  "test_assembler_plan.pdb"
+  "test_assembler_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assembler_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

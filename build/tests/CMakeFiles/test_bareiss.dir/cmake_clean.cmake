@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bareiss.dir/nc/test_bareiss.cpp.o"
+  "CMakeFiles/test_bareiss.dir/nc/test_bareiss.cpp.o.d"
+  "test_bareiss"
+  "test_bareiss.pdb"
+  "test_bareiss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bareiss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

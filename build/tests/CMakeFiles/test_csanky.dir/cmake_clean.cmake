@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csanky.dir/nc/test_csanky.cpp.o"
+  "CMakeFiles/test_csanky.dir/nc/test_csanky.cpp.o.d"
+  "test_csanky"
+  "test_csanky.pdb"
+  "test_csanky[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csanky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

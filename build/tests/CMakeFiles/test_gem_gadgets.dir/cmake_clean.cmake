@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gem_gadgets.dir/core/test_gem_gadgets.cpp.o"
+  "CMakeFiles/test_gem_gadgets.dir/core/test_gem_gadgets.cpp.o.d"
+  "test_gem_gadgets"
+  "test_gem_gadgets.pdb"
+  "test_gem_gadgets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gem_gadgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gem_reduction.dir/core/test_gem_reduction.cpp.o"
+  "CMakeFiles/test_gem_reduction.dir/core/test_gem_reduction.cpp.o.d"
+  "test_gem_reduction"
+  "test_gem_reduction.pdb"
+  "test_gem_reduction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gem_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

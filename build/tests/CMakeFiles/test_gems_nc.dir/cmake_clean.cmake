@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gems_nc.dir/nc/test_gems_nc.cpp.o"
+  "CMakeFiles/test_gems_nc.dir/nc/test_gems_nc.cpp.o.d"
+  "test_gems_nc"
+  "test_gems_nc.pdb"
+  "test_gems_nc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gems_nc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

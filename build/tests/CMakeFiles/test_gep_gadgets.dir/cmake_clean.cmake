@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gep_gadgets.dir/core/test_gep_gadgets.cpp.o"
+  "CMakeFiles/test_gep_gadgets.dir/core/test_gep_gadgets.cpp.o.d"
+  "test_gep_gadgets"
+  "test_gep_gadgets.pdb"
+  "test_gep_gadgets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gep_gadgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gqr_gadgets.dir/core/test_gqr_gadgets.cpp.o"
+  "CMakeFiles/test_gqr_gadgets.dir/core/test_gqr_gadgets.cpp.o.d"
+  "test_gqr_gadgets"
+  "test_gqr_gadgets.pdb"
+  "test_gqr_gadgets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gqr_gadgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_gqr_gadgets.
+# This may be replaced when dependencies are built.

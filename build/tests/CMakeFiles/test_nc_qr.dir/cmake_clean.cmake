@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nc_qr.dir/nc/test_nc_qr.cpp.o"
+  "CMakeFiles/test_nc_qr.dir/nc/test_nc_qr.cpp.o.d"
+  "test_nc_qr"
+  "test_nc_qr.pdb"
+  "test_nc_qr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nc_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_factor.dir/factor/test_parallel_factor.cpp.o"
+  "CMakeFiles/test_parallel_factor.dir/factor/test_parallel_factor.cpp.o.d"
+  "test_parallel_factor"
+  "test_parallel_factor.pdb"
+  "test_parallel_factor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

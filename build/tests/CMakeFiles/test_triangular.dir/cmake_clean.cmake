@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_triangular.dir/factor/test_triangular.cpp.o"
+  "CMakeFiles/test_triangular.dir/factor/test_triangular.cpp.o.d"
+  "test_triangular"
+  "test_triangular.pdb"
+  "test_triangular[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_triangular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bigint[1]_include.cmake")
+include("/root/repo/build/tests/test_rational[1]_include.cmake")
+include("/root/repo/build/tests/test_softfloat[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_generators[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_gaussian[1]_include.cmake")
+include("/root/repo/build/tests/test_givens[1]_include.cmake")
+include("/root/repo/build/tests/test_householder[1]_include.cmake")
+include("/root/repo/build/tests/test_triangular[1]_include.cmake")
+include("/root/repo/build/tests/test_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel_factor[1]_include.cmake")
+include("/root/repo/build/tests/test_gem_gadgets[1]_include.cmake")
+include("/root/repo/build/tests/test_gem_reduction[1]_include.cmake")
+include("/root/repo/build/tests/test_assembler_plan[1]_include.cmake")
+include("/root/repo/build/tests/test_gqr_gadgets[1]_include.cmake")
+include("/root/repo/build/tests/test_cross_model[1]_include.cmake")
+include("/root/repo/build/tests/test_gep_gadgets[1]_include.cmake")
+include("/root/repo/build/tests/test_bareiss[1]_include.cmake")
+include("/root/repo/build/tests/test_gems_nc[1]_include.cmake")
+include("/root/repo/build/tests/test_csanky[1]_include.cmake")
+include("/root/repo/build/tests/test_nc_qr[1]_include.cmake")
