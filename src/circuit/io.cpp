@@ -1,5 +1,6 @@
 #include "circuit/io.h"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -24,6 +25,9 @@ ParsedInstance parse_circuit_text(const std::string& text) {
   std::optional<std::vector<bool>> assign;
   while (std::getline(in, raw)) {
     ++lineno;
+    // Tolerate CRLF line endings: getline leaves the '\r' attached to the
+    // last token, which would otherwise break keyword matching.
+    if (!raw.empty() && raw.back() == '\r') raw.pop_back();
     // Strip comments.
     auto hash = raw.find('#');
     if (hash != std::string::npos) raw.erase(hash);
@@ -45,6 +49,7 @@ ParsedInstance parse_circuit_text(const std::string& text) {
       gates.push_back({a, b});
     } else if (word == "assign") {
       if (!have_inputs) fail(lineno, "'assign' before 'inputs'");
+      if (assign.has_value()) fail(lineno, "duplicate 'assign'");
       std::vector<bool> bits;
       int v = 0;
       while (ls >> v) {
@@ -57,11 +62,18 @@ ParsedInstance parse_circuit_text(const std::string& text) {
     } else {
       fail(lineno, "unknown directive '" + word + "'");
     }
+    // The assign branch reads until extraction fails, which leaves the
+    // stream in a failed state; clear it so trailing garbage (e.g.
+    // "assign 1 0 junk") is still caught.
+    ls.clear();
     std::string extra;
     if (ls >> extra) fail(lineno, "trailing token '" + extra + "'");
   }
-  if (!have_inputs) fail(lineno, "missing 'inputs'");
-  if (gates.empty()) fail(lineno, "circuit has no gates");
+  // An empty file has lineno == 0; report line 1 so the message always
+  // names a real line.
+  if (!have_inputs) fail(std::max<std::size_t>(lineno, 1), "missing 'inputs'");
+  if (gates.empty()) fail(std::max<std::size_t>(lineno, 1),
+                          "circuit has no gates");
   ParsedInstance out{Circuit(num_inputs, std::move(gates)), std::move(assign)};
   return out;
 }

@@ -3,6 +3,12 @@
 // simulated output from the matrix. These are the executable forms of the
 // paper's Theorem 3.1 (GEM/GEMS on general matrices) and Corollary 3.2
 // (GEM on nonsingular matrices).
+//
+// These drivers report a bare ok/value pair; robustness/guarded_run.h wraps
+// the same constructions with budgets, fault classification, and a
+// cross-check certificate, returning a structured RunReport. Both accept an
+// optional factor::EliminationChecks so callers can impose step/deadline
+// budgets and the reduction-mode pivot invariant on the elimination.
 
 #include <cstddef>
 
@@ -27,10 +33,11 @@ struct SimulationResult {
 // must represent small integers exactly (double, Rational, SoftFloat<P>=24+).
 template <class T>
 SimulationResult simulate_gem(const circuit::CvpInstance& inst,
-                              factor::PivotStrategy strategy) {
+                              factor::PivotStrategy strategy,
+                              const factor::EliminationChecks& checks = {}) {
   GemReduction red = build_gem_reduction(inst);
   Matrix<T> a = red.matrix.template cast<T>();
-  factor::eliminate_steps(a, strategy, a.rows());
+  factor::eliminate_steps(a, strategy, a.rows(), nullptr, checks);
   SimulationResult res;
   res.order = a.rows();
   const T& out = a(red.output_pos, red.output_pos);
@@ -51,12 +58,14 @@ SimulationResult simulate_gem(const circuit::CvpInstance& inst,
 // for that column comes from the bordering half (the column is zero within
 // A_C), which the decode recognizes via the pivot trace.
 template <class T>
-SimulationResult simulate_gem_nonsingular(const circuit::CvpInstance& inst) {
+SimulationResult simulate_gem_nonsingular(
+    const circuit::CvpInstance& inst,
+    const factor::EliminationChecks& checks = {}) {
   GemReduction red = build_gem_reduction(inst);
   Matrix<T> a = border_nonsingular(red.matrix.template cast<T>());
   Permutation perm(a.rows());
   factor::PivotTrace trace = factor::eliminate_steps(
-      a, factor::PivotStrategy::kMinimalSwap, a.rows(), &perm);
+      a, factor::PivotStrategy::kMinimalSwap, a.rows(), &perm, checks);
   SimulationResult res;
   res.order = a.rows();
   const std::size_t nu = red.matrix.rows();

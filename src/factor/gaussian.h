@@ -21,7 +21,9 @@
 #include <algorithm>
 #include <cstddef>
 #include <stdexcept>
+#include <string>
 
+#include "factor/guard.h"
 #include "factor/pivot_trace.h"
 #include "matrix/matrix.h"
 #include "numeric/field.h"
@@ -89,6 +91,19 @@ std::size_t select_pivot(const Matrix<T>& a, std::size_t k,
 
 }  // namespace detail
 
+// Per-run checks layered on top of the elimination engine (all off by
+// default). `reduction_mode` encodes the structural invariant of the
+// paper's A_C runs: every pivot actually used is exactly +/-1, so each
+// elimination step is division-free in effect and the decoded booleans stay
+// bit-exact. A pivot of any other value means the input was not a
+// well-formed reduction matrix (or was corrupted in flight) and the run
+// aborts with GuardAbort{kInvariant} instead of producing a plausible,
+// silently-wrong decode.
+struct EliminationChecks {
+  const StepGuard* guard = nullptr;  // step/deadline budget (not owned)
+  bool reduction_mode = false;       // enforce exact unit-magnitude pivots
+};
+
 // Runs `steps` elimination steps of the given strategy in place on `a`
 // (which may have more columns than rows — link columns are transformed by
 // the same row operations). `perm` (if non-null) tracks row movement; it
@@ -97,11 +112,13 @@ std::size_t select_pivot(const Matrix<T>& a, std::size_t k,
 // block". Returns the pivot trace.
 template <class T>
 PivotTrace eliminate_steps(Matrix<T>& a, PivotStrategy strategy,
-                           std::size_t steps, Permutation* perm = nullptr) {
+                           std::size_t steps, Permutation* perm = nullptr,
+                           const EliminationChecks& checks = {}) {
   PivotTrace trace;
   const std::size_t n = a.rows();
   const std::size_t limit = std::min({steps, n, a.cols()});
   for (std::size_t k = 0; k < limit; ++k) {
+    if (checks.guard != nullptr) checks.guard->tick(k);
     std::size_t piv = detail::select_pivot(a, k, strategy);
     PivotEvent e;
     e.column = k;
@@ -129,9 +146,20 @@ PivotTrace eliminate_steps(Matrix<T>& a, PivotStrategy strategy,
       if (perm) perm->swap(k, piv);
     }
     trace.record(e);
+    if (checks.reduction_mode && a(k, k) != T(1) && a(k, k) != T(-1)) {
+      throw GuardAbort(GuardAbort::Kind::kInvariant, k,
+                       "reduction-mode pivot at column " + std::to_string(k) +
+                           " is not an exact +/-1 (got " +
+                           scalar_to_string(a(k, k)) + ")");
+    }
     for (std::size_t i = k + 1; i < n; ++i) {
       if (is_zero(a(i, k))) continue;
       T f = a(i, k) / a(k, k);
+      if (!field_finite(f)) {
+        throw GuardAbort(GuardAbort::Kind::kInvariant, k,
+                         "non-finite multiplier at row " + std::to_string(i) +
+                             ", column " + std::to_string(k));
+      }
       a(i, k) = T(0);
       for (std::size_t j = k + 1; j < a.cols(); ++j) {
         a(i, j) -= f * a(k, j);

@@ -18,8 +18,10 @@
 // introduction credits as the best practical parallel option.
 
 #include <cstddef>
+#include <string>
 #include <vector>
 
+#include "factor/guard.h"
 #include "matrix/matrix.h"
 #include "numeric/field.h"
 
@@ -44,6 +46,12 @@ template <class T>
 bool apply_givens(Matrix<T>& a, Matrix<T>* q, std::size_t i, std::size_t j) {
   if (is_zero(a(j, i))) return false;
   T r = field_sqrt(a(i, i) * a(i, i) + a(j, i) * a(j, i));
+  if (!field_finite(r) || is_zero(r)) {
+    throw GuardAbort(GuardAbort::Kind::kInvariant, i,
+                     "degenerate Givens rotation at (" + std::to_string(j) +
+                         ", " + std::to_string(i) + "): |r| is " +
+                         (is_zero(r) ? "zero" : "non-finite"));
+  }
   T c = a(i, i) / r;
   T s = a(j, i) / r;
   for (std::size_t t = 0; t < a.cols(); ++t) {
@@ -73,6 +81,12 @@ bool apply_givens(Matrix<T>& a, Matrix<T>* q, std::size_t p, std::size_t j,
                   std::size_t col) {
   if (is_zero(a(j, col))) return false;
   T r = field_sqrt(a(p, col) * a(p, col) + a(j, col) * a(j, col));
+  if (!field_finite(r) || is_zero(r)) {
+    throw GuardAbort(GuardAbort::Kind::kInvariant, p,
+                     "degenerate Givens rotation at (" + std::to_string(j) +
+                         ", " + std::to_string(col) + "): |r| is " +
+                         (is_zero(r) ? "zero" : "non-finite"));
+  }
   T c = a(p, col) / r;
   T s = a(j, col) / r;
   for (std::size_t t = 0; t < a.cols(); ++t) {
@@ -100,13 +114,15 @@ bool apply_givens(Matrix<T>& a, Matrix<T>* q, std::size_t p, std::size_t j,
 // steps of GQR" in the block contracts, where blocks are dense below the
 // diagonal wherever it matters).
 template <class T>
-std::size_t givens_steps(Matrix<T>& a, std::size_t steps) {
+std::size_t givens_steps(Matrix<T>& a, std::size_t steps,
+                         const StepGuard* guard = nullptr) {
   std::size_t pos = 0;
   std::size_t applied = 0;
   const std::size_t kmax = std::min(a.rows(), a.cols());
   for (std::size_t i = 0; i < kmax; ++i) {
     for (std::size_t j = i + 1; j < a.rows(); ++j) {
       if (pos == steps) return applied;
+      if (guard != nullptr) guard->tick(pos);
       if (detail::apply_givens<T>(a, nullptr, i, j)) ++applied;
       ++pos;
     }

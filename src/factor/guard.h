@@ -1,0 +1,84 @@
+#pragma once
+// Execution guards for the factorization engines.
+//
+// The reduction runs (core/simulator.h and the robustness layer) need two
+// properties the bare engines do not provide:
+//
+//   1. Bounded execution — a corrupted input must not turn an O(n^3)
+//      elimination into an unbounded or practically-hung run.  StepGuard
+//      carries a step budget and a wall-clock deadline; the engines call
+//      tick() once per elimination step / rotation position.
+//   2. Classified failure — when a run is aborted, the caller must be able
+//      to tell *why* (budget vs. deadline vs. violated invariant), because
+//      robustness::RunReport maps each cause to a distinct diagnostic.
+//
+// Guards are optional (nullptr = unguarded) so the hot paths and the
+// existing call sites are untouched.
+
+#include <chrono>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace pfact::factor {
+
+// Thrown by StepGuard::tick() and by engine invariant checks; carries a
+// machine-readable kind plus the position at which the abort happened.
+class GuardAbort : public std::runtime_error {
+ public:
+  enum class Kind {
+    kStepBudget,  // more steps than the guard allows
+    kDeadline,    // wall-clock deadline exceeded
+    kInvariant,   // an engine invariant was violated (see message)
+  };
+
+  GuardAbort(Kind kind, std::size_t position, const std::string& what)
+      : std::runtime_error(what), kind_(kind), position_(position) {}
+
+  Kind kind() const { return kind_; }
+  // Step index / rotation position / matrix position at which the run
+  // aborted (meaning depends on the throwing engine; see the message).
+  std::size_t position() const { return position_; }
+
+ private:
+  Kind kind_;
+  std::size_t position_;
+};
+
+// A per-run execution budget. Engines call tick(step) at the top of each
+// step; tick throws GuardAbort when a limit is exceeded. Deadline checks
+// are throttled (every 64 ticks) to keep the guard off the critical path.
+struct StepGuard {
+  // Maximum number of ticks before aborting; 0 means unlimited.
+  std::size_t max_steps = 0;
+  // Absolute deadline; only enforced when has_deadline is true.
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
+
+  void set_timeout(std::chrono::steady_clock::duration d) {
+    deadline = std::chrono::steady_clock::now() + d;
+    has_deadline = true;
+  }
+
+  void tick(std::size_t step) const {
+    ++ticks_;
+    if (max_steps != 0 && ticks_ > max_steps) {
+      throw GuardAbort(GuardAbort::Kind::kStepBudget, step,
+                       "step budget of " + std::to_string(max_steps) +
+                           " exhausted at step " + std::to_string(step));
+    }
+    if (has_deadline && (ticks_ % 64 == 1 || max_steps != 0)) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        throw GuardAbort(GuardAbort::Kind::kDeadline, step,
+                         "deadline exceeded at step " + std::to_string(step));
+      }
+    }
+  }
+
+  std::size_t ticks_used() const { return ticks_; }
+
+ private:
+  mutable std::size_t ticks_ = 0;
+};
+
+}  // namespace pfact::factor

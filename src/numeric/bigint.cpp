@@ -25,9 +25,24 @@ BigInt::BigInt(long long v) {
   }
 }
 
+namespace {
+thread_local std::size_t g_bit_limit = 0;  // 0 = unlimited
+}  // namespace
+
+std::size_t BigInt::bit_limit() { return g_bit_limit; }
+void BigInt::set_bit_limit(std::size_t bits) { g_bit_limit = bits; }
+
 void BigInt::trim() {
   while (!mag_.empty() && mag_.back() == 0) mag_.pop_back();
   if (mag_.empty()) sign_ = 0;
+  if (g_bit_limit != 0 && !mag_.empty()) {
+    // Cheap upper bound first (limb count), exact bit length only near the
+    // boundary — trim() runs after every arithmetic operation.
+    if (mag_.size() * 32 > g_bit_limit && bit_length() > g_bit_limit) {
+      throw std::overflow_error("BigInt: magnitude exceeds the installed " +
+                                std::to_string(g_bit_limit) + "-bit limit");
+    }
+  }
 }
 
 int BigInt::compare_mag(const std::vector<std::uint32_t>& a,

@@ -18,6 +18,32 @@ namespace pfact::numeric {
 
 class BigInt {
  public:
+  // --- growth guard ---------------------------------------------------------
+  // Exact-arithmetic eliminations (Bareiss, Csanky-over-rationals, gadget
+  // verification) have bounded coefficient growth on well-formed inputs;
+  // corrupted inputs can blow entries up exponentially and turn a run into a
+  // memory bomb long before any wall-clock deadline fires. When a nonzero
+  // thread-local bit limit is installed, any arithmetic result whose
+  // magnitude exceeds the limit throws std::overflow_error at normalization
+  // time — the robustness layer classifies this as kNumericOverflow.
+  static std::size_t bit_limit();               // 0 = unlimited (default)
+  static void set_bit_limit(std::size_t bits);  // thread-local
+
+  // RAII scope for a temporary bit limit (exception-safe restore).
+  class BitLimitScope {
+   public:
+    explicit BitLimitScope(std::size_t bits) : prev_(bit_limit()) {
+      set_bit_limit(bits);
+    }
+    ~BitLimitScope() { set_bit_limit(prev_); }
+    BitLimitScope(const BitLimitScope&) = delete;
+    BitLimitScope& operator=(const BitLimitScope&) = delete;
+
+   private:
+    std::size_t prev_;
+  };
+
+ public:
   BigInt() = default;
   BigInt(long long v);  // NOLINT(google-explicit-constructor): int literals
                         // must convert implicitly for Matrix<BigInt> init.

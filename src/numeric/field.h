@@ -51,6 +51,17 @@ numeric::SoftFloat<P, Emin, Emax> field_sqrt(
   return sqrt(x);
 }
 
+// --- field_finite (NaN/inf detection; exact fields are always finite) ------
+inline bool field_finite(double x) { return std::isfinite(x); }
+inline bool field_finite(float x) { return std::isfinite(x); }
+inline bool field_finite(long double x) { return std::isfinite(x); }
+inline bool field_finite(const numeric::BigInt&) { return true; }
+inline bool field_finite(const numeric::Rational&) { return true; }
+template <int P, int Emin, int Emax>
+bool field_finite(const numeric::SoftFloat<P, Emin, Emax>&) {
+  return true;  // SoftFloat has no NaN/inf states: it throws at creation
+}
+
 // --- to_double (for reporting / decoding boolean encodings) ----------------
 inline double to_double(double x) { return x; }
 inline double to_double(float x) { return x; }
@@ -64,6 +75,10 @@ double to_double(const numeric::SoftFloat<P, Emin, Emax>& x) {
 
 // --- scalar_to_string -------------------------------------------------------
 inline std::string scalar_to_string(double x) { return std::to_string(x); }
+inline std::string scalar_to_string(float x) { return std::to_string(x); }
+inline std::string scalar_to_string(long double x) {
+  return std::to_string(x);
+}
 inline std::string scalar_to_string(const numeric::BigInt& x) {
   return x.to_string();
 }

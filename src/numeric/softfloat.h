@@ -27,6 +27,39 @@
 
 namespace pfact::numeric {
 
+// Rounding mode applied by every SoftFloat operation on the current thread.
+// kNearestEven is the model the paper's Section 4 analysis assumes; the
+// other modes exist so the robustness layer can *inject* a rounding-mode
+// slip (a classic silent-corruption scenario in real FP stacks) and verify
+// it is detected downstream. Thread-local so concurrent guarded runs do not
+// perturb each other.
+enum class SoftFloatRounding {
+  kNearestEven,   // IEEE round-to-nearest, ties to even (default)
+  kTowardZero,    // truncate all dropped bits
+  kAwayFromZero,  // round up whenever any dropped bit is set
+};
+
+inline SoftFloatRounding& softfloat_rounding() {
+  thread_local SoftFloatRounding mode = SoftFloatRounding::kNearestEven;
+  return mode;
+}
+
+// RAII scope for a rounding-mode override; restores the prior mode even if
+// the guarded run exits by exception.
+class ScopedSoftFloatRounding {
+ public:
+  explicit ScopedSoftFloatRounding(SoftFloatRounding mode)
+      : prev_(softfloat_rounding()) {
+    softfloat_rounding() = mode;
+  }
+  ~ScopedSoftFloatRounding() { softfloat_rounding() = prev_; }
+  ScopedSoftFloatRounding(const ScopedSoftFloatRounding&) = delete;
+  ScopedSoftFloatRounding& operator=(const ScopedSoftFloatRounding&) = delete;
+
+ private:
+  SoftFloatRounding prev_;
+};
+
 template <int P, int Emin = -1022, int Emax = 1023>
 class SoftFloat {
   static_assert(P >= 2 && P <= 56, "significand width out of range");
@@ -169,7 +202,19 @@ class SoftFloat {
       bool round = (dropped & round_bit) != 0;
       bool low_sticky = sticky || (dropped & (round_bit - 1)) != 0;
       exp_lsb += drop;
-      if (round && (low_sticky || (m & 1u))) {
+      bool increment = false;
+      switch (softfloat_rounding()) {
+        case SoftFloatRounding::kNearestEven:
+          increment = round && (low_sticky || (m & 1u));
+          break;
+        case SoftFloatRounding::kTowardZero:
+          increment = false;
+          break;
+        case SoftFloatRounding::kAwayFromZero:
+          increment = round || low_sticky;
+          break;
+      }
+      if (increment) {
         ++m;
         if (m == (1ull << P)) {  // carry out of the significand
           m >>= 1;

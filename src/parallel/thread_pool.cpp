@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace pfact::par {
 
@@ -21,6 +22,9 @@ ThreadPool::~ThreadPool() {
   }
   cv_.notify_all();
   for (auto& w : workers_) w.join();
+  // Post-join the queue is empty: workers drain it before exiting, so no
+  // packaged_task is ever destroyed unrun (which would surface to waiters
+  // as an unexplained broken_promise instead of the task's real outcome).
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
@@ -28,6 +32,11 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::future<void> fut = pt.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      throw std::runtime_error(
+          "ThreadPool::submit: pool is shutting down; the task would never "
+          "run and its future would never resolve");
+    }
     queue_.push(std::move(pt));
   }
   cv_.notify_one();
@@ -51,7 +60,7 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    task();  // exceptions are captured into the task's future
   }
 }
 
@@ -60,21 +69,50 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& fn,
-                  ThreadPool* pool) {
-  if (begin >= end) return;
+ParallelOutcome parallel_for_report(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t)>& fn, ThreadPool* pool,
+    const CancellationToken* token) {
+  ParallelOutcome out;
+  if (begin >= end) return out;
+
+  // `failed` implements fail-fast: once any chunk throws, the others skip
+  // their remaining iterations at the next boundary. The already-thrown
+  // exceptions are still all collected.
+  std::atomic<bool> failed{false};
+  auto should_stop = [&] {
+    return failed.load(std::memory_order_relaxed) ||
+           (token != nullptr && token->cancelled());
+  };
+
+  auto run_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (should_stop()) return;
+      fn(i);
+    }
+  };
+
   if (g_in_pool_worker) {
     // Nested parallelism: run inline to avoid deadlocking the pool.
-    for (std::size_t i = begin; i < end; ++i) fn(i);
-    return;
+    try {
+      run_range(begin, end);
+    } catch (...) {
+      out.errors.push_back(std::current_exception());
+    }
+    out.cancelled = token != nullptr && token->cancelled();
+    return out;
   }
   if (pool == nullptr) pool = &ThreadPool::global();
   std::size_t n = end - begin;
   std::size_t chunks = std::min(n, pool->size() * 4);
   if (chunks <= 1) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
-    return;
+    try {
+      run_range(begin, end);
+    } catch (...) {
+      out.errors.push_back(std::current_exception());
+    }
+    out.cancelled = token != nullptr && token->cancelled();
+    return out;
   }
   std::vector<std::future<void>> futs;
   futs.reserve(chunks);
@@ -83,11 +121,36 @@ void parallel_for(std::size_t begin, std::size_t end,
     std::size_t lo = begin + c * per;
     std::size_t hi = std::min(end, lo + per);
     if (lo >= hi) break;
-    futs.push_back(pool->submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    futs.push_back(pool->submit([lo, hi, &run_range, &failed] {
+      try {
+        run_range(lo, hi);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        throw;  // recaptured by the packaged_task's future
+      }
     }));
   }
-  for (auto& f : futs) f.get();  // get() rethrows task exceptions
+  // Wait for EVERY chunk before returning: the loop body (and anything it
+  // captures by reference) must not be destroyed while a chunk still runs.
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      out.errors.push_back(std::current_exception());
+    }
+  }
+  out.cancelled = token != nullptr && token->cancelled();
+  return out;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  ThreadPool* pool, const CancellationToken* token) {
+  ParallelOutcome out = parallel_for_report(begin, end, fn, pool, token);
+  if (std::exception_ptr first = out.first_error()) {
+    std::rethrow_exception(first);  // first one wins; none were dropped
+  }
+  if (out.cancelled) throw OperationCancelled();
 }
 
 }  // namespace pfact::par

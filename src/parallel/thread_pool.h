@@ -6,17 +6,51 @@
 // claims, however, are demonstrated through the work/depth instrumentation
 // in analysis/depth_model.h, since asymptotic depth — not wall-clock on a
 // particular host — is what Table 1's "NC" entries assert.
+//
+// Robustness contract (see DESIGN.md "Fault injection & guarded execution"):
+//   * A worker exception never disappears: parallel_for waits for every
+//     chunk before rethrowing, and parallel_for_report hands back ALL
+//     captured exceptions so callers can aggregate them into a RunReport.
+//   * A failing chunk cancels the remaining iterations cooperatively — the
+//     other chunks stop at their next iteration boundary instead of burning
+//     through a poisoned input.
+//   * submit() on a pool that is shutting down throws instead of accepting
+//     a task whose future would never resolve (a silent deadlock).
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace pfact::par {
+
+// Cooperative cancellation flag shared between a controller (e.g. a guarded
+// run enforcing a deadline) and the loop bodies it schedules.
+class CancellationToken {
+ public:
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// Thrown by parallel_for when the caller's CancellationToken fires before
+// the range completes.
+class OperationCancelled : public std::runtime_error {
+ public:
+  OperationCancelled() : std::runtime_error("parallel_for: cancelled") {}
+};
 
 class ThreadPool {
  public:
@@ -29,6 +63,8 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
   // Enqueues a task; the returned future resolves when it has run.
+  // Throws std::runtime_error if the pool is shutting down (a task accepted
+  // then would never run and its future would never resolve).
   std::future<void> submit(std::function<void()> task);
 
   // Shared process-wide pool, sized to the hardware.
@@ -44,11 +80,37 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+// Everything parallel_for_report knows about a completed (or aborted)
+// sweep. `errors` preserves one exception per failing chunk, in chunk
+// order, so no failure is ever silently dropped.
+struct ParallelOutcome {
+  std::vector<std::exception_ptr> errors;
+  bool cancelled = false;  // the caller's token fired mid-sweep
+
+  bool ok() const { return errors.empty() && !cancelled; }
+  // First captured exception (chunk order), or nullptr.
+  std::exception_ptr first_error() const {
+    return errors.empty() ? nullptr : errors.front();
+  }
+};
+
 // Runs fn(i) for i in [begin, end), split into contiguous chunks across the
-// pool. Blocks until all iterations complete. Exceptions from iterations are
-// rethrown (first one wins).
+// pool. Blocks until every chunk has finished (never abandons a running
+// chunk). Never throws from worker failures: all captured exceptions are
+// returned. After the first chunk failure — or once `token` (optional)
+// fires — the remaining iterations are skipped cooperatively.
+ParallelOutcome parallel_for_report(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t)>& fn, ThreadPool* pool = nullptr,
+    const CancellationToken* token = nullptr);
+
+// Convenience wrapper: as above, but rethrows the first captured exception
+// (only after ALL chunks have completed — the loop body and its captures
+// are guaranteed dead before the exception propagates), or throws
+// OperationCancelled if the token fired.
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn,
-                  ThreadPool* pool = nullptr);
+                  ThreadPool* pool = nullptr,
+                  const CancellationToken* token = nullptr);
 
 }  // namespace pfact::par

@@ -1,0 +1,104 @@
+#pragma once
+// Structured diagnostics for guarded reduction runs.
+//
+// The paper's reductions (Thm 3.1/3.4/4.1) only work if the factorization
+// produces bit-exact encoded booleans; any perturbation of A_C, a rounding
+// slip, or a pivot anomaly silently corrupts the decoded circuit value.
+// RunReport replaces the seed's bare `ok=false` with a classified verdict:
+// every failure mode the fault-injection suite can produce maps to a
+// distinct Diagnostic, together with the offending position and a pivot
+// trace excerpt, so a failed run is *explainable* — never just "not ok".
+//
+// Contract (see DESIGN.md): detection, not correction. A guarded run either
+// returns kOk with a value certified against the direct circuit evaluation,
+// or a non-kOk diagnostic. It never returns a plausible-but-wrong value.
+
+#include <cstddef>
+#include <string>
+
+namespace pfact::robustness {
+
+enum class Diagnostic {
+  kOk,                    // decode clean AND certified by cross-check
+  kBadInput,              // malformed instance (arity, encoding, size cap)
+  kDecodeNotBoolean,      // output entry is not an exact encoded 0/1
+  kDecodeAmbiguous,       // zero or multiple live rows at the decode column
+  kDecodeOutOfTolerance,  // float decode outside the accepted band of +/-1
+  kCrossCheckMismatch,    // decode clean but contradicts direct evaluation
+  kPivotAnomaly,          // unexpected skip/fail event in the pivot trace
+  kRoundingAnomaly,       // arithmetic substrate is not round-to-nearest-even
+  kNumericOverflow,       // SoftFloat saturation / BigInt growth-limit hit
+  kNumericNonFinite,      // NaN/inf or degenerate (zero-norm) rotation
+  kInvariantViolation,    // an engine invariant tripped (non-unit pivot, ...)
+  kStepBudgetExceeded,    // the run consumed more steps than its budget
+  kDeadlineExceeded,      // the run overran its wall-clock deadline
+  kCancelled,             // cooperative cancellation fired mid-run
+  kWorkerFailure,         // a pool worker failed with an unclassified error
+  kInternalError,         // anything else — a bug in this library
+};
+
+inline const char* diagnostic_name(Diagnostic d) {
+  switch (d) {
+    case Diagnostic::kOk: return "ok";
+    case Diagnostic::kBadInput: return "bad-input";
+    case Diagnostic::kDecodeNotBoolean: return "decode-not-boolean";
+    case Diagnostic::kDecodeAmbiguous: return "decode-ambiguous";
+    case Diagnostic::kDecodeOutOfTolerance: return "decode-out-of-tolerance";
+    case Diagnostic::kCrossCheckMismatch: return "cross-check-mismatch";
+    case Diagnostic::kPivotAnomaly: return "pivot-anomaly";
+    case Diagnostic::kRoundingAnomaly: return "rounding-anomaly";
+    case Diagnostic::kNumericOverflow: return "numeric-overflow";
+    case Diagnostic::kNumericNonFinite: return "numeric-non-finite";
+    case Diagnostic::kInvariantViolation: return "invariant-violation";
+    case Diagnostic::kStepBudgetExceeded: return "step-budget-exceeded";
+    case Diagnostic::kDeadlineExceeded: return "deadline-exceeded";
+    case Diagnostic::kCancelled: return "cancelled";
+    case Diagnostic::kWorkerFailure: return "worker-failure";
+    case Diagnostic::kInternalError: return "internal-error";
+  }
+  return "?";
+}
+
+inline constexpr std::size_t kNoPosition = static_cast<std::size_t>(-1);
+
+struct RunReport {
+  Diagnostic diagnostic = Diagnostic::kInternalError;
+
+  // Valid only when diagnostic == kOk.
+  bool value = false;
+
+  std::string algorithm;         // "GEM" / "GEMS" / "GEP" / "GQR"
+  std::size_t order = 0;         // order of the matrix actually run
+  double decoded_entry = 0.0;    // raw entry/encoding read at decode time
+  std::size_t steps_used = 0;    // guard ticks consumed
+
+  // Where the failure was observed (matrix position or step index);
+  // kNoPosition when not applicable.
+  std::size_t offending_row = kNoPosition;
+  std::size_t offending_col = kNoPosition;
+
+  std::string detail;         // human-readable cause
+  std::string pivot_excerpt;  // tail of the pivot trace, when one exists
+  std::string injection;      // what the fault injector did (replay aid)
+
+  bool ok() const { return diagnostic == Diagnostic::kOk; }
+
+  std::string to_string() const {
+    std::string s = "[" + algorithm + "] " + diagnostic_name(diagnostic);
+    if (ok()) s += value ? " value=true" : " value=false";
+    s += " order=" + std::to_string(order);
+    s += " steps=" + std::to_string(steps_used);
+    if (offending_row != kNoPosition || offending_col != kNoPosition) {
+      auto fmt = [](std::size_t v) {
+        return v == kNoPosition ? std::string("-") : std::to_string(v);
+      };
+      s += " at=(" + fmt(offending_row) + "," + fmt(offending_col) + ")";
+    }
+    if (!detail.empty()) s += " — " + detail;
+    if (!injection.empty()) s += " [injected: " + injection + "]";
+    if (!pivot_excerpt.empty()) s += "\n  trace: " + pivot_excerpt;
+    return s;
+  }
+};
+
+}  // namespace pfact::robustness

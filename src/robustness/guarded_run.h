@@ -1,0 +1,370 @@
+#pragma once
+// Guarded execution of the paper's reduction runs.
+//
+// Each guarded_* driver wraps one end-to-end reduction (GEM/GEMS via
+// core/simulator.h's construction, GEP and GQR via their gadget chains) in:
+//
+//   * input validation (arity, encoding domain, order cap) — kBadInput;
+//   * an execution budget (factor::StepGuard: steps + wall-clock deadline);
+//   * a substrate probe: the SoftFloat rounding mode is verified to be
+//     round-to-nearest-even BEFORE any arithmetic is trusted (the same idea
+//     as LAPACK's environment probes) — kRoundingAnomaly;
+//   * engine invariants (exact +/-1 pivots in reduction mode, finite
+//     multipliers, non-degenerate rotations) — kInvariantViolation /
+//     kNumericNonFinite / kNumericOverflow;
+//   * a strict decode (exact 0/1, unambiguous live row, tolerance band);
+//   * a cross-check certificate: the decoded boolean is compared against
+//     the direct circuit evaluation, which costs O(gates) — negligible next
+//     to the O(n^3) factorization — and guarantees by construction that no
+//     corrupted run can return a plausible-but-wrong value.
+//
+// Every failure is caught, classified, and returned as a RunReport; guarded
+// drivers do not throw.
+
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <exception>
+#include <optional>
+#include <string>
+#include <type_traits>
+
+#include "circuit/circuit.h"
+#include "core/assembler.h"
+#include "core/bordering.h"
+#include "core/gqr_gadgets.h"
+#include "factor/gaussian.h"
+#include "factor/givens.h"
+#include "factor/guard.h"
+#include "factor/pivot_trace.h"
+#include "matrix/matrix.h"
+#include "numeric/field.h"
+#include "numeric/softfloat.h"
+#include "robustness/diagnostics.h"
+#include "robustness/fault_injector.h"
+
+namespace pfact::robustness {
+
+struct GuardLimits {
+  // Maximum guard ticks (elimination steps / rotation positions); 0 means
+  // "no explicit budget" — the engines are bounded by the matrix order.
+  std::size_t max_steps = 0;
+  // Wall-clock deadline for the factorization; zero disables it.
+  std::chrono::milliseconds timeout{0};
+  // Instances whose reduction matrix exceeds this order are refused
+  // (kBadInput) instead of launching an unbounded amount of work.
+  std::size_t max_order = std::size_t{1} << 16;
+  // Accepted decode band around the encoded values for the float chains
+  // (GEP: {1,2}, GQR: {-1,+1}).
+  double decode_tolerance = 1e-6;
+};
+
+namespace detail {
+
+template <class T>
+struct is_softfloat : std::false_type {};
+template <int P, int Emin, int Emax>
+struct is_softfloat<numeric::SoftFloat<P, Emin, Emax>> : std::true_type {};
+
+// Classifies the in-flight exception into `rep` (diagnostic + detail +
+// offending position). Defined in guarded_run.cpp.
+void apply_exception(RunReport& rep, std::exception_ptr ep);
+
+// Formats the last few pivot events. Defined in guarded_run.cpp.
+std::string trace_excerpt(const factor::PivotTrace& trace,
+                          std::size_t max_events = 6);
+
+// Builds a StepGuard from the limits. A negative timeout installs an
+// already-expired deadline (useful for deterministic deadline tests).
+inline factor::StepGuard make_guard(const GuardLimits& limits) {
+  factor::StepGuard g;
+  g.max_steps = limits.max_steps;
+  if (limits.timeout.count() != 0) g.set_timeout(limits.timeout);
+  return g;
+}
+
+// Probes that the arithmetic substrate rounds to nearest-even — for
+// SoftFloat fields this detects an injected (or real) rounding-mode flip
+// deterministically, before any result is trusted. Native IEEE fields are
+// taken at their word: the process never touches the FPU control word.
+template <class T>
+bool rounding_environment_ok() {
+  if constexpr (is_softfloat<T>::value) {
+    const int p = T::precision();
+    const T one(1.0);
+    // 1 + 0.5 ulp: a tie — nearest-even keeps 1 (even significand);
+    // away-from-zero rounds up.
+    const T tie = one + T(std::ldexp(1.0, -p));
+    // 1 + 0.75 ulp: nearest-even rounds up; toward-zero truncates to 1.
+    const T above = one + T(std::ldexp(3.0, -(p + 1)));
+    return tie == one && !(above == one);
+  } else {
+    return true;
+  }
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Theorem 3.1 (GEM / GEMS): guarded form of core::simulate_gem.
+// ---------------------------------------------------------------------------
+template <class T>
+RunReport guarded_simulate_gem(const circuit::CvpInstance& inst,
+                               factor::PivotStrategy strategy,
+                               const GuardLimits& limits = {},
+                               const FaultPlan& fault = {}) {
+  RunReport rep;
+  rep.algorithm = factor::pivot_strategy_name(strategy);
+  FaultInjector inj(fault);
+  std::optional<numeric::ScopedSoftFloatRounding> flipped;
+  if (fault.fault == FaultClass::kRoundingFlip) flipped.emplace(fault.rounding);
+
+  circuit::CvpInstance run = inj.corrupt_instance(inst);
+  rep.injection = inj.injection_log();
+  if (run.inputs.size() != run.circuit.num_inputs()) {
+    rep.diagnostic = Diagnostic::kBadInput;
+    rep.detail = "input arity " + std::to_string(run.inputs.size()) +
+                 " does not match circuit arity " +
+                 std::to_string(run.circuit.num_inputs());
+    return rep;
+  }
+  if (!detail::rounding_environment_ok<T>()) {
+    rep.diagnostic = Diagnostic::kRoundingAnomaly;
+    rep.detail = "substrate probe: rounding is not round-to-nearest-even";
+    return rep;
+  }
+  factor::StepGuard guard = detail::make_guard(limits);
+  try {
+    core::GemReduction red = core::build_gem_reduction(run);
+    if (red.matrix.rows() > limits.max_order) {
+      rep.diagnostic = Diagnostic::kBadInput;
+      rep.detail = "reduction order " + std::to_string(red.matrix.rows()) +
+                   " exceeds the cap " + std::to_string(limits.max_order);
+      return rep;
+    }
+    Matrix<T> a = red.matrix.template cast<T>();
+    if (inj.corrupt_matrix(a)) rep.injection = inj.injection_log();
+    rep.order = a.rows();
+    factor::EliminationChecks checks;
+    checks.guard = &guard;
+    checks.reduction_mode = true;
+    factor::PivotTrace trace =
+        factor::eliminate_steps(a, strategy, a.rows(), nullptr, checks);
+    rep.steps_used = guard.ticks_used();
+    rep.pivot_excerpt = detail::trace_excerpt(trace);
+    const T& out = a(red.output_pos, red.output_pos);
+    rep.decoded_entry = to_double(out);
+    bool decoded;
+    if (out == T(1)) {
+      decoded = true;
+    } else if (is_zero(out)) {
+      decoded = false;
+    } else {
+      rep.diagnostic = Diagnostic::kDecodeNotBoolean;
+      rep.offending_row = rep.offending_col = red.output_pos;
+      rep.detail = "output entry decodes to " + scalar_to_string(out) +
+                   ", not an exact encoded boolean";
+      return rep;
+    }
+    const bool reference = run.expected();  // O(gates) certificate
+    if (decoded != reference) {
+      rep.diagnostic = Diagnostic::kCrossCheckMismatch;
+      rep.offending_row = rep.offending_col = red.output_pos;
+      rep.detail = std::string("decode says ") +
+                   (decoded ? "true" : "false") +
+                   " but direct evaluation says " +
+                   (reference ? "true" : "false");
+      return rep;
+    }
+    rep.value = decoded;
+    rep.diagnostic = Diagnostic::kOk;
+  } catch (...) {
+    detail::apply_exception(rep, std::current_exception());
+    rep.steps_used = guard.ticks_used();
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Corollary 3.2 (GEM on nonsingular inputs): guarded form of
+// core::simulate_gem_nonsingular.
+// ---------------------------------------------------------------------------
+template <class T>
+RunReport guarded_simulate_gem_nonsingular(const circuit::CvpInstance& inst,
+                                           const GuardLimits& limits = {},
+                                           const FaultPlan& fault = {}) {
+  RunReport rep;
+  rep.algorithm = "GEM/nonsingular";
+  FaultInjector inj(fault);
+  std::optional<numeric::ScopedSoftFloatRounding> flipped;
+  if (fault.fault == FaultClass::kRoundingFlip) flipped.emplace(fault.rounding);
+
+  circuit::CvpInstance run = inj.corrupt_instance(inst);
+  rep.injection = inj.injection_log();
+  if (run.inputs.size() != run.circuit.num_inputs()) {
+    rep.diagnostic = Diagnostic::kBadInput;
+    rep.detail = "input arity mismatch";
+    return rep;
+  }
+  if (!detail::rounding_environment_ok<T>()) {
+    rep.diagnostic = Diagnostic::kRoundingAnomaly;
+    rep.detail = "substrate probe: rounding is not round-to-nearest-even";
+    return rep;
+  }
+  factor::StepGuard guard = detail::make_guard(limits);
+  try {
+    core::GemReduction red = core::build_gem_reduction(run);
+    if (2 * red.matrix.rows() > limits.max_order) {
+      rep.diagnostic = Diagnostic::kBadInput;
+      rep.detail = "bordered order exceeds the cap";
+      return rep;
+    }
+    Matrix<T> a = core::border_nonsingular(red.matrix.template cast<T>());
+    if (inj.corrupt_matrix(a)) rep.injection = inj.injection_log();
+    rep.order = a.rows();
+    Permutation perm(a.rows());
+    factor::EliminationChecks checks;
+    checks.guard = &guard;
+    checks.reduction_mode = true;
+    factor::PivotTrace trace = factor::eliminate_steps(
+        a, factor::PivotStrategy::kMinimalSwap, a.rows(), &perm, checks);
+    rep.steps_used = guard.ticks_used();
+    rep.pivot_excerpt = detail::trace_excerpt(trace);
+    const std::size_t nu = red.matrix.rows();
+    const T& out = a(red.output_pos, red.output_pos);
+    rep.decoded_entry = to_double(out);
+    // A nonsingular run must pivot every column: any skip is an anomaly.
+    const factor::PivotEvent* output_event = nullptr;
+    for (const auto& e : trace.events()) {
+      if (e.action == factor::PivotAction::kSkip ||
+          e.action == factor::PivotAction::kFail) {
+        rep.diagnostic = Diagnostic::kPivotAnomaly;
+        rep.offending_col = e.column;
+        rep.detail = "column " + std::to_string(e.column) +
+                     " had no pivot in a nonsingular run";
+        return rep;
+      }
+      if (e.column == red.output_pos) output_event = &e;
+    }
+    if (output_event == nullptr) {
+      rep.diagnostic = Diagnostic::kPivotAnomaly;
+      rep.offending_col = red.output_pos;
+      rep.detail = "no pivot event recorded for the output column";
+      return rep;
+    }
+    bool decoded;
+    if (output_event->pivot_row >= nu) {
+      decoded = false;  // borrowed pivot <=> the A_C column was zero
+    } else if (out == T(1)) {
+      decoded = true;
+    } else {
+      rep.diagnostic = Diagnostic::kDecodeNotBoolean;
+      rep.offending_row = rep.offending_col = red.output_pos;
+      rep.detail = "own-side pivot but output entry decodes to " +
+                   scalar_to_string(out) + ", not 1";
+      return rep;
+    }
+    const bool reference = run.expected();
+    if (decoded != reference) {
+      rep.diagnostic = Diagnostic::kCrossCheckMismatch;
+      rep.offending_row = rep.offending_col = red.output_pos;
+      rep.detail = std::string("decode says ") +
+                   (decoded ? "true" : "false") +
+                   " but direct evaluation says " +
+                   (reference ? "true" : "false");
+      return rep;
+    }
+    rep.value = decoded;
+    rep.diagnostic = Diagnostic::kOk;
+  } catch (...) {
+    detail::apply_exception(rep, std::current_exception());
+    rep.steps_used = guard.ticks_used();
+  }
+  return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 3.4 (GEP): guarded form of core::run_gep_chain — computes
+// NAND(u, w) through `depth` PASS blocks; u, w are encoded in {1, 2}.
+// Defined in guarded_run.cpp (double field, like the gadget constants).
+// ---------------------------------------------------------------------------
+RunReport guarded_run_gep_chain(int u, int w, std::size_t depth,
+                                const GuardLimits& limits = {},
+                                const FaultPlan& fault = {});
+
+// ---------------------------------------------------------------------------
+// Theorem 4.1 (GQR): guarded run of the GQR NAND-through-PASS chain over a
+// float-like field T; a, b are encoded in {-1, +1}.
+// ---------------------------------------------------------------------------
+template <class T>
+RunReport guarded_run_gqr_chain(int a, int b, std::size_t depth,
+                                const GuardLimits& limits = {},
+                                const FaultPlan& fault = {}) {
+  RunReport rep;
+  rep.algorithm = "GQR";
+  FaultInjector inj(fault);
+  std::optional<numeric::ScopedSoftFloatRounding> flipped;
+  if (fault.fault == FaultClass::kRoundingFlip) flipped.emplace(fault.rounding);
+
+  a = inj.corrupt_encoded_input(a);
+  rep.injection = inj.injection_log();
+  if ((a != 1 && a != -1) || (b != 1 && b != -1)) {
+    rep.diagnostic = Diagnostic::kBadInput;
+    rep.detail = "GQR inputs must be encoded in {-1,+1}, got a=" +
+                 std::to_string(a) + " b=" + std::to_string(b);
+    return rep;
+  }
+  if (!detail::rounding_environment_ok<T>()) {
+    rep.diagnostic = Diagnostic::kRoundingAnomaly;
+    rep.detail = "substrate probe: rounding is not round-to-nearest-even";
+    return rep;
+  }
+  factor::StepGuard guard = detail::make_guard(limits);
+  try {
+    core::GqrChain chain = core::build_gqr_nand_chain(a, b, depth);
+    if (chain.matrix.rows() > limits.max_order) {
+      rep.diagnostic = Diagnostic::kBadInput;
+      rep.detail = "chain order exceeds the cap";
+      return rep;
+    }
+    Matrix<T> m = chain.matrix.template cast<T>();
+    if (inj.corrupt_matrix(m)) rep.injection = inj.injection_log();
+    rep.order = m.rows();
+    factor::givens_steps(m, m.rows() * m.rows(), &guard);
+    rep.steps_used = guard.ticks_used();
+    const double v = to_double(m(chain.value_pos, chain.value_pos));
+    rep.decoded_entry = v;
+    bool decoded;
+    if (v > 1.0 - limits.decode_tolerance &&
+        v < 1.0 + limits.decode_tolerance) {
+      decoded = true;
+    } else if (v > -1.0 - limits.decode_tolerance &&
+               v < -1.0 + limits.decode_tolerance) {
+      decoded = false;
+    } else {
+      rep.diagnostic = Diagnostic::kDecodeOutOfTolerance;
+      rep.offending_row = rep.offending_col = chain.value_pos;
+      rep.detail = "decoded entry " + std::to_string(v) +
+                   " is outside the +/-1 tolerance band";
+      return rep;
+    }
+    const bool reference = !(a == 1 && b == 1);  // NAND on True=+1
+    if (decoded != reference) {
+      rep.diagnostic = Diagnostic::kCrossCheckMismatch;
+      rep.offending_row = rep.offending_col = chain.value_pos;
+      rep.detail = std::string("decode says ") +
+                   (decoded ? "true" : "false") +
+                   " but NAND(a,b) evaluates to " +
+                   (reference ? "true" : "false");
+      return rep;
+    }
+    rep.value = decoded;
+    rep.diagnostic = Diagnostic::kOk;
+  } catch (...) {
+    detail::apply_exception(rep, std::current_exception());
+    rep.steps_used = guard.ticks_used();
+  }
+  return rep;
+}
+
+}  // namespace pfact::robustness

@@ -57,5 +57,57 @@ TEST(ThreadPool, GlobalPoolExists) {
   EXPECT_GE(ThreadPool::global().size(), 1u);
 }
 
+TEST(ParallelFor, MultipleThrowingIterationsStillThrowExactlyOnce) {
+  // Several iterations throw concurrently; exactly one exception must
+  // surface from the call (the rest are collected, not leaked or dropped)
+  // and the call must not terminate() or deadlock.
+  ThreadPool pool(4);
+  std::atomic<int> threw{0};
+  try {
+    parallel_for(
+        0, 400,
+        [&](std::size_t i) {
+          if (i % 25 == 0) {
+            ++threw;
+            throw std::runtime_error("iteration " + std::to_string(i));
+          }
+        },
+        &pool);
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("iteration"), std::string::npos);
+  }
+  EXPECT_GE(threw.load(), 1);
+}
+
+TEST(ParallelFor, ReportVariantAggregatesInsteadOfThrowing) {
+  ThreadPool pool(2);
+  ParallelOutcome out = parallel_for_report(
+      0, 64,
+      [](std::size_t i) {
+        if (i == 1) throw std::runtime_error("only one");
+      },
+      &pool);
+  EXPECT_FALSE(out.ok());
+  EXPECT_FALSE(out.cancelled);
+  EXPECT_GE(out.errors.size(), 1u);
+}
+
+TEST(ParallelFor, ThrowDoesNotPoisonThePoolForLaterSweeps) {
+  // After an exceptional sweep the same pool must serve clean sweeps —
+  // no stuck workers, no lingering fail-fast state.
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(
+                   0, 32,
+                   [](std::size_t i) {
+                     if (i == 7) throw std::runtime_error("once");
+                   },
+                   &pool),
+               std::runtime_error);
+  std::atomic<int> ran{0};
+  parallel_for(0, 32, [&](std::size_t) { ++ran; }, &pool);
+  EXPECT_EQ(ran.load(), 32);
+}
+
 }  // namespace
 }  // namespace pfact::par

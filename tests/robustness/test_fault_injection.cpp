@@ -1,0 +1,205 @@
+// Fault-injection sweep: fault classes x algorithms (GEM, GEMS,
+// GEM/nonsingular, GEP, GQR).
+//
+// The contract under test is DETECTION, not correction: for every injected
+// fault the guarded run must either
+//   (a) return a non-kOk diagnostic (the fault was detected), or
+//   (b) return kOk with the CORRECT value (the fault was harmless by
+//       construction — e.g. it landed on an entry that is dead for this
+//       input case).
+// A kOk report with a wrong value — a silently-wrong decode — is the one
+// outcome that must never happen, and the sweep asserts it never does.
+// Separately, every (fault class, algorithm) cell of the sweep must detect
+// at least one injection, so each class is demonstrably *detectable* on
+// each algorithm, and instance-level faults (truncated input, rounding
+// flip) must be detected on every single run.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "circuit/builders.h"
+#include "numeric/softfloat.h"
+#include "robustness/guarded_run.h"
+
+namespace pfact::robustness {
+namespace {
+
+using numeric::Float53;
+
+constexpr std::uint64_t kSweepSeeds = 12;
+
+struct CellStats {
+  int runs = 0;
+  int detected = 0;
+  int harmless = 0;
+};
+
+// Runs one guarded execution of `algo` under `plan` and folds the outcome
+// into `stats`, failing the test on any silently-wrong decode.
+void check_report(const RunReport& rep, bool expected, CellStats& stats) {
+  ++stats.runs;
+  if (rep.ok()) {
+    // The one forbidden outcome: a clean report with a wrong value.
+    ASSERT_EQ(rep.value, expected)
+        << "SILENTLY WRONG DECODE: " << rep.to_string();
+    ++stats.harmless;
+  } else {
+    ++stats.detected;
+  }
+}
+
+circuit::CvpInstance sweep_instance() {
+  // XOR(1, 0) = true: small enough that the sweep stays fast, rich enough
+  // that every fault class has live targets.
+  return {circuit::xor_circuit(), {true, false}};
+}
+
+TEST(FaultSweep, MatrixFaultsAcrossAllAlgorithmsNeverSilentlyWrong) {
+  const std::vector<FaultClass> matrix_faults = {
+      FaultClass::kBitFlip, FaultClass::kEpsilonNudge, FaultClass::kPivotTie};
+  std::map<std::string, CellStats> cells;
+  const circuit::CvpInstance inst = sweep_instance();
+  const bool expected = inst.expected();
+
+  for (FaultClass fault : matrix_faults) {
+    for (std::uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+      FaultPlan plan{fault, seed};
+      const std::string key = fault_class_name(fault);
+      check_report(guarded_simulate_gem<Float53>(
+                       inst, factor::PivotStrategy::kMinimalSwap, {}, plan),
+                   expected, cells[key + "/GEM"]);
+      check_report(guarded_simulate_gem<Float53>(
+                       inst, factor::PivotStrategy::kMinimalShift, {}, plan),
+                   expected, cells[key + "/GEMS"]);
+      check_report(guarded_simulate_gem_nonsingular<Float53>(inst, {}, plan),
+                   expected, cells[key + "/GEM-nonsingular"]);
+      check_report(guarded_run_gep_chain(2, 1, 2, {}, plan),
+                   /*expected NAND(2,1)=*/true, cells[key + "/GEP"]);
+      check_report(guarded_run_gqr_chain<long double>(1, 1, 2, {}, plan),
+                   /*expected NAND(+1,+1)=*/false, cells[key + "/GQR"]);
+    }
+  }
+  // Every (fault class, algorithm) cell must have caught something: the
+  // class is detectable on that algorithm, not just survivable.
+  for (const auto& [key, stats] : cells) {
+    EXPECT_GT(stats.detected, 0)
+        << key << ": no injection detected in " << stats.runs << " runs";
+    EXPECT_EQ(stats.runs, static_cast<int>(kSweepSeeds)) << key;
+  }
+}
+
+TEST(FaultSweep, TruncatedInputIsRefusedOnEveryRun) {
+  const circuit::CvpInstance inst = sweep_instance();
+  for (std::uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    FaultPlan plan{FaultClass::kTruncatedInput, seed};
+    EXPECT_EQ(guarded_simulate_gem<Float53>(
+                  inst, factor::PivotStrategy::kMinimalSwap, {}, plan)
+                  .diagnostic,
+              Diagnostic::kBadInput);
+    EXPECT_EQ(guarded_simulate_gem<Float53>(
+                  inst, factor::PivotStrategy::kMinimalShift, {}, plan)
+                  .diagnostic,
+              Diagnostic::kBadInput);
+    EXPECT_EQ(guarded_simulate_gem_nonsingular<Float53>(inst, {}, plan)
+                  .diagnostic,
+              Diagnostic::kBadInput);
+    EXPECT_EQ(guarded_run_gep_chain(2, 2, 1, {}, plan).diagnostic,
+              Diagnostic::kBadInput);
+    EXPECT_EQ((guarded_run_gqr_chain<long double>(-1, 1, 1, {}, plan)
+                   .diagnostic),
+              Diagnostic::kBadInput);
+  }
+}
+
+TEST(FaultSweep, RoundingFlipIsDetectedOnEverySoftFloatRun) {
+  const circuit::CvpInstance inst = sweep_instance();
+  for (auto mode : {numeric::SoftFloatRounding::kTowardZero,
+                    numeric::SoftFloatRounding::kAwayFromZero}) {
+    FaultPlan plan{FaultClass::kRoundingFlip, 0,
+                   mode};
+    EXPECT_EQ(guarded_simulate_gem<Float53>(
+                  inst, factor::PivotStrategy::kMinimalSwap, {}, plan)
+                  .diagnostic,
+              Diagnostic::kRoundingAnomaly);
+    EXPECT_EQ(guarded_simulate_gem<numeric::Float24>(
+                  inst, factor::PivotStrategy::kMinimalShift, {}, plan)
+                  .diagnostic,
+              Diagnostic::kRoundingAnomaly);
+    EXPECT_EQ(guarded_simulate_gem_nonsingular<Float53>(inst, {}, plan)
+                  .diagnostic,
+              Diagnostic::kRoundingAnomaly);
+    EXPECT_EQ((guarded_run_gqr_chain<Float53>(1, -1, 1, {}, plan).diagnostic),
+              Diagnostic::kRoundingAnomaly);
+  }
+  // On a native-double substrate the flipped mode cannot bite (the process
+  // never touches the FPU control word): the run must stay correct.
+  FaultPlan plan{FaultClass::kRoundingFlip, 0};
+  RunReport rep = guarded_simulate_gem<double>(
+      inst, factor::PivotStrategy::kMinimalSwap, {}, plan);
+  ASSERT_TRUE(rep.ok()) << rep.to_string();
+  EXPECT_EQ(rep.value, inst.expected());
+}
+
+TEST(FaultSweep, EveryNonzeroEntryBitFlipIsDetectedOrHarmless) {
+  // Exhaustive, not sampled: flip EVERY nonzero entry of A_C in turn.
+  const circuit::CvpInstance inst = sweep_instance();
+  const bool expected = inst.expected();
+  core::GemReduction red = core::build_gem_reduction(inst);
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < red.matrix.rows(); ++i)
+    for (std::size_t j = 0; j < red.matrix.cols(); ++j)
+      if (red.matrix(i, j) != 0.0) ++nnz;
+  ASSERT_GT(nnz, 0u);
+  CellStats stats;
+  for (std::uint64_t seed = 0; seed < nnz; ++seed) {
+    FaultPlan plan{FaultClass::kBitFlip, seed};
+    check_report(guarded_simulate_gem<double>(
+                     inst, factor::PivotStrategy::kMinimalSwap, {}, plan),
+                 expected, stats);
+  }
+  EXPECT_EQ(stats.runs, static_cast<int>(nnz));
+  EXPECT_GT(stats.detected, 0);
+}
+
+TEST(FaultSweep, InjectionIsDeterministicallyReplayable) {
+  const circuit::CvpInstance inst = sweep_instance();
+  FaultPlan plan{FaultClass::kEpsilonNudge, 5};
+  RunReport a = guarded_simulate_gem<double>(
+      inst, factor::PivotStrategy::kMinimalShift, {}, plan);
+  RunReport b = guarded_simulate_gem<double>(
+      inst, factor::PivotStrategy::kMinimalShift, {}, plan);
+  EXPECT_EQ(a.diagnostic, b.diagnostic);
+  EXPECT_EQ(a.injection, b.injection);
+  EXPECT_EQ(a.detail, b.detail);
+  EXPECT_EQ(a.decoded_entry, b.decoded_entry);
+  EXPECT_FALSE(a.injection.empty());
+}
+
+TEST(FaultSweep, PivotTieOnGepPerturbsTheTrace) {
+  // GEP is the algorithm whose *trace* is the decoded object (Thm 3.4);
+  // a forced magnitude tie must never flip the decode silently.
+  CellStats stats;
+  for (std::uint64_t seed = 0; seed < 2 * kSweepSeeds; ++seed) {
+    FaultPlan plan{FaultClass::kPivotTie, seed};
+    RunReport rep = guarded_run_gep_chain(1, 2, 3, {}, plan);
+    check_report(rep, /*expected NAND(1,2)=*/true, stats);
+  }
+  EXPECT_GT(stats.detected, 0);
+}
+
+TEST(FaultSweep, ReportsCarryInjectionAndTraceContext) {
+  const circuit::CvpInstance inst = sweep_instance();
+  FaultPlan plan{FaultClass::kBitFlip, 1};
+  RunReport rep = guarded_simulate_gem<double>(
+      inst, factor::PivotStrategy::kMinimalSwap, {}, plan);
+  EXPECT_NE(rep.injection.find("bit-flip"), std::string::npos);
+  if (!rep.ok()) {
+    EXPECT_FALSE(rep.detail.empty()) << rep.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace pfact::robustness

@@ -1,0 +1,180 @@
+// Thread-pool hardening: worker exceptions are never dropped, parallel_for
+// never returns while a chunk still runs the caller's closure, cancellation
+// is cooperative and prompt, and the whole suite is TSan/ASan-clean (see
+// PFACT_SANITIZE in the top-level CMakeLists).
+#include "parallel/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace pfact::par {
+namespace {
+
+TEST(ParallelForReport, CollectsEveryConcurrentChunkError) {
+  // 4 workers, 4 single-iteration chunks, all rendezvous before throwing:
+  // fail-fast cannot suppress any of them, so ALL four exceptions must be
+  // collected — none silently dropped.
+  ThreadPool pool(4);
+  std::atomic<int> arrived{0};
+  ParallelOutcome out = parallel_for_report(
+      0, 4,
+      [&](std::size_t i) {
+        ++arrived;
+        while (arrived.load() < 4) std::this_thread::yield();
+        throw std::runtime_error("chunk " + std::to_string(i));
+      },
+      &pool);
+  EXPECT_EQ(out.errors.size(), 4u);
+  EXPECT_FALSE(out.ok());
+  ASSERT_NE(out.first_error(), nullptr);
+  EXPECT_THROW(std::rethrow_exception(out.first_error()), std::runtime_error);
+}
+
+TEST(ParallelFor, ThrowsFromMultipleIterationsFirstWinsNoneDropped) {
+  // The header claims "first one wins": with several throwing iterations
+  // the call must (a) throw, (b) not deadlock, (c) not drop the error even
+  // when the throwing iterations race.
+  ThreadPool pool(4);
+  std::atomic<int> threw{0};
+  EXPECT_THROW(parallel_for(
+                   0, 256,
+                   [&](std::size_t i) {
+                     if (i % 16 == 0) {
+                       ++threw;
+                       throw std::logic_error("x" + std::to_string(i));
+                     }
+                   },
+                   &pool),
+               std::logic_error);
+  EXPECT_GE(threw.load(), 1);
+}
+
+TEST(ParallelFor, DoesNotReturnWhileChunksStillRunTheClosure) {
+  // Regression: the seed rethrew the FIRST failed future immediately,
+  // abandoning still-running chunks that referenced the (about to be
+  // destroyed) loop closure — a use-after-free under contention. Now the
+  // call must wait for every chunk before propagating.
+  ThreadPool pool(4);
+  std::atomic<bool> returned{false};
+  std::atomic<int> inside{0};
+  EXPECT_THROW(parallel_for(
+                   0, 64,
+                   [&](std::size_t i) {
+                     if (i == 0) throw std::runtime_error("early");
+                     ++inside;
+                     std::this_thread::sleep_for(std::chrono::milliseconds(1));
+                     EXPECT_FALSE(returned.load())
+                         << "parallel_for returned with live chunks";
+                     --inside;
+                   },
+                   &pool),
+               std::runtime_error);
+  returned.store(true);
+  EXPECT_EQ(inside.load(), 0);
+}
+
+TEST(ParallelFor, FailFastSkipsRemainingIterations) {
+  // After a chunk throws, other chunks stop at their next iteration
+  // boundary: with many iterations per chunk, strictly fewer than all
+  // iterations should run.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  ParallelOutcome out = parallel_for_report(
+      0, 100000,
+      [&](std::size_t i) {
+        if (i == 0) throw std::runtime_error("poison");
+        ++ran;
+      },
+      &pool);
+  EXPECT_FALSE(out.ok());
+  EXPECT_LT(ran.load(), 100000 - 1);
+}
+
+TEST(ParallelFor, CancellationTokenStopsTheSweep) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  std::atomic<int> ran{0};
+  EXPECT_THROW(parallel_for(
+                   0, 100000,
+                   [&](std::size_t) {
+                     if (ran.fetch_add(1) == 10) token.cancel();
+                   },
+                   &pool, &token),
+               OperationCancelled);
+  EXPECT_LT(ran.load(), 100000);
+}
+
+TEST(ParallelFor, PreCancelledTokenRunsNothing) {
+  CancellationToken token;
+  token.cancel();
+  std::atomic<int> ran{0};
+  ParallelOutcome out = parallel_for_report(
+      0, 1000, [&](std::size_t) { ++ran; }, nullptr, &token);
+  EXPECT_TRUE(out.cancelled);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(ParallelFor, NestedCallRunsInlineAndPropagatesExceptions) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  ParallelOutcome out = parallel_for_report(
+      0, 8,
+      [&](std::size_t i) {
+        parallel_for(0, 8, [&](std::size_t) { ++inner_total; }, &pool);
+        if (i == 3) throw std::runtime_error("nested thrower");
+      },
+      &pool);
+  EXPECT_FALSE(out.ok());
+  EXPECT_GT(inner_total.load(), 0);
+}
+
+TEST(ParallelFor, CleanSweepReportsOk) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(513);
+  ParallelOutcome out = parallel_for_report(
+      0, hits.size(), [&](std::size_t i) { ++hits[i]; }, &pool);
+  EXPECT_TRUE(out.ok());
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, StressManyConcurrentSweeps) {
+  // Hammer one pool from several threads; TSan validates the locking.
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  std::vector<std::thread> drivers;
+  for (int t = 0; t < 4; ++t) {
+    drivers.emplace_back([&] {
+      for (int rep = 0; rep < 50; ++rep) {
+        parallel_for(0, 64, [&](std::size_t) { ++total; }, &pool);
+      }
+    });
+  }
+  for (auto& d : drivers) d.join();
+  EXPECT_EQ(total.load(), 4L * 50L * 64L);
+}
+
+TEST(ThreadPool, DestructionDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futs;
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      futs.push_back(pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ++ran;
+      }));
+    }
+    // Destructor runs here with most tasks still queued.
+  }
+  // Every accepted task ran (no broken promises, no silent drops).
+  for (auto& f : futs) EXPECT_NO_THROW(f.get());
+  EXPECT_EQ(ran.load(), 32);
+}
+
+}  // namespace
+}  // namespace pfact::par
