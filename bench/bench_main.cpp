@@ -1,0 +1,242 @@
+// Unified instrumented bench harness (obs::BenchSuite driver).
+//
+// Unlike the per-figure google-benchmark binaries, this binary's job is to
+// produce the stable BENCH_pr2.json artifact: one workload per experiment
+// family, each measured with warmup + repeats for wall time plus one
+// instrumented run for op counters and span-derived critical-path depth.
+//
+//   bench_main --json BENCH_pr2.json          # write the artifact
+//   bench_main --list                         # enumerate workloads
+//   bench_main --filter gqr --repeats 9       # explore interactively
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "analysis/depth_model.h"
+#include "circuit/builders.h"
+#include "core/gep_gadgets.h"
+#include "core/gqr_gadgets.h"
+#include "core/simulator.h"
+#include "factor/gaussian.h"
+#include "factor/givens.h"
+#include "factor/parallel_factor.h"
+#include "factor/triangular.h"
+#include "matrix/generators.h"
+#include "nc/gems_nc.h"
+#include "nc/lfmis.h"
+#include "numeric/rational.h"
+#include "numeric/softfloat.h"
+#include "obs/bench_emitter.h"
+#include "robustness/guarded_run.h"
+
+namespace {
+
+using namespace pfact;
+
+// Evaluates every input mask of `c` through the Theorem 3.1 reduction.
+void gem_all_masks(const circuit::Circuit& c, factor::PivotStrategy s) {
+  for (unsigned m = 0; m < (1u << c.num_inputs()); ++m) {
+    std::vector<bool> in(c.num_inputs());
+    for (std::size_t i = 0; i < in.size(); ++i) in[i] = (m >> i) & 1;
+    circuit::CvpInstance inst{c, in};
+    core::SimulationResult r = core::simulate_gem<double>(inst, s);
+    if (!r.ok || r.value != inst.expected()) std::abort();
+  }
+}
+
+void register_workloads(obs::BenchSuite& suite) {
+  // --- Table 1 / Theorem 3.1: GEM and GEMS reduction runs -----------------
+  suite.add("table1/gem-xor-suite", "table1", [] {
+    gem_all_masks(circuit::xor_circuit(), factor::PivotStrategy::kMinimalSwap);
+  });
+  suite.add("table1/gems-xor-suite", "table1", [] {
+    gem_all_masks(circuit::xor_circuit(),
+                  factor::PivotStrategy::kMinimalShift);
+  });
+  suite.add("table1/gem-nonsingular-xor", "table1", [] {
+    const circuit::Circuit c = circuit::xor_circuit();
+    for (unsigned m = 0; m < 4; ++m) {
+      circuit::CvpInstance inst{c, {(m & 1) != 0, (m & 2) != 0}};
+      core::SimulationResult r = core::simulate_gem_nonsingular<double>(inst);
+      if (!r.ok || r.value != inst.expected()) std::abort();
+    }
+  });
+
+  // --- Figure 1: circuit -> A_C assembly ----------------------------------
+  suite.add("fig1/assembly-parity6", "fig1", [] {
+    const circuit::Circuit c = circuit::parity_circuit(6);
+    circuit::CvpInstance inst{c, std::vector<bool>(6, true)};
+    core::GemReduction red = core::build_gem_reduction(inst);
+    if (red.matrix.rows() == 0) std::abort();
+  });
+
+  // --- Figures 2/3: GEM pivot chain on a deeper circuit -------------------
+  suite.add("fig23/gem-parity5", "fig23", [] {
+    gem_all_masks(circuit::parity_circuit(5),
+                  factor::PivotStrategy::kMinimalSwap);
+  });
+
+  // --- Theorem 3.3: GEMS-NC factorization over exact rationals ------------
+  suite.add("thm33/gems-nc-factor-n12", "thm33", [] {
+    Matrix<numeric::Rational> a = gen::random_nonsingular_exact(12, 4, 20260807);
+    nc::GemsNcResult r = nc::gems_nc_factor(a);
+    if (!r.ok) std::abort();
+  });
+  suite.add("thm33/lfmis-prefix-ranks-n12", "thm33", [] {
+    Matrix<numeric::Rational> a = gen::random_nonsingular_exact(12, 4, 20260807);
+    std::vector<std::size_t> ranks = nc::prefix_row_ranks(a);
+    if (ranks.back() != a.rows()) std::abort();
+  });
+
+  // --- Figures 4/5 / Theorem 3.4: GEP gadget chains -----------------------
+  suite.add("fig45/gep-nand-chain-d8", "fig45", [] {
+    for (int u : {2, 1}) {
+      for (int w : {2, 1}) {
+        core::GepChain chain = core::build_gep_nand_chain(u, w, 8);
+        double out = core::run_gep_chain(chain);
+        double expect = (u == 2 && w == 2) ? 1.0 : 2.0;
+        if (std::abs(out - expect) > 1e-6) std::abort();
+      }
+    }
+  });
+
+  // --- Figures 6/7/8 / Theorem 4.1: GQR gadget chains ---------------------
+  suite.add("fig678/gqr-nand-chain-d6", "fig678", [] {
+    for (int a : {1, -1}) {
+      for (int b : {1, -1}) {
+        core::GqrChain chain = core::build_gqr_nand_chain(a, b, 6);
+        Matrix<double> m = chain.matrix.cast<double>();
+        factor::givens_steps(m, m.rows() * m.rows());
+        double expect = (a == 1 && b == 1) ? -1.0 : 1.0;
+        if (std::abs(m(chain.value_pos, chain.value_pos) - expect) > 1e-6)
+          std::abort();
+      }
+    }
+  });
+  suite.add("thm41/gqr-softfloat53-d4", "thm41", [] {
+    core::GqrChain chain = core::build_gqr_nand_chain(1, 1, 4);
+    Matrix<numeric::Float53> m = chain.matrix.cast<numeric::Float53>();
+    factor::givens_steps(m, m.rows() * m.rows());
+    if (std::abs(to_double(m(chain.value_pos, chain.value_pos)) + 1.0) > 1e-6)
+      std::abort();
+  });
+
+  // --- Factorization engines on dense random inputs -----------------------
+  suite.add("factor/gep-partial-n48", "tradeoff", [] {
+    Matrix<double> a = gen::random_general(48, 7);
+    factor::LuResult<double> f =
+        factor::ge_factor(a, factor::PivotStrategy::kPartial);
+    if (!f.ok) std::abort();
+  });
+  suite.add("factor/gqr-sameh-kuck-n32", "parallel-depth", [] {
+    Matrix<double> a = gen::random_general(32, 11);
+    factor::QrResult<double> f = factor::givens_qr_sameh_kuck(std::move(a));
+    if (f.rotations == 0) std::abort();
+  });
+  suite.add("factor/refined-solve-wilkinson-n32", "tradeoff", [] {
+    Matrix<double> a = gen::wilkinson_growth(32);
+    std::vector<double> b(32, 1.0);
+    std::vector<double> x =
+        factor::solve_plu_refined(a, b, factor::PivotStrategy::kMinimalSwap);
+    if (x.size() != 32) std::abort();
+  });
+
+  // --- Thread-pool execution (span depth vs structural depth) -------------
+  suite.add("parallel/ge-rows-n48", "parallel-depth", [] {
+    Matrix<double> a = gen::random_general(48, 7);
+    factor::LuResult<double> f = factor::ge_factor_parallel_rows(
+        std::move(a), factor::PivotStrategy::kPartial);
+    if (!f.ok) std::abort();
+  });
+  suite.add("parallel/gqr-stages-n32", "parallel-depth", [] {
+    Matrix<double> a = gen::random_general(32, 11);
+    factor::QrResult<double> f =
+        factor::givens_qr_sameh_kuck_parallel(std::move(a));
+    if (f.rotations == 0) std::abort();
+  });
+
+  // --- Robustness: guarded run incl. certificate + metrics ----------------
+  suite.add("robustness/guarded-gem-xor", "robustness", [] {
+    const circuit::Circuit c = circuit::xor_circuit();
+    circuit::CvpInstance inst{c, {true, false}};
+    robustness::RunReport rep = robustness::guarded_simulate_gem<double>(
+        inst, factor::PivotStrategy::kMinimalSwap);
+    if (!rep.ok()) std::abort();
+  });
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json FILE] [--filter SUBSTR] [--warmup N] "
+               "[--repeats N] [--list]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::string filter;
+  std::size_t warmup = 2;
+  std::size_t repeats = 5;
+  bool list = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::exit(usage(argv[0]));
+      }
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--filter") {
+      filter = next();
+    } else if (arg == "--warmup") {
+      warmup = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--repeats") {
+      repeats = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--list") {
+      list = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (repeats == 0) repeats = 1;
+
+  obs::BenchSuite suite;
+  register_workloads(suite);
+
+  if (list) {
+    for (const obs::BenchSpec& s : suite.specs()) {
+      std::printf("%-36s [%s]\n", s.name.c_str(), s.experiment.c_str());
+    }
+    return 0;
+  }
+
+  std::vector<obs::BenchMeasurement> results =
+      suite.run(warmup, repeats, filter, &std::cerr);
+  if (results.empty()) {
+    std::fprintf(stderr, "no workload matches filter '%s'\n", filter.c_str());
+    return 1;
+  }
+
+  const std::string json = obs::BenchSuite::to_json(results, warmup, repeats);
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    out << json << '\n';
+    std::fprintf(stderr, "wrote %s (%zu workloads)\n", json_path.c_str(),
+                 results.size());
+  } else {
+    std::cout << json << '\n';
+  }
+  return 0;
+}

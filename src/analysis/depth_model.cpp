@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace pfact::analysis {
 
 namespace {
@@ -51,6 +53,26 @@ WorkDepth gems_nc(std::size_t n) {
   std::size_t l = log2ceil(n);
   wd.depth = l * l;
   return wd;
+}
+
+WorkDepth elimination_from_counters(const obs::CounterDelta& d) {
+  WorkDepth wd;
+  wd.work = d[obs::Counter::kRowUpdateElems];
+  wd.depth = d[obs::Counter::kElimSteps];
+  return wd;
+}
+
+WorkDepth givens_from_counters(const obs::CounterDelta& d) {
+  WorkDepth wd;
+  const std::uint64_t rotations = d[obs::Counter::kGivensRotations];
+  const std::uint64_t stages = d[obs::Counter::kGivensStages];
+  wd.work = static_cast<std::size_t>(6 * rotations);
+  wd.depth = static_cast<std::size_t>(stages != 0 ? stages : rotations);
+  return wd;
+}
+
+std::size_t measured_critical_path() {
+  return obs::critical_path_depth(obs::dump_spans());
 }
 
 }  // namespace pfact::analysis

@@ -10,6 +10,8 @@
 
 #include <cstddef>
 
+#include "obs/counters.h"
+
 namespace pfact::analysis {
 
 struct WorkDepth {
@@ -37,6 +39,26 @@ WorkDepth csanky_nc(std::size_t n);
 // Eberly-style NC PLU / GEMS-NC (Theorem 3.3): O(n^2) independent rank
 // computations, each NC^2; depth O(log^2 n), work O(n^2 * M(n)).
 WorkDepth gems_nc(std::size_t n);
+
+// --- Measured counterparts (observability-derived) -------------------------
+// The structural formulas above PREDICT; these read what a run actually DID
+// from its op-counter delta, so the tests can compare claim against
+// measurement. All-zero deltas (PFACT_OBS=OFF builds) yield {0, 0}.
+
+// Elimination engines: work = scalar multiply-subtract operations performed
+// (kRowUpdateElems), depth = pivot-decision chain length (kElimSteps —
+// the chain Theorems 3.1-3.4 prove incompressible).
+WorkDepth elimination_from_counters(const obs::CounterDelta& d);
+
+// Givens engines: work ~ 6 flops per rotated pair entry, approximated by the
+// rotation count; depth = parallel stage count when the run was staged
+// (Sameh-Kuck), otherwise the sequential rotation count (natural order).
+WorkDepth givens_from_counters(const obs::CounterDelta& d);
+
+// Longest chain of non-overlapping spans currently in the trace buffers —
+// the measured critical path of the last traced region, in spans. Requires
+// tracing to have been enabled (obs::ScopedTracing); 0 otherwise.
+std::size_t measured_critical_path();
 
 inline double log2_size(std::size_t n) {
   double l = 0;

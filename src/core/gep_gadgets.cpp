@@ -183,21 +183,7 @@ GepChain build_gep_nand_chain(int u, int w, std::size_t depth) {
 }
 
 double run_gep_chain(const GepChain& chain, factor::PivotTrace* trace_out) {
-  Matrix<double> m = chain.matrix;
-  Permutation perm(m.rows());
-  factor::PivotTrace trace =
-      factor::eliminate_steps(m, factor::PivotStrategy::kPartial,
-                              chain.value_col, &perm);
-  if (trace_out != nullptr) *trace_out = trace;
-  int found = -1;
-  for (std::size_t i = chain.value_col; i < m.rows(); ++i) {
-    if (std::fabs(m(i, chain.value_col)) > 0.2) {
-      if (found >= 0) return 0.0;
-      found = static_cast<int>(i);
-    }
-  }
-  if (found < 0) return 0.0;
-  return m(found, chain.value_col);
+  return run_gep_chain_t<double>(chain, trace_out);
 }
 
 }  // namespace pfact::core

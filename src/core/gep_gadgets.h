@@ -32,10 +32,14 @@
 // The block constants were derived with Gauss-Newton on the block contracts
 // (tools/gep_lab.cpp) and verified across all input cases.
 
+#include <cmath>
 #include <cstddef>
+#include <type_traits>
 
+#include "factor/gaussian.h"
 #include "factor/pivot_trace.h"
 #include "matrix/matrix.h"
+#include "numeric/rational.h"
 
 namespace pfact::core {
 
@@ -69,5 +73,38 @@ GepChain build_gep_pass_chain(int v, std::size_t depth);
 // language L is a predicate on this trace).
 double run_gep_chain(const GepChain& chain,
                      factor::PivotTrace* trace_out = nullptr);
+
+// Field-generic form of run_gep_chain, for the differential suite: lifts the
+// chain into T (exactly — the gadget constants are dyadic, and Rational gets
+// the lossless from_double lift), runs GEP there, and decodes the same way.
+// The encodings {1, 2} are exact in every field, so all substrates must
+// agree bit-for-bit on the decoded value.
+template <class T>
+double run_gep_chain_t(const GepChain& chain,
+                       factor::PivotTrace* trace_out = nullptr) {
+  Matrix<T> m(chain.matrix.rows(), chain.matrix.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if constexpr (std::is_same_v<T, numeric::Rational>) {
+        m(i, j) = numeric::Rational::from_double(chain.matrix(i, j));
+      } else {
+        m(i, j) = T(chain.matrix(i, j));
+      }
+    }
+  }
+  Permutation perm(m.rows());
+  factor::PivotTrace trace = factor::eliminate_steps(
+      m, factor::PivotStrategy::kPartial, chain.value_col, &perm);
+  if (trace_out != nullptr) *trace_out = trace;
+  int found = -1;
+  for (std::size_t i = chain.value_col; i < m.rows(); ++i) {
+    if (std::fabs(to_double(m(i, chain.value_col))) > 0.2) {
+      if (found >= 0) return 0.0;
+      found = static_cast<int>(i);
+    }
+  }
+  if (found < 0) return 0.0;
+  return to_double(m(static_cast<std::size_t>(found), chain.value_col));
+}
 
 }  // namespace pfact::core

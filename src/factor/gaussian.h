@@ -27,6 +27,8 @@
 #include "factor/pivot_trace.h"
 #include "matrix/matrix.h"
 #include "numeric/field.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 
 namespace pfact::factor {
 
@@ -69,8 +71,10 @@ std::size_t select_pivot(const Matrix<T>& a, std::size_t k,
   const std::size_t n = a.rows();
   switch (strategy) {
     case PivotStrategy::kNone:
+      PFACT_COUNT(kPivotScanRows);
       return is_zero(a(k, k)) ? n : k;
     case PivotStrategy::kPartial: {
+      PFACT_COUNT_N(kPivotScanRows, n - k);  // the contest scans the column
       std::size_t best = n;
       for (std::size_t i = k; i < n; ++i) {
         if (is_zero(a(i, k))) continue;
@@ -81,12 +85,38 @@ std::size_t select_pivot(const Matrix<T>& a, std::size_t k,
     case PivotStrategy::kMinimalSwap:
     case PivotStrategy::kMinimalShift: {
       for (std::size_t i = k; i < n; ++i) {
-        if (!is_zero(a(i, k))) return i;
+        if (!is_zero(a(i, k))) {
+          PFACT_COUNT_N(kPivotScanRows, i - k + 1);
+          return i;
+        }
       }
+      PFACT_COUNT_N(kPivotScanRows, n - k);
       return n;
     }
   }
   return n;
+}
+
+// Shared accounting for a completed pivot decision.
+inline void count_pivot_event(const PivotEvent& e) {
+  switch (e.action) {
+    case PivotAction::kKeep:
+      PFACT_COUNT(kPivotKeeps);
+      break;
+    case PivotAction::kSwap:
+      PFACT_COUNT(kPivotSwaps);
+      PFACT_HISTO(kPivotMoveDistance, e.pivot_pos - e.column);
+      break;
+    case PivotAction::kShift:
+      PFACT_COUNT(kPivotShifts);
+      PFACT_HISTO(kPivotMoveDistance, e.pivot_pos - e.column);
+      break;
+    case PivotAction::kSkip:
+      PFACT_COUNT(kPivotSkips);
+      break;
+    case PivotAction::kFail:
+      break;
+  }
 }
 
 }  // namespace detail
@@ -118,6 +148,11 @@ PivotTrace eliminate_steps(Matrix<T>& a, PivotStrategy strategy,
   const std::size_t n = a.rows();
   const std::size_t limit = std::min({steps, n, a.cols()});
   for (std::size_t k = 0; k < limit; ++k) {
+    // One span per elimination step: the pivot decision chain IS the
+    // sequential critical path the P-completeness theorems are about, so
+    // traces of GEM/GEMS/GEP runs show a linear chain of "ge.step" spans.
+    PFACT_SPAN("ge.step");
+    PFACT_COUNT(kElimSteps);
     if (checks.guard != nullptr) checks.guard->tick(k);
     std::size_t piv = detail::select_pivot(a, k, strategy);
     PivotEvent e;
@@ -129,6 +164,7 @@ PivotTrace eliminate_steps(Matrix<T>& a, PivotStrategy strategy,
         return trace;
       }
       e.action = PivotAction::kSkip;
+      detail::count_pivot_event(e);
       trace.record(e);
       continue;  // A^{(k+1)} = A^{(k)}
     }
@@ -145,6 +181,7 @@ PivotTrace eliminate_steps(Matrix<T>& a, PivotStrategy strategy,
       a.swap_rows(k, piv);
       if (perm) perm->swap(k, piv);
     }
+    detail::count_pivot_event(e);
     trace.record(e);
     if (checks.reduction_mode && a(k, k) != T(1) && a(k, k) != T(-1)) {
       throw GuardAbort(GuardAbort::Kind::kInvariant, k,
@@ -152,6 +189,7 @@ PivotTrace eliminate_steps(Matrix<T>& a, PivotStrategy strategy,
                            " is not an exact +/-1 (got " +
                            scalar_to_string(a(k, k)) + ")");
     }
+    std::size_t updated = 0;
     for (std::size_t i = k + 1; i < n; ++i) {
       if (is_zero(a(i, k))) continue;
       T f = a(i, k) / a(k, k);
@@ -161,10 +199,13 @@ PivotTrace eliminate_steps(Matrix<T>& a, PivotStrategy strategy,
                              ", column " + std::to_string(k));
       }
       a(i, k) = T(0);
+      ++updated;
       for (std::size_t j = k + 1; j < a.cols(); ++j) {
         a(i, j) -= f * a(k, j);
       }
     }
+    PFACT_COUNT_N(kRowUpdates, updated);
+    PFACT_COUNT_N(kRowUpdateElems, updated * (a.cols() - k - 1));
   }
   return trace;
 }
@@ -179,6 +220,8 @@ LuResult<T> ge_factor(Matrix<T> a, PivotStrategy strategy) {
   LuResult<T> res;
   res.row_perm = Permutation(n);
   for (std::size_t k = 0; k < kmax; ++k) {
+    PFACT_SPAN("ge.step");
+    PFACT_COUNT(kElimSteps);
     std::size_t piv = detail::select_pivot(a, k, strategy);
     PivotEvent e;
     e.column = k;
@@ -190,6 +233,7 @@ LuResult<T> ge_factor(Matrix<T> a, PivotStrategy strategy) {
         break;
       }
       e.action = PivotAction::kSkip;
+      detail::count_pivot_event(e);
       res.trace.record(e);
       continue;
     }
@@ -206,15 +250,20 @@ LuResult<T> ge_factor(Matrix<T> a, PivotStrategy strategy) {
       a.swap_rows(k, piv);
       res.row_perm.swap(k, piv);
     }
+    detail::count_pivot_event(e);
     res.trace.record(e);
+    std::size_t updated = 0;
     for (std::size_t i = k + 1; i < n; ++i) {
       if (is_zero(a(i, k))) continue;
       T f = a(i, k) / a(k, k);
       a(i, k) = f;  // packed storage: multiplier kept in the zeroed slot
+      ++updated;
       for (std::size_t j = k + 1; j < m; ++j) {
         a(i, j) -= f * a(k, j);
       }
     }
+    PFACT_COUNT_N(kRowUpdates, updated);
+    PFACT_COUNT_N(kRowUpdateElems, updated * (m - k - 1));
   }
   // Unpack L and U.
   res.l = Matrix<T>(n, n);

@@ -24,6 +24,8 @@
 #include "factor/guard.h"
 #include "matrix/matrix.h"
 #include "numeric/field.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 
 namespace pfact::factor {
 
@@ -52,6 +54,7 @@ bool apply_givens(Matrix<T>& a, Matrix<T>* q, std::size_t i, std::size_t j) {
                          ", " + std::to_string(i) + "): |r| is " +
                          (is_zero(r) ? "zero" : "non-finite"));
   }
+  PFACT_COUNT(kGivensRotations);
   T c = a(i, i) / r;
   T s = a(j, i) / r;
   for (std::size_t t = 0; t < a.cols(); ++t) {
@@ -87,6 +90,7 @@ bool apply_givens(Matrix<T>& a, Matrix<T>* q, std::size_t p, std::size_t j,
                          ", " + std::to_string(col) + "): |r| is " +
                          (is_zero(r) ? "zero" : "non-finite"));
   }
+  PFACT_COUNT(kGivensRotations);
   T c = a(p, col) / r;
   T s = a(j, col) / r;
   for (std::size_t t = 0; t < a.cols(); ++t) {
@@ -175,6 +179,7 @@ QrResult<T> givens_qr_sameh_kuck(Matrix<T> a, bool accumulate_q = false) {
   }
   const std::size_t max_stage = (n - 2) + 2 * (kmax - 1);
   for (std::size_t stage = 0; stage <= max_stage; ++stage) {
+    PFACT_SPAN("givens.stage");
     bool any = false;
     // Members of this stage: i such that j = n-1-stage+2i is a valid row.
     for (std::size_t i = 0; i < kmax; ++i) {
@@ -191,7 +196,10 @@ QrResult<T> givens_qr_sameh_kuck(Matrix<T> a, bool accumulate_q = false) {
         any = true;
       }
     }
-    if (any) ++res.stages;
+    if (any) {
+      ++res.stages;
+      PFACT_COUNT(kGivensStages);
+    }
   }
   res.r = std::move(a);
   if (accumulate_q) {

@@ -20,6 +20,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/counters.h"
+
 namespace pfact::factor {
 
 // Thrown by StepGuard::tick() and by engine invariant checks; carries a
@@ -62,6 +64,7 @@ struct StepGuard {
 
   void tick(std::size_t step) const {
     ++ticks_;
+    PFACT_COUNT(kGuardTicks);
     if (max_steps != 0 && ticks_ > max_steps) {
       throw GuardAbort(GuardAbort::Kind::kStepBudget, step,
                        "step budget of " + std::to_string(max_steps) +

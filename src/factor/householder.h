@@ -11,6 +11,7 @@
 
 #include "matrix/matrix.h"
 #include "numeric/field.h"
+#include "obs/counters.h"
 
 namespace pfact::factor {
 
@@ -53,6 +54,7 @@ HouseholderResult<T> householder_qr(Matrix<T> a, bool accumulate_q = false) {
     for (std::size_t i = k + 1; i < n; ++i) vtv += v[i] * v[i];
     if (is_zero(vtv)) continue;
     ++res.reflections;
+    PFACT_COUNT(kHouseholderReflections);
     // Apply H = I - 2 v v^T / (v^T v) to the trailing columns of A.
     for (std::size_t j = k; j < m; ++j) {
       T dot = T(0);

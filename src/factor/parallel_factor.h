@@ -17,6 +17,8 @@
 
 #include "factor/gaussian.h"
 #include "factor/givens.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 
 namespace pfact::factor {
@@ -45,6 +47,7 @@ QrResult<T> givens_qr_sameh_kuck_parallel(Matrix<T> a,
       sites.emplace_back(j, i);
     }
     if (sites.empty()) continue;
+    PFACT_SPAN("gqr.stage");
     std::vector<char> applied(sites.size(), 0);
     par::parallel_for(
         0, sites.size(),
@@ -80,6 +83,8 @@ LuResult<T> ge_factor_parallel_rows(Matrix<T> a, PivotStrategy strategy,
   LuResult<T> res;
   res.row_perm = Permutation(n);
   for (std::size_t k = 0; k < kmax; ++k) {
+    PFACT_SPAN("ge.step");
+    PFACT_COUNT(kElimSteps);
     std::size_t piv = detail::select_pivot(a, k, strategy);
     PivotEvent e;
     e.column = k;
@@ -91,6 +96,7 @@ LuResult<T> ge_factor_parallel_rows(Matrix<T> a, PivotStrategy strategy,
         break;
       }
       e.action = PivotAction::kSkip;
+      detail::count_pivot_event(e);
       res.trace.record(e);
       continue;
     }
@@ -107,11 +113,14 @@ LuResult<T> ge_factor_parallel_rows(Matrix<T> a, PivotStrategy strategy,
       a.swap_rows(k, piv);
       res.row_perm.swap(k, piv);
     }
+    detail::count_pivot_event(e);
     res.trace.record(e);
     par::parallel_for(
         k + 1, n,
         [&](std::size_t i) {
           if (is_zero(a(i, k))) return;
+          PFACT_COUNT(kRowUpdates);
+          PFACT_COUNT_N(kRowUpdateElems, m - k - 1);
           T f = a(i, k) / a(k, k);
           a(i, k) = f;
           for (std::size_t j = k + 1; j < m; ++j) a(i, j) -= f * a(k, j);

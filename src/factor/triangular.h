@@ -12,6 +12,7 @@
 #include "factor/gaussian.h"
 #include "factor/givens.h"
 #include "matrix/matrix.h"
+#include "obs/counters.h"
 
 namespace pfact::factor {
 
@@ -20,6 +21,7 @@ template <class T>
 std::vector<T> forward_solve(const Matrix<T>& l, const std::vector<T>& b) {
   const std::size_t n = l.rows();
   if (b.size() != n) throw std::invalid_argument("forward_solve: size");
+  PFACT_COUNT(kTriangularSolves);
   std::vector<T> y(n, T(0));
   for (std::size_t i = 0; i < n; ++i) {
     T acc = b[i];
@@ -35,6 +37,7 @@ template <class T>
 std::vector<T> back_solve(const Matrix<T>& u, const std::vector<T>& y) {
   const std::size_t n = u.rows();
   if (y.size() != n) throw std::invalid_argument("back_solve: size");
+  PFACT_COUNT(kTriangularSolves);
   std::vector<T> x(n, T(0));
   for (std::size_t i = n; i-- > 0;) {
     T acc = y[i];

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "nc/lfmis.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 
 namespace pfact::nc {
@@ -13,9 +14,12 @@ std::vector<std::size_t> gems_nc_permutation(
   // S_i = LFMIS of the rows of A_i (first i columns); all n instances run
   // concurrently. membership[i][r] = r in S_{i+1}.
   std::vector<std::vector<std::size_t>> sets(n);
-  par::parallel_for(0, n, [&](std::size_t i) {
-    sets[i] = lfmis_rows(a.submatrix(0, 0, n, i + 1));
-  });
+  {
+    PFACT_SPAN("gems_nc.lfmis_sweep");
+    par::parallel_for(0, n, [&](std::size_t i) {
+      sets[i] = lfmis_rows(a.submatrix(0, 0, n, i + 1));
+    });
+  }
   // j_{i+1} = the unique element of S_{i+1} \ S_i.
   std::vector<std::size_t> j(n);
   std::vector<char> in_prev(n, 0);

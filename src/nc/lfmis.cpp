@@ -1,6 +1,8 @@
 #include "nc/lfmis.h"
 
 #include "nc/bareiss.h"
+#include "obs/counters.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 
 namespace pfact::nc {
@@ -9,6 +11,8 @@ std::vector<std::size_t> prefix_row_ranks(
     const Matrix<numeric::Rational>& a) {
   std::vector<std::size_t> ranks(a.rows());
   par::parallel_for(0, a.rows(), [&](std::size_t i) {
+    PFACT_SPAN("lfmis.rank");
+    PFACT_COUNT(kRankQueries);
     ranks[i] = rank_exact(a.submatrix(0, 0, i + 1, a.cols()));
   });
   return ranks;

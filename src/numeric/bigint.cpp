@@ -6,6 +6,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/counters.h"
+
 namespace pfact::numeric {
 
 namespace {
@@ -35,6 +37,13 @@ void BigInt::set_bit_limit(std::size_t bits) { g_bit_limit = bits; }
 void BigInt::trim() {
   while (!mag_.empty() && mag_.back() == 0) mag_.pop_back();
   if (mag_.empty()) sign_ = 0;
+  // trim() normalizes every freshly produced magnitude, so it is the one
+  // place that sees each allocation exactly once.
+  if (!mag_.empty()) {
+    PFACT_COUNT(kBigIntAllocs);
+    PFACT_COUNT_N(kBigIntLimbsAllocated, mag_.size());
+    PFACT_HISTO(kBigIntLimbs, mag_.size());
+  }
   if (g_bit_limit != 0 && !mag_.empty()) {
     // Cheap upper bound first (limb count), exact bit length only near the
     // boundary — trim() runs after every arithmetic operation.
@@ -150,6 +159,7 @@ BigInt BigInt::abs() const {
 BigInt operator-(const BigInt& a, const BigInt& b) { return a + (-b); }
 
 BigInt operator*(const BigInt& a, const BigInt& b) {
+  PFACT_COUNT(kBigIntMuls);
   BigInt out;
   out.sign_ = a.sign_ * b.sign_;
   if (out.sign_ != 0) out.mag_ = BigInt::mul_mag(a.mag_, b.mag_);
@@ -228,6 +238,7 @@ std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
 void BigInt::divmod(const BigInt& a, const BigInt& b, BigInt& quot,
                     BigInt& rem) {
   if (b.sign_ == 0) throw std::domain_error("BigInt: division by zero");
+  PFACT_COUNT(kBigIntDivs);
   if (compare_mag(a.mag_, b.mag_) < 0) {
     quot = BigInt{};
     rem = a;

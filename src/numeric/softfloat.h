@@ -25,6 +25,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/counters.h"
+
 namespace pfact::numeric {
 
 // Rounding mode applied by every SoftFloat operation on the current thread.
@@ -107,6 +109,7 @@ class SoftFloat {
   }
 
   friend SoftFloat operator+(const SoftFloat& a, const SoftFloat& b) {
+    PFACT_COUNT(kSoftFloatAdds);
     if (a.is_zero()) return b;
     if (b.is_zero()) return a;
     const SoftFloat& big = a.cmp_mag(b) >= 0 ? a : b;
@@ -129,6 +132,7 @@ class SoftFloat {
   }
 
   friend SoftFloat operator*(const SoftFloat& a, const SoftFloat& b) {
+    PFACT_COUNT(kSoftFloatMuls);
     if (a.is_zero() || b.is_zero()) return SoftFloat{};
     unsigned __int128 prod =
         static_cast<unsigned __int128>(a.mant_) * b.mant_;
@@ -137,6 +141,7 @@ class SoftFloat {
   }
 
   friend SoftFloat operator/(const SoftFloat& a, const SoftFloat& b) {
+    PFACT_COUNT(kSoftFloatDivs);
     if (b.is_zero()) throw std::domain_error("SoftFloat: division by zero");
     if (a.is_zero()) return SoftFloat{};
     unsigned __int128 num = static_cast<unsigned __int128>(a.mant_)
@@ -153,6 +158,7 @@ class SoftFloat {
   SoftFloat& operator/=(const SoftFloat& b) { return *this = *this / b; }
 
   friend SoftFloat sqrt(const SoftFloat& a) {
+    PFACT_COUNT(kSoftFloatSqrts);
     if (a.is_zero()) return SoftFloat{};
     if (a.sign_ < 0) throw std::domain_error("SoftFloat: sqrt of negative");
     // Shift so the wide value has even LSB exponent, then integer sqrt.
@@ -205,12 +211,15 @@ class SoftFloat {
       bool increment = false;
       switch (softfloat_rounding()) {
         case SoftFloatRounding::kNearestEven:
+          PFACT_COUNT(kSoftFloatRoundNearestEven);
           increment = round && (low_sticky || (m & 1u));
           break;
         case SoftFloatRounding::kTowardZero:
+          PFACT_COUNT(kSoftFloatRoundTowardZero);
           increment = false;
           break;
         case SoftFloatRounding::kAwayFromZero:
+          PFACT_COUNT(kSoftFloatRoundAwayFromZero);
           increment = round || low_sticky;
           break;
       }

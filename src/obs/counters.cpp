@@ -1,0 +1,133 @@
+#include "obs/counters.h"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+
+namespace pfact::obs {
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kElimSteps: return "elim-steps";
+    case Counter::kPivotScanRows: return "pivot-scan-rows";
+    case Counter::kPivotKeeps: return "pivot-keeps";
+    case Counter::kPivotSwaps: return "pivot-swaps";
+    case Counter::kPivotShifts: return "pivot-shifts";
+    case Counter::kPivotSkips: return "pivot-skips";
+    case Counter::kRowUpdates: return "row-updates";
+    case Counter::kRowUpdateElems: return "row-update-elems";
+    case Counter::kGivensRotations: return "givens-rotations";
+    case Counter::kGivensStages: return "givens-stages";
+    case Counter::kHouseholderReflections: return "householder-reflections";
+    case Counter::kTriangularSolves: return "triangular-solves";
+    case Counter::kGuardTicks: return "guard-ticks";
+    case Counter::kSoftFloatAdds: return "softfloat-adds";
+    case Counter::kSoftFloatMuls: return "softfloat-muls";
+    case Counter::kSoftFloatDivs: return "softfloat-divs";
+    case Counter::kSoftFloatSqrts: return "softfloat-sqrts";
+    case Counter::kSoftFloatRoundNearestEven:
+      return "softfloat-round-nearest-even";
+    case Counter::kSoftFloatRoundTowardZero:
+      return "softfloat-round-toward-zero";
+    case Counter::kSoftFloatRoundAwayFromZero:
+      return "softfloat-round-away-from-zero";
+    case Counter::kBigIntAllocs: return "bigint-allocs";
+    case Counter::kBigIntLimbsAllocated: return "bigint-limbs-allocated";
+    case Counter::kBigIntMuls: return "bigint-muls";
+    case Counter::kBigIntDivs: return "bigint-divs";
+    case Counter::kPoolTasksSubmitted: return "pool-tasks-submitted";
+    case Counter::kPoolChunksRun: return "pool-chunks-run";
+    case Counter::kParallelForCalls: return "parallel-for-calls";
+    case Counter::kRankQueries: return "rank-queries";
+    case Counter::kFaultsInjected: return "faults-injected";
+    case Counter::kFaultsDetected: return "faults-detected";
+    case Counter::kCount_: break;
+  }
+  return "?";
+}
+
+const char* histogram_name(Histogram h) {
+  switch (h) {
+    case Histogram::kPivotMoveDistance: return "pivot-move-distance";
+    case Histogram::kBigIntLimbs: return "bigint-limbs";
+    case Histogram::kSpanDurationUs: return "span-duration-us";
+    case Histogram::kCount_: break;
+  }
+  return "?";
+}
+
+std::uint64_t CounterSnapshot::histogram_total(Histogram h) const {
+  std::uint64_t total = 0;
+  for (std::uint64_t b : histograms[static_cast<std::size_t>(h)]) total += b;
+  return total;
+}
+
+CounterDelta operator-(const CounterSnapshot& after,
+                       const CounterSnapshot& before) {
+  CounterDelta d;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    d.counts[i] = after.counts[i] - before.counts[i];
+  }
+  for (std::size_t h = 0; h < kNumHistograms; ++h) {
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      d.histograms[h][b] = after.histograms[h][b] - before.histograms[h][b];
+    }
+  }
+  return d;
+}
+
+#if PFACT_OBS_ENABLED
+
+namespace detail {
+
+namespace {
+
+// Blocks are appended, never removed: a thread that exits leaves its totals
+// behind (counters are cumulative), and snapshot() never touches freed
+// memory. std::deque keeps existing blocks stable across registrations.
+struct Registry {
+  std::mutex mu;
+  std::deque<CounterBlock> blocks;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during exit
+  return *r;
+}
+
+}  // namespace
+
+CounterBlock* this_thread_block() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.blocks.emplace_back();
+  return &r.blocks.back();
+}
+
+}  // namespace detail
+
+CounterSnapshot snapshot() {
+  CounterSnapshot s;
+  detail::Registry& r = detail::registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const detail::CounterBlock& b : r.blocks) {
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      s.counts[i] += b.counts[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t h = 0; h < kNumHistograms; ++h) {
+      for (std::size_t k = 0; k < kHistogramBuckets; ++k) {
+        s.histograms[h][k] +=
+            b.histograms[h][k].load(std::memory_order_relaxed);
+      }
+    }
+  }
+  return s;
+}
+
+#else  // !PFACT_OBS_ENABLED
+
+CounterSnapshot snapshot() { return CounterSnapshot{}; }
+
+#endif  // PFACT_OBS_ENABLED
+
+}  // namespace pfact::obs

@@ -1,0 +1,50 @@
+#pragma once
+// A minimal streaming JSON writer — just enough for the observability
+// exports (bench emitter, counter snapshots, trace metadata). No external
+// dependency, no DOM: the writer appends tokens to a string and tracks
+// whether a comma is due. Keys are emitted in call order, so the output is
+// deterministic and diffable — a property the BENCH_*.json history relies
+// on.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pfact::obs {
+
+class JsonWriter {
+ public:
+  // --- structure ------------------------------------------------------------
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  // Key of the next value inside an object.
+  JsonWriter& key(const std::string& k);
+
+  // --- values ---------------------------------------------------------------
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(double v);  // emitted with enough digits to round-trip
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  // Raw pre-serialized JSON (e.g. a chrome trace array) inserted verbatim.
+  JsonWriter& raw(const std::string& json);
+
+  const std::string& str() const { return out_; }
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void comma();
+  std::string out_;
+  // needs_comma_.back(): a value was already written at this nesting level.
+  std::vector<bool> needs_comma_{false};
+  bool after_key_ = false;
+};
+
+}  // namespace pfact::obs

@@ -1,0 +1,162 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <mutex>
+
+namespace pfact::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+
+#if PFACT_OBS_ENABLED
+
+// Per-thread span buffers, registered globally and never freed (same
+// lifetime discipline as the counter blocks; see counters.cpp). Each buffer
+// carries its own mutex: record_span holds it only to push one event, and
+// dump/clear hold it per buffer, so tracing a pool worker never contends
+// with another worker.
+struct SpanBuffer {
+  std::mutex mu;
+  std::vector<SpanEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct SpanRegistry {
+  std::mutex mu;
+  std::deque<SpanBuffer> buffers;
+  std::uint32_t next_tid = 0;
+};
+
+SpanRegistry& span_registry() {
+  static SpanRegistry* r = new SpanRegistry();  // leaked: usable during exit
+  return *r;
+}
+
+SpanBuffer* this_thread_buffer() {
+  SpanRegistry& r = span_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.buffers.emplace_back();
+  r.buffers.back().tid = r.next_tid++;
+  return &r.buffers.back();
+}
+
+#endif  // PFACT_OBS_ENABLED
+
+}  // namespace
+
+bool tracing_enabled() {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool on) {
+  g_tracing.store(on, std::memory_order_relaxed);
+}
+
+#if PFACT_OBS_ENABLED
+
+namespace detail {
+
+std::uint64_t now_ns() {
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - origin)
+          .count());
+}
+
+void record_span(const char* name, std::uint64_t begin_ns,
+                 std::uint64_t end_ns) {
+  thread_local SpanBuffer* buf = this_thread_buffer();
+  {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    buf->events.push_back(SpanEvent{name, begin_ns, end_ns, buf->tid});
+  }
+  PFACT_HISTO(kSpanDurationUs, (end_ns - begin_ns) / 1000);
+}
+
+}  // namespace detail
+
+void clear_spans() {
+  SpanRegistry& r = span_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (SpanBuffer& b : r.buffers) {
+    std::lock_guard<std::mutex> bl(b.mu);
+    b.events.clear();
+  }
+}
+
+std::vector<SpanEvent> dump_spans() {
+  std::vector<SpanEvent> out;
+  SpanRegistry& r = span_registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (SpanBuffer& b : r.buffers) {
+    std::lock_guard<std::mutex> bl(b.mu);
+    out.insert(out.end(), b.events.begin(), b.events.end());
+  }
+  return out;
+}
+
+#else  // !PFACT_OBS_ENABLED
+
+void clear_spans() {}
+std::vector<SpanEvent> dump_spans() { return {}; }
+
+#endif  // PFACT_OBS_ENABLED
+
+namespace {
+
+// ns -> microseconds with exact 3-decimal fraction ("12.005").
+std::string us_string(std::uint64_t ns) {
+  std::string frac = std::to_string(ns % 1000);
+  frac.insert(0, 3 - frac.size(), '0');
+  return std::to_string(ns / 1000) + "." + frac;
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const std::vector<SpanEvent>& spans) {
+  // trace_event "X" events; ts/dur are microseconds (doubles allowed, we
+  // emit integer ns scaled by 1e-3 with 3 decimals for exactness).
+  std::string out = "[";
+  bool first = true;
+  for (const SpanEvent& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    out += s.name;  // span names are identifier-like literals; no escaping
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(s.tid);
+    out += ",\"ts\":";
+    out += us_string(s.begin_ns);
+    out += ",\"dur\":";
+    out += us_string(s.end_ns - s.begin_ns);
+    out += "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+std::size_t critical_path_depth(std::vector<SpanEvent> spans) {
+  std::sort(spans.begin(), spans.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              return a.end_ns < b.end_ns;
+            });
+  std::size_t depth = 0;
+  std::uint64_t frontier = 0;
+  bool have_frontier = false;
+  for (const SpanEvent& s : spans) {
+    if (!have_frontier || s.begin_ns >= frontier) {
+      ++depth;
+      frontier = s.end_ns;
+      have_frontier = true;
+    }
+  }
+  return depth;
+}
+
+}  // namespace pfact::obs

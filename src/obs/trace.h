@@ -1,0 +1,126 @@
+#pragma once
+// Lightweight span tracing for the parallel execution paths.
+//
+// A span is a named begin/end interval on one thread. The thread pool, the
+// parallel factorizations and the NC drivers open spans around their units
+// of work (a pool chunk, a Sameh-Kuck stage, a prefix-rank query, an
+// elimination step), which makes the paper's depth model *visible*: GEM's
+// pivot chain shows up as a linear sequence of disjoint spans, while the NC
+// algorithms show up as wide layers of overlapping ones.
+//
+// Collection is off by default; set_enabled(true) turns it on (tests, the
+// bench harness and flame-graph hunts do). When PFACT_OBS_ENABLED is 0 the
+// tracer compiles to stubs and PFACT_SPAN sites vanish.
+//
+// Export: to_chrome_trace_json() emits Chrome trace_event JSON ("X" complete
+// events) loadable in chrome://tracing / Perfetto for flame-graph
+// inspection; critical_path_depth() computes the length of the longest chain
+// of sequentially-dependent (non-overlapping) spans — the measured analogue
+// of analysis/depth_model's structural depth.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/counters.h"  // for PFACT_OBS_ENABLED
+
+namespace pfact::obs {
+
+struct SpanEvent {
+  const char* name = "";     // static string (macro call sites pass literals)
+  std::uint64_t begin_ns = 0;  // steady-clock, process-relative
+  std::uint64_t end_ns = 0;
+  std::uint32_t tid = 0;       // small sequential id assigned per thread
+};
+
+// Global runtime toggle (relaxed atomic; ~1 load per PFACT_SPAN site when
+// disabled).
+bool tracing_enabled();
+void set_tracing_enabled(bool on);
+
+// Drops all recorded spans (typically paired with set_tracing_enabled).
+void clear_spans();
+
+// Copies out every recorded span, all threads, in no particular order.
+std::vector<SpanEvent> dump_spans();
+
+// RAII tracing scope: enables collection on construction (clearing previous
+// spans), restores the prior enabled state on destruction.
+class ScopedTracing {
+ public:
+  ScopedTracing() : prev_(tracing_enabled()) {
+    clear_spans();
+    set_tracing_enabled(true);
+  }
+  ~ScopedTracing() { set_tracing_enabled(prev_); }
+  ScopedTracing(const ScopedTracing&) = delete;
+  ScopedTracing& operator=(const ScopedTracing&) = delete;
+
+ private:
+  bool prev_;
+};
+
+#if PFACT_OBS_ENABLED
+
+namespace detail {
+std::uint64_t now_ns();
+void record_span(const char* name, std::uint64_t begin_ns,
+                 std::uint64_t end_ns);
+}  // namespace detail
+
+// Records [construction, destruction) under `name` if tracing is enabled at
+// construction time. `name` must outlive the span log (pass a literal).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (tracing_enabled()) {
+      name_ = name;
+      begin_ns_ = detail::now_ns();
+    }
+  }
+  ~ScopedSpan() {
+    if (name_ != nullptr) {
+      detail::record_span(name_, begin_ns_, detail::now_ns());
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t begin_ns_ = 0;
+};
+
+#else  // !PFACT_OBS_ENABLED
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char*) {}
+};
+
+#endif  // PFACT_OBS_ENABLED
+
+// Chrome trace_event JSON (https://docs.google.com/document/d/1CvAClvFfyA5R-
+// PhYUmn5OOQtYMH4h6I0nSsKchNAySU): an array of "X" (complete) events with
+// microsecond timestamps, one pid, tids as recorded. Loadable in
+// chrome://tracing and Perfetto.
+std::string to_chrome_trace_json(const std::vector<SpanEvent>& spans);
+
+// Length of the longest chain s_1, ..., s_k with s_{i+1}.begin >= s_i.end —
+// the number of sequential stages the trace exhibits. Overlapping (parallel)
+// spans never extend a chain, so a width-w layer contributes 1, not w.
+// Computed greedily on end-time order (classic interval scheduling).
+std::size_t critical_path_depth(std::vector<SpanEvent> spans);
+
+// PFACT_SPAN("name"): open a span for the rest of the enclosing scope.
+#if PFACT_OBS_ENABLED
+#define PFACT_SPAN_CONCAT2(a, b) a##b
+#define PFACT_SPAN_CONCAT(a, b) PFACT_SPAN_CONCAT2(a, b)
+#define PFACT_SPAN(name) \
+  ::pfact::obs::ScopedSpan PFACT_SPAN_CONCAT(pfact_span_, __LINE__)(name)
+#else
+#define PFACT_SPAN(name) ((void)0)
+#endif
+
+}  // namespace pfact::obs

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/counters.h"
+#include "obs/trace.h"
+
 namespace pfact::par {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -39,6 +42,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     }
     queue_.push(std::move(pt));
   }
+  PFACT_COUNT(kPoolTasksSubmitted);
   cv_.notify_one();
   return fut;
 }
@@ -75,6 +79,8 @@ ParallelOutcome parallel_for_report(
     const CancellationToken* token) {
   ParallelOutcome out;
   if (begin >= end) return out;
+  PFACT_COUNT(kParallelForCalls);
+  PFACT_SPAN("parallel_for");
 
   // `failed` implements fail-fast: once any chunk throws, the others skip
   // their remaining iterations at the next boundary. The already-thrown
@@ -86,6 +92,8 @@ ParallelOutcome parallel_for_report(
   };
 
   auto run_range = [&](std::size_t lo, std::size_t hi) {
+    PFACT_COUNT(kPoolChunksRun);
+    PFACT_SPAN("pool.chunk");
     for (std::size_t i = lo; i < hi; ++i) {
       if (should_stop()) return;
       fn(i);

@@ -16,6 +16,8 @@
 #include <cstddef>
 #include <string>
 
+#include "obs/counters.h"
+
 namespace pfact::robustness {
 
 enum class Diagnostic {
@@ -80,6 +82,10 @@ struct RunReport {
   std::string detail;         // human-readable cause
   std::string pivot_excerpt;  // tail of the pivot trace, when one exists
   std::string injection;      // what the fault injector did (replay aid)
+
+  // Op-counter deltas covering exactly this run (all-zero when the
+  // observability layer is compiled out with PFACT_OBS=OFF).
+  obs::CounterDelta metrics;
 
   bool ok() const { return diagnostic == Diagnostic::kOk; }
 

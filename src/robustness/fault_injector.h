@@ -33,6 +33,7 @@
 #include "matrix/matrix.h"
 #include "numeric/field.h"
 #include "numeric/softfloat.h"
+#include "obs/counters.h"
 
 namespace pfact::robustness {
 
@@ -96,6 +97,7 @@ class FaultInjector {
         log_ = "bit-flip: zeroed (" + std::to_string(i) + "," +
                std::to_string(j) + ") which held " + scalar_to_string(a(i, j));
         a(i, j) = T(0);
+        PFACT_COUNT(kFaultsInjected);
         return true;
       }
       case FaultClass::kEpsilonNudge: {
@@ -105,6 +107,7 @@ class FaultInjector {
         a(i, j) += T(kNudgeMagnitude);
         log_ = "epsilon-nudge: added 2^-10 at (" + std::to_string(i) + "," +
                std::to_string(j) + ")";
+        PFACT_COUNT(kFaultsInjected);
         return true;
       }
       case FaultClass::kPivotTie: {
@@ -138,6 +141,7 @@ class FaultInjector {
         log_ = "pivot-tie: planted magnitude of (" + std::to_string(best) +
                "," + std::to_string(k) + ") at (" + std::to_string(k) + "," +
                std::to_string(c) + ") to contest column " + std::to_string(c);
+        PFACT_COUNT(kFaultsInjected);
         return true;
       }
       default:
@@ -156,6 +160,7 @@ class FaultInjector {
     out.inputs.pop_back();
     log_ = "truncated-input: dropped input bit " +
            std::to_string(out.inputs.size());
+    PFACT_COUNT(kFaultsInjected);
     return out;
   }
 
@@ -166,6 +171,7 @@ class FaultInjector {
     if (plan_.fault != FaultClass::kTruncatedInput) return v;
     log_ = "truncated-input: encoded input " + std::to_string(v) +
            " replaced by 0";
+    PFACT_COUNT(kFaultsInjected);
     return 0;
   }
 

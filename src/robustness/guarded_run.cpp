@@ -82,6 +82,7 @@ RunReport guarded_run_gep_chain(int u, int w, std::size_t depth,
                                 const FaultPlan& fault) {
   RunReport rep;
   rep.algorithm = "GEP";
+  detail::ReportMetrics metrics_guard(rep);
   FaultInjector inj(fault);
   std::optional<numeric::ScopedSoftFloatRounding> flipped;
   if (fault.fault == FaultClass::kRoundingFlip) flipped.emplace(fault.rounding);

@@ -40,6 +40,7 @@
 #include "matrix/matrix.h"
 #include "numeric/field.h"
 #include "numeric/softfloat.h"
+#include "obs/counters.h"
 #include "robustness/diagnostics.h"
 #include "robustness/fault_injector.h"
 
@@ -73,6 +74,29 @@ void apply_exception(RunReport& rep, std::exception_ptr ep);
 // Formats the last few pivot events. Defined in guarded_run.cpp.
 std::string trace_excerpt(const factor::PivotTrace& trace,
                           std::size_t max_events = 6);
+
+// Fills rep.metrics with the op-counter delta of the whole guarded run,
+// whichever exit path the driver takes. Declared FIRST in each driver so its
+// destructor runs last and sees the final diagnostic/injection state; a
+// detected injected fault (non-kOk verdict with a non-empty injection log)
+// bumps kFaultsDetected before the delta is taken, so the detection marker
+// itself is part of the run's metrics.
+class ReportMetrics {
+ public:
+  explicit ReportMetrics(RunReport& rep) : rep_(rep) {}
+  ReportMetrics(const ReportMetrics&) = delete;
+  ReportMetrics& operator=(const ReportMetrics&) = delete;
+  ~ReportMetrics() {
+    if (rep_.diagnostic != Diagnostic::kOk && !rep_.injection.empty()) {
+      PFACT_COUNT(kFaultsDetected);
+    }
+    rep_.metrics = counters_.delta();
+  }
+
+ private:
+  RunReport& rep_;
+  obs::ScopedCounters counters_;
+};
 
 // Builds a StepGuard from the limits. A negative timeout installs an
 // already-expired deadline (useful for deterministic deadline tests).
@@ -115,6 +139,7 @@ RunReport guarded_simulate_gem(const circuit::CvpInstance& inst,
                                const FaultPlan& fault = {}) {
   RunReport rep;
   rep.algorithm = factor::pivot_strategy_name(strategy);
+  detail::ReportMetrics metrics_guard(rep);
   FaultInjector inj(fault);
   std::optional<numeric::ScopedSoftFloatRounding> flipped;
   if (fault.fault == FaultClass::kRoundingFlip) flipped.emplace(fault.rounding);
@@ -195,6 +220,7 @@ RunReport guarded_simulate_gem_nonsingular(const circuit::CvpInstance& inst,
                                            const FaultPlan& fault = {}) {
   RunReport rep;
   rep.algorithm = "GEM/nonsingular";
+  detail::ReportMetrics metrics_guard(rep);
   FaultInjector inj(fault);
   std::optional<numeric::ScopedSoftFloatRounding> flipped;
   if (fault.fault == FaultClass::kRoundingFlip) flipped.emplace(fault.rounding);
@@ -302,6 +328,7 @@ RunReport guarded_run_gqr_chain(int a, int b, std::size_t depth,
                                 const FaultPlan& fault = {}) {
   RunReport rep;
   rep.algorithm = "GQR";
+  detail::ReportMetrics metrics_guard(rep);
   FaultInjector inj(fault);
   std::optional<numeric::ScopedSoftFloatRounding> flipped;
   if (fault.fault == FaultClass::kRoundingFlip) flipped.emplace(fault.rounding);

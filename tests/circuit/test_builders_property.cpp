@@ -1,0 +1,119 @@
+// Property/fuzz sweep over circuit/builders and circuit/io.
+//
+// Every reduction in the repo assumes its NANDCVP input is well-formed:
+// fan-in-2 NAND gates in topological order, and — after the Section 2
+// fan-out reduction — no node feeding more than two gate inputs. These
+// properties are asserted here across every builder and a fuzz sweep of
+// random circuits, together with the io.cpp round-trip: write -> parse ->
+// write must be byte-identical, so instance files are a stable interchange
+// format.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/builders.h"
+#include "circuit/circuit.h"
+#include "circuit/io.h"
+
+namespace pfact::circuit {
+namespace {
+
+// The menagerie: every named builder plus a seeded fuzz family.
+std::vector<Circuit> all_builder_circuits() {
+  std::vector<Circuit> out;
+  out.push_back(xor_circuit());
+  out.push_back(majority3_circuit());
+  for (std::size_t k = 2; k <= 6; ++k) out.push_back(parity_circuit(k));
+  for (std::size_t b = 1; b <= 4; ++b) out.push_back(adder_carry_circuit(b));
+  for (std::size_t b = 1; b <= 4; ++b) out.push_back(comparator_circuit(b));
+  for (std::size_t d = 1; d <= 6; ++d) out.push_back(deep_chain_circuit(d));
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    out.push_back(random_circuit(2 + seed % 3, 3 + seed % 12,
+                                 static_cast<unsigned>(seed)));
+  }
+  return out;
+}
+
+// Structural well-formedness: every gate reads strictly earlier nodes
+// (topological order — fan-in 2 is already forced by the Gate struct).
+void expect_well_formed(const Circuit& c) {
+  for (std::size_t g = 0; g < c.num_gates(); ++g) {
+    const std::size_t node = c.gate_node(g);
+    EXPECT_LT(c.gate(g).in0, node) << "gate " << g << " reads forward";
+    EXPECT_LT(c.gate(g).in1, node) << "gate " << g << " reads forward";
+  }
+  EXPECT_GE(c.num_gates(), 1u);
+}
+
+TEST(BuilderProperties, AllBuildersProduceWellFormedCircuits) {
+  for (const Circuit& c : all_builder_circuits()) {
+    SCOPED_TRACE(c.to_string());
+    expect_well_formed(c);
+  }
+}
+
+TEST(BuilderProperties, FanoutReductionEnforcesTwoAndPreservesTheFunction) {
+  for (const Circuit& c : all_builder_circuits()) {
+    FanoutTwoResult r = with_fanout_two(c);
+    expect_well_formed(r.circuit);
+    EXPECT_TRUE(r.circuit.has_fanout_at_most(2))
+        << "max fanout " << r.circuit.max_fanout();
+    // Exhaustive functional equivalence for <= 8 inputs, sampled otherwise.
+    const std::size_t ni = c.num_inputs();
+    const unsigned masks = ni <= 8 ? (1u << ni) : 256u;
+    for (unsigned m = 0; m < masks; ++m) {
+      const unsigned bits = ni <= 8 ? m : m * 2654435761u;
+      std::vector<bool> in(ni);
+      for (std::size_t i = 0; i < ni; ++i) in[i] = (bits >> i) & 1;
+      EXPECT_EQ(r.circuit.evaluate(r.map_inputs(in)), c.evaluate(in))
+          << "mask " << m;
+    }
+  }
+}
+
+TEST(BuilderProperties, FanoutCountsAreConsistent) {
+  for (const Circuit& c : all_builder_circuits()) {
+    std::vector<std::size_t> fo = c.fanouts();
+    ASSERT_EQ(fo.size(), c.num_nodes());
+    std::size_t wires = 0;
+    for (std::size_t f : fo) wires += f;
+    // Every gate contributes exactly two input wires.
+    EXPECT_EQ(wires, 2 * c.num_gates());
+  }
+}
+
+TEST(IoRoundTrip, WriteParseWriteIsByteIdentical) {
+  for (const Circuit& c : all_builder_circuits()) {
+    const std::string once = circuit_to_text(c);
+    ParsedInstance p = parse_circuit_text(once);
+    EXPECT_FALSE(p.inputs.has_value());
+    const std::string twice = circuit_to_text(p.circuit);
+    EXPECT_EQ(once, twice);
+    // And the parsed circuit is the same machine, not just the same text.
+    ASSERT_EQ(p.circuit.num_inputs(), c.num_inputs());
+    ASSERT_EQ(p.circuit.num_gates(), c.num_gates());
+    for (std::size_t g = 0; g < c.num_gates(); ++g) {
+      EXPECT_EQ(p.circuit.gate(g).in0, c.gate(g).in0);
+      EXPECT_EQ(p.circuit.gate(g).in1, c.gate(g).in1);
+    }
+  }
+}
+
+TEST(IoRoundTrip, AssignmentsSurviveTheRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    Circuit c = random_circuit(3, 6, static_cast<unsigned>(seed));
+    std::vector<bool> in = {(seed & 1) != 0, (seed & 2) != 0, (seed & 4) != 0};
+    const std::string once = circuit_to_text(c, &in);
+    ParsedInstance p = parse_circuit_text(once);
+    ASSERT_TRUE(p.inputs.has_value());
+    EXPECT_EQ(*p.inputs, in);
+    const std::string twice = circuit_to_text(p.circuit, &*p.inputs);
+    EXPECT_EQ(once, twice);
+  }
+}
+
+}  // namespace
+}  // namespace pfact::circuit

@@ -1,0 +1,157 @@
+// Differential sweep over random NANDCVP circuits (ctest label
+// `differential`).
+//
+// The reductions are only as trustworthy as their arithmetic substrate: the
+// paper's decode contract is EXACT (encoded booleans are small integers, all
+// pivots are +/-1), so the same instance must decode identically over
+//
+//   * IEEE double            (the production field),
+//   * exact rationals        (the ground-truth field — no rounding at all),
+//   * SoftFloat<53>          (the paper's fixed-precision model),
+//
+// and agree with the direct O(gates) circuit evaluation. Any divergence
+// means a rounding path, a pivot-contest tie-break, or a gadget constant is
+// leaking into the decoded value.
+//
+// 200 random circuits are swept (25 per shard x 8 shards, so ctest -j runs
+// the shards concurrently even under sanitizers), each checked across the
+// 3 fields x {GEM, GEMS}; the GEP gadget chains get the same 3-field
+// treatment over all input pairs and a ladder of depths.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/builders.h"
+#include "circuit/circuit.h"
+#include "core/gep_gadgets.h"
+#include "core/simulator.h"
+#include "factor/gaussian.h"
+#include "numeric/rational.h"
+#include "numeric/softfloat.h"
+
+namespace pfact {
+namespace {
+
+using circuit::CvpInstance;
+using factor::PivotStrategy;
+using numeric::Float53;
+using numeric::Rational;
+
+constexpr std::size_t kShards = 8;
+constexpr std::size_t kCircuitsPerShard = 25;  // 8 x 25 = 200 circuits
+
+// Deterministic per-circuit parameters: small xorshift so every shard draws
+// the same circuits on every platform and run.
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+struct DrawnInstance {
+  circuit::Circuit circuit;
+  std::vector<bool> inputs;
+};
+
+// Circuit c: 2-3 inputs, 4-9 gates — reduction orders stay in the tens to
+// low hundreds, which keeps the exact-rational eliminations fast enough for
+// the sanitizer configs.
+DrawnInstance draw(std::uint64_t seed) {
+  const std::size_t num_inputs = 2 + mix(seed) % 2;
+  const std::size_t num_gates = 4 + mix(seed + 1) % 6;
+  circuit::Circuit c = circuit::random_circuit(num_inputs, num_gates,
+                                               static_cast<unsigned>(seed));
+  std::vector<bool> in(c.num_inputs());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    in[i] = (mix(seed + 2 + i) & 1) != 0;
+  }
+  return {std::move(c), std::move(in)};
+}
+
+class DifferentialShard : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DifferentialShard, GemAndGemsDecodeAgreesAcrossFields) {
+  const std::size_t shard = GetParam();
+  for (std::size_t k = 0; k < kCircuitsPerShard; ++k) {
+    const std::uint64_t seed = 1 + shard * kCircuitsPerShard + k;
+    DrawnInstance d = draw(seed * 7919);
+    CvpInstance inst{d.circuit, d.inputs};
+    const bool expected = inst.expected();  // direct evaluation: the oracle
+
+    for (PivotStrategy s :
+         {PivotStrategy::kMinimalSwap, PivotStrategy::kMinimalShift}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) + " strategy=" +
+                   factor::pivot_strategy_name(s));
+      core::SimulationResult rd = core::simulate_gem<double>(inst, s);
+      ASSERT_TRUE(rd.ok);
+      EXPECT_EQ(rd.value, expected);
+
+      core::SimulationResult rq = core::simulate_gem<Rational>(inst, s);
+      ASSERT_TRUE(rq.ok);
+      EXPECT_EQ(rq.value, expected);
+
+      core::SimulationResult rf = core::simulate_gem<Float53>(inst, s);
+      ASSERT_TRUE(rf.ok);
+      EXPECT_EQ(rf.value, expected);
+
+      // Field-to-field agreement, not just each-vs-oracle: identical decoded
+      // entry too (it is an exact small integer in all three fields).
+      EXPECT_EQ(rd.decoded_entry, rq.decoded_entry);
+      EXPECT_EQ(rd.decoded_entry, rf.decoded_entry);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShards, DifferentialShard,
+                         ::testing::Range<std::size_t>(0, kShards));
+
+// GEP chains: every input pair, depths 0..7, three fields. The pivot
+// CONTESTS (which row wins each magnitude comparison) are what encode the
+// value under partial pivoting, so the decoded output and the winning
+// encoding must match across substrates.
+TEST(DifferentialGep, ChainDecodeAgreesAcrossFields) {
+  for (int u : {1, 2}) {
+    for (int w : {1, 2}) {
+      for (std::size_t depth = 0; depth <= 7; ++depth) {
+        SCOPED_TRACE("u=" + std::to_string(u) + " w=" + std::to_string(w) +
+                     " depth=" + std::to_string(depth));
+        core::GepChain chain = core::build_gep_nand_chain(u, w, depth);
+        const double expect = (u == 2 && w == 2) ? 1.0 : 2.0;
+
+        const double vd = core::run_gep_chain_t<double>(chain);
+        const double vq = core::run_gep_chain_t<Rational>(chain);
+        const double vf = core::run_gep_chain_t<Float53>(chain);
+
+        EXPECT_NEAR(vd, expect, 1e-9);
+        // The exact-rational run decodes the encoding with NO rounding: it
+        // certifies the gadget constants themselves.
+        EXPECT_NEAR(vq, expect, 1e-9);
+        EXPECT_NEAR(vf, expect, 1e-9);
+      }
+    }
+  }
+}
+
+// GEMS over a shifted-input family: the circular-shift strategy must decode
+// the same value as GEM's swaps on every drawn circuit — their pivot
+// *motions* differ (tested elsewhere via counters), their decode cannot.
+TEST(DifferentialGemVsGems, SameDecodeDifferentMotion) {
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    DrawnInstance d = draw(seed * 104729);
+    CvpInstance inst{d.circuit, d.inputs};
+    core::SimulationResult swap =
+        core::simulate_gem<Rational>(inst, PivotStrategy::kMinimalSwap);
+    core::SimulationResult shift =
+        core::simulate_gem<Rational>(inst, PivotStrategy::kMinimalShift);
+    ASSERT_TRUE(swap.ok);
+    ASSERT_TRUE(shift.ok);
+    EXPECT_EQ(swap.value, shift.value);
+    EXPECT_EQ(swap.value, inst.expected());
+  }
+}
+
+}  // namespace
+}  // namespace pfact

@@ -1,0 +1,152 @@
+// Tests for obs/counters: registry semantics, snapshot/delta algebra,
+// histogram bucketing, cross-thread aggregation, and the RunReport metrics
+// wiring. Every assertion about counter VALUES is gated on
+// PFACT_OBS_ENABLED so the whole suite also passes in a -DPFACT_OBS=OFF
+// build, where the API must still be callable and return all-zero data.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "circuit/builders.h"
+#include "obs/counters.h"
+#include "parallel/thread_pool.h"
+#include "robustness/guarded_run.h"
+
+namespace pfact::obs {
+namespace {
+
+constexpr bool kObsOn = PFACT_OBS_ENABLED != 0;
+
+TEST(CounterNames, AreUniqueStableKebabCase) {
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    const std::string name = counter_name(static_cast<Counter>(i));
+    ASSERT_FALSE(name.empty());
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+    for (char ch : name) {
+      EXPECT_TRUE((ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9') ||
+                  ch == '-')
+          << name;
+    }
+  }
+  seen.clear();
+  for (std::size_t i = 0; i < kNumHistograms; ++i) {
+    const std::string name = histogram_name(static_cast<Histogram>(i));
+    ASSERT_FALSE(name.empty());
+    EXPECT_TRUE(seen.insert(name).second);
+  }
+}
+
+TEST(Counters, ScopedDeltaSeesExactlyTheScopedBumps) {
+  ScopedCounters outer;
+  bump(Counter::kElimSteps, 3);
+  {
+    ScopedCounters inner;
+    bump(Counter::kElimSteps, 2);
+    bump(Counter::kGivensRotations);
+    CounterDelta d = inner.delta();
+    if (kObsOn) {
+      EXPECT_EQ(d[Counter::kElimSteps], 2u);
+      EXPECT_EQ(d[Counter::kGivensRotations], 1u);
+    } else {
+      EXPECT_EQ(d[Counter::kElimSteps], 0u);
+    }
+  }
+  if (kObsOn) {
+    EXPECT_EQ(outer.delta()[Counter::kElimSteps], 5u);
+    EXPECT_EQ(outer.delta()[Counter::kPivotSwaps], 0u);
+  }
+}
+
+TEST(Counters, HistogramUsesPowerOfTwoBuckets) {
+  if (!kObsOn) GTEST_SKIP() << "observability compiled out";
+  ScopedCounters sc;
+  record(Histogram::kPivotMoveDistance, 1);     // bucket 0: [1,2)
+  record(Histogram::kPivotMoveDistance, 2);     // bucket 1: [2,4)
+  record(Histogram::kPivotMoveDistance, 3);     // bucket 1
+  record(Histogram::kPivotMoveDistance, 1024);  // bucket 10
+  CounterDelta d = sc.delta();
+  const auto& h =
+      d.histograms[static_cast<std::size_t>(Histogram::kPivotMoveDistance)];
+  EXPECT_EQ(h[0], 1u);
+  EXPECT_EQ(h[1], 2u);
+  EXPECT_EQ(h[10], 1u);
+  EXPECT_EQ(d.histogram_total(Histogram::kPivotMoveDistance), 4u);
+}
+
+// The snapshot must sum thread-local blocks across every pool worker: a
+// parallel_for whose body bumps once per index accounts for all of them.
+TEST(Counters, AggregatesAcrossPoolThreads) {
+  ScopedCounters sc;
+  constexpr std::size_t kIters = 500;
+  par::parallel_for(0, kIters, [](std::size_t) {
+    bump(Counter::kRankQueries);
+  });
+  CounterDelta d = sc.delta();
+  if (kObsOn) {
+    EXPECT_EQ(d[Counter::kRankQueries], kIters);
+    EXPECT_GE(d[Counter::kParallelForCalls], 1u);
+    EXPECT_GE(d[Counter::kPoolChunksRun], 1u);
+  } else {
+    EXPECT_EQ(d[Counter::kRankQueries], 0u);
+  }
+}
+
+TEST(Counters, SnapshotsAreMonotone) {
+  CounterSnapshot a = snapshot();
+  bump(Counter::kElimSteps);
+  CounterSnapshot b = snapshot();
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    EXPECT_GE(b.counts[i], a.counts[i]);
+  }
+}
+
+// RunReport.metrics: a guarded run's delta covers exactly that run.
+TEST(RunReportMetrics, CleanRunCarriesItsOwnCounters) {
+  circuit::CvpInstance inst{circuit::xor_circuit(), {true, false}};
+  robustness::RunReport rep = robustness::guarded_simulate_gem<double>(
+      inst, factor::PivotStrategy::kMinimalSwap);
+  ASSERT_TRUE(rep.ok());
+  if (!kObsOn) {
+    EXPECT_EQ(rep.metrics[Counter::kElimSteps], 0u);
+    return;
+  }
+  // The reduction eliminates every column of the order-nu matrix: the
+  // pivot-decision chain in the metrics equals the matrix order, and the
+  // guard saw exactly those steps.
+  EXPECT_EQ(rep.metrics[Counter::kElimSteps], rep.order);
+  EXPECT_EQ(rep.metrics[Counter::kGuardTicks], rep.steps_used);
+  EXPECT_EQ(rep.metrics[Counter::kFaultsInjected], 0u);
+  EXPECT_EQ(rep.metrics[Counter::kFaultsDetected], 0u);
+  // GEM moves pivots by swaps, never by GEMS shifts.
+  EXPECT_GT(rep.metrics[Counter::kPivotSwaps], 0u);
+  EXPECT_EQ(rep.metrics[Counter::kPivotShifts], 0u);
+}
+
+TEST(RunReportMetrics, InjectedFaultShowsUpInTheMetrics) {
+  if (!kObsOn) GTEST_SKIP() << "observability compiled out";
+  circuit::CvpInstance inst{circuit::xor_circuit(), {true, true}};
+  robustness::FaultPlan plan;
+  plan.fault = robustness::FaultClass::kTruncatedInput;
+  robustness::RunReport rep = robustness::guarded_simulate_gem<double>(
+      inst, factor::PivotStrategy::kMinimalSwap, {}, plan);
+  // Truncation produces an arity mismatch: always detected, never kOk.
+  EXPECT_FALSE(rep.ok());
+  EXPECT_EQ(rep.metrics[Counter::kFaultsInjected], 1u);
+  EXPECT_EQ(rep.metrics[Counter::kFaultsDetected], 1u);
+}
+
+TEST(RunReportMetrics, GemsRunShiftsInsteadOfSwapping) {
+  if (!kObsOn) GTEST_SKIP() << "observability compiled out";
+  circuit::CvpInstance inst{circuit::xor_circuit(), {false, true}};
+  robustness::RunReport rep = robustness::guarded_simulate_gem<double>(
+      inst, factor::PivotStrategy::kMinimalShift);
+  ASSERT_TRUE(rep.ok());
+  EXPECT_GT(rep.metrics[Counter::kPivotShifts], 0u);
+  EXPECT_EQ(rep.metrics[Counter::kPivotSwaps], 0u);
+}
+
+}  // namespace
+}  // namespace pfact::obs
