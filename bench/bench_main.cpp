@@ -31,6 +31,7 @@
 #include "numeric/softfloat.h"
 #include "obs/bench_emitter.h"
 #include "robustness/guarded_run.h"
+#include "robustness/resilient_run.h"
 
 namespace {
 
@@ -165,6 +166,84 @@ void register_workloads(obs::BenchSuite& suite) {
     robustness::RunReport rep = robustness::guarded_simulate_gem<double>(
         inst, factor::PivotStrategy::kMinimalSwap);
     if (!rep.ok()) std::abort();
+  });
+
+  // --- Resilience: checkpoint overhead + supervised retry/escalation ------
+  // Acceptance-scale overhead: the Table 1 GEM xor suite (the reduction
+  // runs the paper's theorems are about) with save-every-k checkpointing.
+  // These runs are ~15 elimination steps, so k=64 never snapshots and its
+  // cost is the bare hook check: the save-every-64 lane must stay within
+  // 10% of the no-checkpoint lane.
+  auto gem_xor_checkpointed = [](std::size_t every) {
+    const circuit::Circuit c = circuit::xor_circuit();
+    for (unsigned m = 0; m < 4; ++m) {
+      circuit::CvpInstance inst{c, {(m & 1) != 0, (m & 2) != 0}};
+      robustness::CheckpointStore store;
+      robustness::CheckpointConfig ckpt;
+      ckpt.every = every;
+      ckpt.store = every ? &store : nullptr;
+      robustness::RunReport rep = robustness::guarded_simulate_gem<double>(
+          inst, factor::PivotStrategy::kMinimalSwap, {}, {}, ckpt);
+      if (!rep.ok() || rep.value != inst.expected()) std::abort();
+    }
+  };
+  suite.add("resilience/gem-xor-no-ckpt", "resilience",
+            [gem_xor_checkpointed] { gem_xor_checkpointed(0); });
+  suite.add("resilience/gem-xor-ckpt-k1", "resilience",
+            [gem_xor_checkpointed] { gem_xor_checkpointed(1); });
+  suite.add("resilience/gem-xor-ckpt-k8", "resilience",
+            [gem_xor_checkpointed] { gem_xor_checkpointed(8); });
+  suite.add("resilience/gem-xor-ckpt-k64", "resilience",
+            [gem_xor_checkpointed] { gem_xor_checkpointed(64); });
+
+  // Stress-scale overhead: dense elimination, where every step does O(n^2)
+  // work and every snapshot encodes the full n^2 state, at save-every-k
+  // for k in {1, 8, 64} against the no-checkpoint baseline; the
+  // instrumented pass records checkpoint-saves and checkpoint-bytes
+  // counters into the JSON next to the wall times.
+  auto dense_checkpointed = [](std::size_t every) {
+    Matrix<double> a = gen::random_general(96, 13);
+    robustness::CheckpointStore store;
+    factor::CheckpointHook<double> hook;
+    hook.every = every;
+    hook.save = [&store](std::size_t next_step, const Matrix<double>& snap,
+                         const Permutation* perm,
+                         const factor::PivotTrace& trace) {
+      std::string blob = robustness::encode_checkpoint_parts(
+          "bench/ge-dense", 0, next_step, snap, perm, trace);
+      PFACT_COUNT(kCheckpointSaves);
+      PFACT_COUNT_N(kCheckpointBytes, blob.size());
+      store.put(next_step, std::move(blob));
+    };
+    Permutation perm(a.rows());
+    factor::eliminate_steps(a, factor::PivotStrategy::kPartial, a.rows(),
+                            &perm, {}, every ? &hook : nullptr);
+    if (every && store.empty()) std::abort();
+  };
+  suite.add("resilience/ge-dense-n96-no-ckpt", "resilience",
+            [dense_checkpointed] { dense_checkpointed(0); });
+  suite.add("resilience/ge-dense-n96-ckpt-k1", "resilience",
+            [dense_checkpointed] { dense_checkpointed(1); });
+  suite.add("resilience/ge-dense-n96-ckpt-k8", "resilience",
+            [dense_checkpointed] { dense_checkpointed(8); });
+  suite.add("resilience/ge-dense-n96-ckpt-k64", "resilience",
+            [dense_checkpointed] { dense_checkpointed(64); });
+  suite.add("resilience/supervised-flip-escalation", "resilience", [] {
+    robustness::ReductionTask task;
+    task.algorithm = robustness::Algorithm::kGep;
+    task.u = 2;
+    task.w = 2;
+    task.depth = 1;
+    robustness::ResilientOptions opt;
+    opt.ladder = {robustness::Substrate::kSoftFloat53,
+                  robustness::Substrate::kRational};
+    opt.retry.max_attempts = 2;
+    robustness::FaultPlan flip;
+    flip.fault = robustness::FaultClass::kRoundingFlip;
+    opt.fault_for_attempt = [flip](std::size_t) { return flip; };
+    robustness::ResilientReport rep = robustness::resilient_run(task, opt);
+    if (!rep.certified || rep.certified_by != robustness::Substrate::kRational)
+      std::abort();
   });
 }
 

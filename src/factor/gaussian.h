@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -132,6 +133,25 @@ inline void count_pivot_event(const PivotEvent& e) {
 struct EliminationChecks {
   const StepGuard* guard = nullptr;  // step/deadline budget (not owned)
   bool reduction_mode = false;       // enforce exact unit-magnitude pivots
+  // Resume support: the matrix is assumed to already hold the state after
+  // steps [0, start_step), and elimination begins at column start_step.
+  // The returned trace covers only the freshly executed steps.
+  std::size_t start_step = 0;
+};
+
+// Periodic snapshot hook for checkpoint/resume (robustness/checkpoint.h).
+// When `every` > 0, `save` is invoked at the top of each step k with
+// k % every == 0 (k > start_step) — BEFORE the step's guard tick, so a run
+// killed exactly at a boundary has already persisted that boundary's
+// state. The matrix/perm arguments reflect steps [0, k) completed; the
+// trace argument holds only the events since start_step (a resuming
+// caller prepends its restored prefix).
+template <class T>
+struct CheckpointHook {
+  std::size_t every = 0;
+  std::function<void(std::size_t next_step, const Matrix<T>& a,
+                     const Permutation* perm, const PivotTrace& trace)>
+      save;
 };
 
 // Runs `steps` elimination steps of the given strategy in place on `a`
@@ -143,16 +163,21 @@ struct EliminationChecks {
 template <class T>
 PivotTrace eliminate_steps(Matrix<T>& a, PivotStrategy strategy,
                            std::size_t steps, Permutation* perm = nullptr,
-                           const EliminationChecks& checks = {}) {
+                           const EliminationChecks& checks = {},
+                           const CheckpointHook<T>* ckpt = nullptr) {
   PivotTrace trace;
   const std::size_t n = a.rows();
   const std::size_t limit = std::min({steps, n, a.cols()});
-  for (std::size_t k = 0; k < limit; ++k) {
+  for (std::size_t k = checks.start_step; k < limit; ++k) {
     // One span per elimination step: the pivot decision chain IS the
     // sequential critical path the P-completeness theorems are about, so
     // traces of GEM/GEMS/GEP runs show a linear chain of "ge.step" spans.
     PFACT_SPAN("ge.step");
     PFACT_COUNT(kElimSteps);
+    if (ckpt != nullptr && ckpt->every != 0 && k != checks.start_step &&
+        k % ckpt->every == 0) {
+      ckpt->save(k, a, perm, trace);
+    }
     if (checks.guard != nullptr) checks.guard->tick(k);
     std::size_t piv = detail::select_pivot(a, k, strategy);
     PivotEvent e;

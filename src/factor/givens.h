@@ -18,6 +18,7 @@
 // introduction credits as the best practical parallel option.
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -113,19 +114,40 @@ bool apply_givens(Matrix<T>& a, Matrix<T>* q, std::size_t p, std::size_t j,
 
 }  // namespace detail
 
+// Periodic snapshot hook for checkpoint/resume, the rotation-position
+// analogue of factor::CheckpointHook: `save` fires at each position p with
+// p % every == 0 (p > start_pos), before the position's guard tick, with
+// the matrix reflecting rotations [0, p) applied.
+template <class T>
+struct GivensCheckpointHook {
+  std::size_t every = 0;
+  std::function<void(std::size_t next_pos, const Matrix<T>& a)> save;
+};
+
 // Runs the first `steps` rotation positions of natural-order GQR in place
 // (skipped zero entries still count as a step position, matching "after k
 // steps of GQR" in the block contracts, where blocks are dense below the
-// diagonal wherever it matters).
+// diagonal wherever it matters). `start_pos` resumes mid-run: the matrix
+// is assumed to already hold the state after positions [0, start_pos).
 template <class T>
 std::size_t givens_steps(Matrix<T>& a, std::size_t steps,
-                         const StepGuard* guard = nullptr) {
+                         const StepGuard* guard = nullptr,
+                         std::size_t start_pos = 0,
+                         const GivensCheckpointHook<T>* ckpt = nullptr) {
   std::size_t pos = 0;
   std::size_t applied = 0;
   const std::size_t kmax = std::min(a.rows(), a.cols());
   for (std::size_t i = 0; i < kmax; ++i) {
     for (std::size_t j = i + 1; j < a.rows(); ++j) {
       if (pos == steps) return applied;
+      if (pos < start_pos) {  // already retired before the checkpoint
+        ++pos;
+        continue;
+      }
+      if (ckpt != nullptr && ckpt->every != 0 && pos != start_pos &&
+          pos % ckpt->every == 0) {
+        ckpt->save(pos, a);
+      }
       if (guard != nullptr) guard->tick(pos);
       if (detail::apply_givens<T>(a, nullptr, i, j)) ++applied;
       ++pos;

@@ -51,14 +51,26 @@ class GuardAbort : public std::runtime_error {
 // step; tick throws GuardAbort when a limit is exceeded. Deadline checks
 // are throttled (every 64 ticks) to keep the guard off the critical path.
 struct StepGuard {
+  // Time source for deadline checks. Injectable (a plain function pointer,
+  // so the default path stays branch-plus-call cheap) so the deadline ->
+  // transient-retry route can be driven deterministically under ctest with
+  // a fake clock instead of wall-clock sleeps.
+  using ClockFn = std::chrono::steady_clock::time_point (*)();
+
   // Maximum number of ticks before aborting; 0 means unlimited.
   std::size_t max_steps = 0;
   // Absolute deadline; only enforced when has_deadline is true.
   std::chrono::steady_clock::time_point deadline{};
   bool has_deadline = false;
+  // nullptr = steady_clock::now.
+  ClockFn clock = nullptr;
+
+  std::chrono::steady_clock::time_point now() const {
+    return clock != nullptr ? clock() : std::chrono::steady_clock::now();
+  }
 
   void set_timeout(std::chrono::steady_clock::duration d) {
-    deadline = std::chrono::steady_clock::now() + d;
+    deadline = now() + d;
     has_deadline = true;
   }
 
@@ -71,7 +83,7 @@ struct StepGuard {
                            " exhausted at step " + std::to_string(step));
     }
     if (has_deadline && (ticks_ % 64 == 1 || max_steps != 0)) {
-      if (std::chrono::steady_clock::now() > deadline) {
+      if (now() > deadline) {
         throw GuardAbort(GuardAbort::Kind::kDeadline, step,
                          "deadline exceeded at step " + std::to_string(step));
       }

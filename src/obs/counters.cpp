@@ -41,6 +41,12 @@ const char* counter_name(Counter c) {
     case Counter::kRankQueries: return "rank-queries";
     case Counter::kFaultsInjected: return "faults-injected";
     case Counter::kFaultsDetected: return "faults-detected";
+    case Counter::kRetryAttempts: return "retry-attempts";
+    case Counter::kEscalations: return "escalations";
+    case Counter::kCheckpointSaves: return "checkpoint-saves";
+    case Counter::kCheckpointBytes: return "checkpoint-bytes";
+    case Counter::kCheckpointResumes: return "checkpoint-resumes";
+    case Counter::kCheckpointRejects: return "checkpoint-rejects";
     case Counter::kCount_: break;
   }
   return "?";

@@ -88,6 +88,12 @@ enum class Counter : std::size_t {
   // --- robustness/ -----------------------------------------------------------
   kFaultsInjected,     // corruptions the FaultInjector actually performed
   kFaultsDetected,     // guarded runs that classified an injected fault
+  kRetryAttempts,      // guarded attempts launched by the resilient driver
+  kEscalations,        // substrate-ladder climbs (double -> SoftFloat -> ...)
+  kCheckpointSaves,    // mid-factorization checkpoints serialized
+  kCheckpointBytes,    // total serialized checkpoint bytes
+  kCheckpointResumes,  // runs restarted from a validated checkpoint
+  kCheckpointRejects,  // checkpoints refused (CRC / version / truncation)
 
   kCount_,  // sentinel: number of counters
 };

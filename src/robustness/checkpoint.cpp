@@ -1,0 +1,72 @@
+#include "robustness/checkpoint.h"
+
+#include <array>
+#include <fstream>
+
+namespace pfact::robustness {
+
+namespace {
+
+// Slicing-by-8 tables: table[0] is the classic byte-at-a-time table;
+// table[t][b] advances a byte that is t positions deeper in the 8-byte
+// window. Checkpoint payloads are matrix-sized, so CRC throughput is on
+// the save-every-k hot path.
+std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    t[0][i] = c;
+  }
+  for (std::size_t s = 1; s < 8; ++s) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[s][i] = t[0][t[s - 1][i] & 0xFFu] ^ (t[s - 1][i] >> 8);
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len) {
+  static const std::array<std::array<std::uint32_t, 256>, 8> t =
+      make_crc_tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  while (len >= 8) {
+    std::uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    if constexpr (std::endian::native == std::endian::big)
+      chunk = __builtin_bswap64(chunk);
+    const std::uint32_t lo = c ^ static_cast<std::uint32_t>(chunk);
+    const auto hi = static_cast<std::uint32_t>(chunk >> 32);
+    c = t[7][lo & 0xFFu] ^ t[6][(lo >> 8) & 0xFFu] ^ t[5][(lo >> 16) & 0xFFu] ^
+        t[4][lo >> 24] ^ t[3][hi & 0xFFu] ^ t[2][(hi >> 8) & 0xFFu] ^
+        t[1][(hi >> 16) & 0xFFu] ^ t[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  for (std::size_t i = 0; i < len; ++i) {
+    c = t[0][(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+bool write_checkpoint_file(const std::string& path, std::string_view blob) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  return static_cast<bool>(out);
+}
+
+bool read_checkpoint_file(const std::string& path, std::string& blob) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  blob.assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+}  // namespace pfact::robustness

@@ -16,6 +16,7 @@
 #include <cstddef>
 #include <string>
 
+#include "factor/pivot_trace.h"
 #include "obs/counters.h"
 
 namespace pfact::robustness {
@@ -35,6 +36,8 @@ enum class Diagnostic {
   kStepBudgetExceeded,    // the run consumed more steps than its budget
   kDeadlineExceeded,      // the run overran its wall-clock deadline
   kCancelled,             // cooperative cancellation fired mid-run
+  kResourceExhausted,     // allocation failure (std::bad_alloc) mid-run
+  kCheckpointCorrupt,     // a resume checkpoint failed CRC/version/shape
   kWorkerFailure,         // a pool worker failed with an unclassified error
   kInternalError,         // anything else — a bug in this library
 };
@@ -55,6 +58,8 @@ inline const char* diagnostic_name(Diagnostic d) {
     case Diagnostic::kStepBudgetExceeded: return "step-budget-exceeded";
     case Diagnostic::kDeadlineExceeded: return "deadline-exceeded";
     case Diagnostic::kCancelled: return "cancelled";
+    case Diagnostic::kResourceExhausted: return "resource-exhausted";
+    case Diagnostic::kCheckpointCorrupt: return "checkpoint-corrupt";
     case Diagnostic::kWorkerFailure: return "worker-failure";
     case Diagnostic::kInternalError: return "internal-error";
   }
@@ -82,6 +87,13 @@ struct RunReport {
   std::string detail;         // human-readable cause
   std::string pivot_excerpt;  // tail of the pivot trace, when one exists
   std::string injection;      // what the fault injector did (replay aid)
+
+  // The complete pivot trace of the run (empty for GQR, which pivots by
+  // rotation). For a resumed run this is the checkpoint's stored prefix
+  // concatenated with the freshly executed suffix, so crash/resume
+  // equivalence can be asserted event-for-event against an uninterrupted
+  // run, not just on the excerpt string.
+  factor::PivotTrace trace;
 
   // Op-counter deltas covering exactly this run (all-zero when the
   // observability layer is compiled out with PFACT_OBS=OFF).

@@ -1,0 +1,147 @@
+#include "robustness/escalation.h"
+
+#include "numeric/rational.h"
+#include "numeric/softfloat.h"
+
+namespace pfact::robustness {
+
+const char* substrate_name(Substrate s) {
+  switch (s) {
+    case Substrate::kDouble: return "double";
+    case Substrate::kSoftFloat53: return "softfloat53";
+    case Substrate::kRational: return "rational";
+  }
+  return "?";
+}
+
+const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kGem: return "GEM";
+    case Algorithm::kGems: return "GEMS";
+    case Algorithm::kGemNonsingular: return "GEM/nonsingular";
+    case Algorithm::kGep: return "GEP";
+    case Algorithm::kGqr: return "GQR";
+  }
+  return "?";
+}
+
+bool ReductionTask::expected() const {
+  switch (algorithm) {
+    case Algorithm::kGem:
+    case Algorithm::kGems:
+    case Algorithm::kGemNonsingular:
+      return instance.expected();
+    case Algorithm::kGep:
+      return !(u == 2 && w == 2);  // NAND on True=2
+    case Algorithm::kGqr:
+      return !(u == 1 && w == 1);  // NAND on True=+1
+  }
+  return false;
+}
+
+std::string ReductionTask::describe() const {
+  std::string s = algorithm_name(algorithm);
+  switch (algorithm) {
+    case Algorithm::kGem:
+    case Algorithm::kGems:
+    case Algorithm::kGemNonsingular:
+      s += " gates=" + std::to_string(instance.circuit.num_gates());
+      break;
+    case Algorithm::kGep:
+    case Algorithm::kGqr:
+      s += " u=" + std::to_string(u) + " w=" + std::to_string(w) +
+           " depth=" + std::to_string(depth);
+      break;
+  }
+  return s;
+}
+
+bool substrate_supported(Algorithm a, Substrate s) {
+  if (a == Algorithm::kGqr && s == Substrate::kRational) return false;
+  return true;
+}
+
+std::vector<Substrate> default_ladder(Algorithm a) {
+  std::vector<Substrate> ladder = {Substrate::kDouble,
+                                   Substrate::kSoftFloat53};
+  if (substrate_supported(a, Substrate::kRational)) {
+    ladder.push_back(Substrate::kRational);
+  }
+  return ladder;
+}
+
+namespace {
+
+// GEM/GEMS/GEP over a concrete field. GQR is handled separately: its
+// kDouble rung runs over long double (the gadget master precision) and the
+// Rational instantiation must never be formed (no field_sqrt).
+template <class T>
+RunReport run_field(const ReductionTask& task, const GuardLimits& limits,
+                    const FaultPlan& fault, const CheckpointConfig& ckpt) {
+  switch (task.algorithm) {
+    case Algorithm::kGem:
+      return guarded_simulate_gem<T>(task.instance,
+                                     factor::PivotStrategy::kMinimalSwap,
+                                     limits, fault, ckpt);
+    case Algorithm::kGems:
+      return guarded_simulate_gem<T>(task.instance,
+                                     factor::PivotStrategy::kMinimalShift,
+                                     limits, fault, ckpt);
+    case Algorithm::kGemNonsingular:
+      return guarded_simulate_gem_nonsingular<T>(task.instance, limits, fault,
+                                                 ckpt);
+    case Algorithm::kGep:
+      return guarded_run_gep_chain_t<T>(task.u, task.w, task.depth, limits,
+                                        fault, ckpt);
+    case Algorithm::kGqr:
+      break;  // handled by the caller
+  }
+  RunReport rep;
+  rep.algorithm = algorithm_name(task.algorithm);
+  rep.diagnostic = Diagnostic::kInternalError;
+  rep.detail = "unreachable dispatch";
+  return rep;
+}
+
+}  // namespace
+
+RunReport run_on_substrate(const ReductionTask& task, Substrate s,
+                           const GuardLimits& limits, const FaultPlan& fault,
+                           const CheckpointConfig& ckpt) {
+  if (!substrate_supported(task.algorithm, s)) {
+    RunReport rep;
+    rep.algorithm = algorithm_name(task.algorithm);
+    rep.diagnostic = Diagnostic::kBadInput;
+    rep.detail = std::string(algorithm_name(task.algorithm)) +
+                 " does not support the " + substrate_name(s) +
+                 " substrate (no field sqrt)";
+    return rep;
+  }
+  if (task.algorithm == Algorithm::kGqr) {
+    switch (s) {
+      case Substrate::kDouble:
+        return guarded_run_gqr_chain<long double>(task.u, task.w, task.depth,
+                                                  limits, fault, ckpt);
+      case Substrate::kSoftFloat53:
+        return guarded_run_gqr_chain<numeric::Float53>(
+            task.u, task.w, task.depth, limits, fault, ckpt);
+      case Substrate::kRational:
+        break;  // rejected above
+    }
+  }
+  switch (s) {
+    case Substrate::kDouble:
+      return run_field<double>(task, limits, fault, ckpt);
+    case Substrate::kSoftFloat53:
+      return run_field<numeric::Float53>(task, limits, fault, ckpt);
+    case Substrate::kRational:
+      return run_field<numeric::Rational>(task, limits, fault, ckpt);
+  }
+  RunReport rep;
+  rep.algorithm = algorithm_name(task.algorithm);
+  rep.diagnostic = Diagnostic::kInternalError;
+  rep.detail = "unknown substrate";
+  return rep;
+}
+
+}  // namespace pfact::robustness

@@ -17,6 +17,10 @@
 //                     for the whole run (FPU control-word corruption)
 //   kTruncatedInput — the instance loses its last input bit / an encoded
 //                     chain input is replaced by the invalid value 0
+//   kTornWrite      — a checkpoint blob is corrupted AT SAVE TIME (byte
+//                     flip or truncation, seed-selected), the mid-run
+//                     analogue of a torn/partial write to stable storage;
+//                     exercises the CRC and torn-checkpoint rejection paths
 //
 // The injector only *creates* faults; detection lives in guarded_run.h and
 // in the engine invariants (factor/guard.h). The robustness suite asserts
@@ -44,6 +48,7 @@ enum class FaultClass {
   kPivotTie,
   kRoundingFlip,
   kTruncatedInput,
+  kTornWrite,
 };
 
 inline const char* fault_class_name(FaultClass f) {
@@ -54,6 +59,7 @@ inline const char* fault_class_name(FaultClass f) {
     case FaultClass::kPivotTie: return "pivot-tie";
     case FaultClass::kRoundingFlip: return "rounding-flip";
     case FaultClass::kTruncatedInput: return "truncated-input";
+    case FaultClass::kTornWrite: return "torn-write";
   }
   return "?";
 }
@@ -175,6 +181,32 @@ class FaultInjector {
     return 0;
   }
 
+  // Mid-run fault (kTornWrite): corrupts a just-serialized checkpoint blob
+  // the way a torn write to stable storage would — even seeds flip one
+  // byte, odd seeds truncate the tail. Only the FIRST saved blob of a run
+  // is torn (the seed selects where), so the same attempt also exercises
+  // fallback to intact earlier/later snapshots. Returns true iff the blob
+  // was changed.
+  bool corrupt_blob(std::string& blob) {
+    if (plan_.fault != FaultClass::kTornWrite || torn_done_ || blob.empty()) {
+      return false;
+    }
+    torn_done_ = true;
+    if (plan_.seed % 2 == 0) {
+      const std::size_t at = (plan_.seed / 2) % blob.size();
+      blob[at] = static_cast<char>(blob[at] ^ 0x20);
+      append_log("torn-write: flipped bit 5 of byte " + std::to_string(at) +
+                 " of a " + std::to_string(blob.size()) + "-byte checkpoint");
+    } else {
+      const std::size_t keep = (plan_.seed / 2) % blob.size();
+      append_log("torn-write: truncated a " + std::to_string(blob.size()) +
+                 "-byte checkpoint to " + std::to_string(keep) + " bytes");
+      blob.resize(keep);
+    }
+    PFACT_COUNT(kFaultsInjected);
+    return true;
+  }
+
  private:
   template <class T>
   static std::vector<std::pair<std::size_t, std::size_t>> nonzeros(
@@ -186,15 +218,24 @@ class FaultInjector {
     return nz;
   }
 
+  void append_log(const std::string& entry) {
+    if (!log_.empty()) log_ += "; ";
+    log_ += entry;
+  }
+
   FaultPlan plan_;
   std::string log_;
+  bool torn_done_ = false;
 };
 
-// The full sweepable taxonomy (kNone excluded).
+// The full sweepable taxonomy (kNone excluded). kTornWrite is only
+// observable on runs that actually save checkpoints; on an uncheckpointed
+// run it is a no-op (harmless by construction).
 inline const std::vector<FaultClass>& all_fault_classes() {
   static const std::vector<FaultClass> classes = {
-      FaultClass::kBitFlip, FaultClass::kEpsilonNudge, FaultClass::kPivotTie,
-      FaultClass::kRoundingFlip, FaultClass::kTruncatedInput};
+      FaultClass::kBitFlip,       FaultClass::kEpsilonNudge,
+      FaultClass::kPivotTie,      FaultClass::kRoundingFlip,
+      FaultClass::kTruncatedInput, FaultClass::kTornWrite};
   return classes;
 }
 

@@ -29,6 +29,11 @@ void apply_exception(RunReport& rep, std::exception_ptr ep) {
   } catch (const par::OperationCancelled& c) {
     rep.diagnostic = Diagnostic::kCancelled;
     rep.detail = c.what();
+  } catch (const std::bad_alloc&) {
+    // Allocation pressure is a property of the moment, not of the input:
+    // transient, retry-the-same-substrate territory.
+    rep.diagnostic = Diagnostic::kResourceExhausted;
+    rep.detail = "allocation failed mid-run (std::bad_alloc)";
   } catch (const std::overflow_error& e) {
     rep.diagnostic = Diagnostic::kNumericOverflow;
     rep.detail = e.what();
@@ -79,108 +84,9 @@ std::string trace_excerpt(const factor::PivotTrace& trace,
 
 RunReport guarded_run_gep_chain(int u, int w, std::size_t depth,
                                 const GuardLimits& limits,
-                                const FaultPlan& fault) {
-  RunReport rep;
-  rep.algorithm = "GEP";
-  detail::ReportMetrics metrics_guard(rep);
-  FaultInjector inj(fault);
-  std::optional<numeric::ScopedSoftFloatRounding> flipped;
-  if (fault.fault == FaultClass::kRoundingFlip) flipped.emplace(fault.rounding);
-
-  u = inj.corrupt_encoded_input(u);
-  rep.injection = inj.injection_log();
-  if ((u != 1 && u != 2) || (w != 1 && w != 2)) {
-    rep.diagnostic = Diagnostic::kBadInput;
-    rep.detail = "GEP inputs must be encoded in {1,2}, got u=" +
-                 std::to_string(u) + " w=" + std::to_string(w);
-    return rep;
-  }
-  factor::StepGuard guard = detail::make_guard(limits);
-  try {
-    core::GepChain chain = core::build_gep_nand_chain(u, w, depth);
-    if (chain.matrix.rows() > limits.max_order) {
-      rep.diagnostic = Diagnostic::kBadInput;
-      rep.detail = "chain order exceeds the cap";
-      return rep;
-    }
-    Matrix<double> m = chain.matrix;
-    if (inj.corrupt_matrix(m)) rep.injection = inj.injection_log();
-    rep.order = m.rows();
-    Permutation perm(m.rows());
-    factor::EliminationChecks checks;
-    checks.guard = &guard;  // GEP gadget pivots are not +/-1: no
-                            // reduction_mode here — the trace checks below
-                            // carry the structural invariant instead.
-    factor::PivotTrace trace = factor::eliminate_steps(
-        m, factor::PivotStrategy::kPartial, chain.value_col, &perm, checks);
-    rep.steps_used = guard.ticks_used();
-    rep.pivot_excerpt = detail::trace_excerpt(trace);
-    // The GEP reduction matrices are strongly nonsingular by construction
-    // (diagonal fillers): every eliminated column must have found a pivot.
-    for (const auto& e : trace.events()) {
-      if (e.action == factor::PivotAction::kSkip ||
-          e.action == factor::PivotAction::kFail) {
-        rep.diagnostic = Diagnostic::kPivotAnomaly;
-        rep.offending_col = e.column;
-        rep.detail = "column " + std::to_string(e.column) +
-                     " lost its pivot in a strongly nonsingular reduction";
-        return rep;
-      }
-    }
-    // Decode: exactly one live row at/below the value column.
-    int found = -1;
-    for (std::size_t i = chain.value_col; i < m.rows(); ++i) {
-      if (std::fabs(m(i, chain.value_col)) > 0.2) {
-        if (found >= 0) {
-          rep.diagnostic = Diagnostic::kDecodeAmbiguous;
-          rep.offending_row = i;
-          rep.offending_col = chain.value_col;
-          rep.detail = "multiple live rows at the value column";
-          return rep;
-        }
-        found = static_cast<int>(i);
-      }
-    }
-    if (found < 0) {
-      rep.diagnostic = Diagnostic::kDecodeAmbiguous;
-      rep.offending_col = chain.value_col;
-      rep.detail = "no live row at the value column";
-      return rep;
-    }
-    const double v = m(static_cast<std::size_t>(found), chain.value_col);
-    rep.decoded_entry = v;
-    int enc = 0;
-    if (std::fabs(v - 1.0) <= limits.decode_tolerance) {
-      enc = 1;
-    } else if (std::fabs(v - 2.0) <= limits.decode_tolerance) {
-      enc = 2;
-    } else {
-      rep.diagnostic = Diagnostic::kDecodeOutOfTolerance;
-      rep.offending_row = static_cast<std::size_t>(found);
-      rep.offending_col = chain.value_col;
-      rep.detail = "decoded entry " + std::to_string(v) +
-                   " is outside the {1,2} tolerance band";
-      return rep;
-    }
-    const bool decoded = enc == 2;  // True = 2
-    const bool reference = !(u == 2 && w == 2);
-    if (decoded != reference) {
-      rep.diagnostic = Diagnostic::kCrossCheckMismatch;
-      rep.offending_row = static_cast<std::size_t>(found);
-      rep.offending_col = chain.value_col;
-      rep.detail = std::string("decode says ") +
-                   (decoded ? "true" : "false") +
-                   " but NAND(u,w) evaluates to " +
-                   (reference ? "true" : "false");
-      return rep;
-    }
-    rep.value = decoded;
-    rep.diagnostic = Diagnostic::kOk;
-  } catch (...) {
-    detail::apply_exception(rep, std::current_exception());
-    rep.steps_used = guard.ticks_used();
-  }
-  return rep;
+                                const FaultPlan& fault,
+                                const CheckpointConfig& ckpt) {
+  return guarded_run_gep_chain_t<double>(u, w, depth, limits, fault, ckpt);
 }
 
 }  // namespace pfact::robustness

@@ -32,6 +32,7 @@
 #include "circuit/circuit.h"
 #include "core/assembler.h"
 #include "core/bordering.h"
+#include "core/gep_gadgets.h"
 #include "core/gqr_gadgets.h"
 #include "factor/gaussian.h"
 #include "factor/givens.h"
@@ -39,8 +40,10 @@
 #include "factor/pivot_trace.h"
 #include "matrix/matrix.h"
 #include "numeric/field.h"
+#include "numeric/rational.h"
 #include "numeric/softfloat.h"
 #include "obs/counters.h"
+#include "robustness/checkpoint.h"
 #include "robustness/diagnostics.h"
 #include "robustness/fault_injector.h"
 
@@ -58,6 +61,23 @@ struct GuardLimits {
   // Accepted decode band around the encoded values for the float chains
   // (GEP: {1,2}, GQR: {-1,+1}).
   double decode_tolerance = 1e-6;
+  // Injectable time source for the deadline (nullptr = steady_clock), so
+  // deadline-path tests are deterministic without wall-clock sleeps.
+  factor::StepGuard::ClockFn clock = nullptr;
+};
+
+// Checkpoint/resume wiring for one guarded attempt. With `every` > 0 and a
+// store, the driver serializes its factorization state every `every` guard
+// steps into the store (FaultClass::kTornWrite corrupts these blobs at
+// save time). With `resume` set, the driver validates store->latest() and
+// continues from it — a blob that fails CRC/version/shape validation makes
+// the attempt return kCheckpointCorrupt; it is never silently resumed.
+struct CheckpointConfig {
+  std::size_t every = 0;
+  CheckpointStore* store = nullptr;
+  bool resume = false;
+
+  bool saving() const { return every != 0 && store != nullptr; }
 };
 
 namespace detail {
@@ -103,8 +123,87 @@ class ReportMetrics {
 inline factor::StepGuard make_guard(const GuardLimits& limits) {
   factor::StepGuard g;
   g.max_steps = limits.max_steps;
+  g.clock = limits.clock;
   if (limits.timeout.count() != 0) g.set_timeout(limits.timeout);
   return g;
+}
+
+// Appends b's events after a's — the full trace of a resumed run is the
+// checkpoint's stored prefix plus the freshly executed suffix.
+inline factor::PivotTrace concat_traces(const factor::PivotTrace& a,
+                                        const factor::PivotTrace& b) {
+  factor::PivotTrace out = a;
+  for (const factor::PivotEvent& e : b.events()) out.record(e);
+  return out;
+}
+
+// Validates store->latest() against the resuming task and applies it.
+// Returns false (with rep set to kCheckpointCorrupt) when a blob exists
+// but does not verify; an absent blob is not an error — the run simply
+// starts from scratch.
+template <class T>
+bool restore_checkpoint(const CheckpointConfig& ckpt,
+                        const std::string& algorithm, bool expect_perm,
+                        RunReport& rep, Matrix<T>& a, Permutation* perm,
+                        factor::PivotTrace& base_trace,
+                        std::size_t& start_step) {
+  start_step = 0;
+  if (!ckpt.resume || ckpt.store == nullptr) return true;
+  const std::string* blob = ckpt.store->latest();
+  if (blob == nullptr) return true;
+  FactorCheckpoint<T> c;
+  const CheckpointStatus status = decode_checkpoint<T>(*blob, c);
+  if (status != CheckpointStatus::kOk) {
+    PFACT_COUNT(kCheckpointRejects);
+    rep.diagnostic = Diagnostic::kCheckpointCorrupt;
+    rep.detail = std::string("checkpoint rejected: ") +
+                 checkpoint_status_name(status) + " (" +
+                 std::to_string(blob->size()) + " bytes)";
+    return false;
+  }
+  if (c.algorithm != algorithm || c.matrix.rows() != a.rows() ||
+      c.matrix.cols() != a.cols() || c.has_perm != expect_perm ||
+      (expect_perm && c.perm.size() != a.rows())) {
+    PFACT_COUNT(kCheckpointRejects);
+    rep.diagnostic = Diagnostic::kCheckpointCorrupt;
+    rep.detail = "checkpoint rejected: snapshot of '" + c.algorithm +
+                 "' order " + std::to_string(c.matrix.rows()) +
+                 " does not match this task";
+    return false;
+  }
+  a = std::move(c.matrix);
+  if (expect_perm && perm != nullptr) *perm = c.perm;
+  base_trace = std::move(c.trace);
+  start_step = static_cast<std::size_t>(c.next_step);
+  PFACT_COUNT(kCheckpointResumes);
+  rep.detail = "resumed from checkpoint at step " +
+               std::to_string(start_step);
+  return true;
+}
+
+// Builds the engine-side save hook: serializes {matrix, perm, prefix+local
+// trace}, lets the injector tear the blob (kTornWrite), and files it in
+// the store.
+template <class T>
+factor::CheckpointHook<T> make_elimination_hook(
+    const CheckpointConfig& ckpt, FaultInjector& inj, RunReport& rep,
+    const std::string& algorithm, factor::PivotStrategy strategy,
+    const factor::PivotTrace* base_trace) {
+  factor::CheckpointHook<T> hook;
+  if (!ckpt.saving()) return hook;
+  hook.every = ckpt.every;
+  hook.save = [&ckpt, &inj, &rep, algorithm, strategy, base_trace](
+                  std::size_t next_step, const Matrix<T>& a,
+                  const Permutation* perm, const factor::PivotTrace& local) {
+    std::string blob = encode_checkpoint_parts(
+        algorithm, static_cast<std::uint32_t>(strategy), next_step, a, perm,
+        concat_traces(*base_trace, local));
+    if (inj.corrupt_blob(blob)) rep.injection = inj.injection_log();
+    PFACT_COUNT(kCheckpointSaves);
+    PFACT_COUNT_N(kCheckpointBytes, blob.size());
+    ckpt.store->put(next_step, std::move(blob));
+  };
+  return hook;
 }
 
 // Probes that the arithmetic substrate rounds to nearest-even — for
@@ -136,7 +235,8 @@ template <class T>
 RunReport guarded_simulate_gem(const circuit::CvpInstance& inst,
                                factor::PivotStrategy strategy,
                                const GuardLimits& limits = {},
-                               const FaultPlan& fault = {}) {
+                               const FaultPlan& fault = {},
+                               const CheckpointConfig& ckpt = {}) {
   RunReport rep;
   rep.algorithm = factor::pivot_strategy_name(strategy);
   detail::ReportMetrics metrics_guard(rep);
@@ -170,11 +270,20 @@ RunReport guarded_simulate_gem(const circuit::CvpInstance& inst,
     Matrix<T> a = red.matrix.template cast<T>();
     if (inj.corrupt_matrix(a)) rep.injection = inj.injection_log();
     rep.order = a.rows();
+    factor::PivotTrace base_trace;
     factor::EliminationChecks checks;
     checks.guard = &guard;
     checks.reduction_mode = true;
-    factor::PivotTrace trace =
-        factor::eliminate_steps(a, strategy, a.rows(), nullptr, checks);
+    if (!detail::restore_checkpoint(ckpt, rep.algorithm, false, rep, a,
+                                    nullptr, base_trace, checks.start_step)) {
+      return rep;
+    }
+    factor::CheckpointHook<T> hook = detail::make_elimination_hook<T>(
+        ckpt, inj, rep, rep.algorithm, strategy, &base_trace);
+    factor::PivotTrace trace = factor::eliminate_steps(
+        a, strategy, a.rows(), nullptr, checks, hook.every ? &hook : nullptr);
+    trace = detail::concat_traces(base_trace, trace);
+    rep.trace = trace;
     rep.steps_used = guard.ticks_used();
     rep.pivot_excerpt = detail::trace_excerpt(trace);
     const T& out = a(red.output_pos, red.output_pos);
@@ -217,7 +326,8 @@ RunReport guarded_simulate_gem(const circuit::CvpInstance& inst,
 template <class T>
 RunReport guarded_simulate_gem_nonsingular(const circuit::CvpInstance& inst,
                                            const GuardLimits& limits = {},
-                                           const FaultPlan& fault = {}) {
+                                           const FaultPlan& fault = {},
+                                           const CheckpointConfig& ckpt = {}) {
   RunReport rep;
   rep.algorithm = "GEM/nonsingular";
   detail::ReportMetrics metrics_guard(rep);
@@ -249,11 +359,22 @@ RunReport guarded_simulate_gem_nonsingular(const circuit::CvpInstance& inst,
     if (inj.corrupt_matrix(a)) rep.injection = inj.injection_log();
     rep.order = a.rows();
     Permutation perm(a.rows());
+    factor::PivotTrace base_trace;
     factor::EliminationChecks checks;
     checks.guard = &guard;
     checks.reduction_mode = true;
+    if (!detail::restore_checkpoint(ckpt, rep.algorithm, true, rep, a, &perm,
+                                    base_trace, checks.start_step)) {
+      return rep;
+    }
+    factor::CheckpointHook<T> hook = detail::make_elimination_hook<T>(
+        ckpt, inj, rep, rep.algorithm, factor::PivotStrategy::kMinimalSwap,
+        &base_trace);
     factor::PivotTrace trace = factor::eliminate_steps(
-        a, factor::PivotStrategy::kMinimalSwap, a.rows(), &perm, checks);
+        a, factor::PivotStrategy::kMinimalSwap, a.rows(), &perm, checks,
+        hook.every ? &hook : nullptr);
+    trace = detail::concat_traces(base_trace, trace);
+    rep.trace = trace;
     rep.steps_used = guard.ticks_used();
     rep.pivot_excerpt = detail::trace_excerpt(trace);
     const std::size_t nu = red.matrix.rows();
@@ -312,11 +433,150 @@ RunReport guarded_simulate_gem_nonsingular(const circuit::CvpInstance& inst,
 // ---------------------------------------------------------------------------
 // Theorem 3.4 (GEP): guarded form of core::run_gep_chain — computes
 // NAND(u, w) through `depth` PASS blocks; u, w are encoded in {1, 2}.
-// Defined in guarded_run.cpp (double field, like the gadget constants).
+// Field-generic so the escalation ladder can re-run the same chain over
+// SoftFloat or exact rationals: the gadget constants are lifted losslessly
+// (dyadic doubles, Rational via from_double) exactly as run_gep_chain_t.
 // ---------------------------------------------------------------------------
+template <class T>
+RunReport guarded_run_gep_chain_t(int u, int w, std::size_t depth,
+                                  const GuardLimits& limits = {},
+                                  const FaultPlan& fault = {},
+                                  const CheckpointConfig& ckpt = {}) {
+  RunReport rep;
+  rep.algorithm = "GEP";
+  detail::ReportMetrics metrics_guard(rep);
+  FaultInjector inj(fault);
+  std::optional<numeric::ScopedSoftFloatRounding> flipped;
+  if (fault.fault == FaultClass::kRoundingFlip) flipped.emplace(fault.rounding);
+
+  u = inj.corrupt_encoded_input(u);
+  rep.injection = inj.injection_log();
+  if ((u != 1 && u != 2) || (w != 1 && w != 2)) {
+    rep.diagnostic = Diagnostic::kBadInput;
+    rep.detail = "GEP inputs must be encoded in {1,2}, got u=" +
+                 std::to_string(u) + " w=" + std::to_string(w);
+    return rep;
+  }
+  if (!detail::rounding_environment_ok<T>()) {
+    rep.diagnostic = Diagnostic::kRoundingAnomaly;
+    rep.detail = "substrate probe: rounding is not round-to-nearest-even";
+    return rep;
+  }
+  factor::StepGuard guard = detail::make_guard(limits);
+  try {
+    core::GepChain chain = core::build_gep_nand_chain(u, w, depth);
+    if (chain.matrix.rows() > limits.max_order) {
+      rep.diagnostic = Diagnostic::kBadInput;
+      rep.detail = "chain order exceeds the cap";
+      return rep;
+    }
+    Matrix<T> m(chain.matrix.rows(), chain.matrix.cols());
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      for (std::size_t j = 0; j < m.cols(); ++j) {
+        if constexpr (std::is_same_v<T, numeric::Rational>) {
+          m(i, j) = numeric::Rational::from_double(chain.matrix(i, j));
+        } else {
+          m(i, j) = T(chain.matrix(i, j));
+        }
+      }
+    }
+    if (inj.corrupt_matrix(m)) rep.injection = inj.injection_log();
+    rep.order = m.rows();
+    Permutation perm(m.rows());
+    factor::PivotTrace base_trace;
+    factor::EliminationChecks checks;
+    checks.guard = &guard;  // GEP gadget pivots are not +/-1: no
+                            // reduction_mode here — the trace checks below
+                            // carry the structural invariant instead.
+    if (!detail::restore_checkpoint(ckpt, rep.algorithm, true, rep, m, &perm,
+                                    base_trace, checks.start_step)) {
+      return rep;
+    }
+    factor::CheckpointHook<T> hook = detail::make_elimination_hook<T>(
+        ckpt, inj, rep, rep.algorithm, factor::PivotStrategy::kPartial,
+        &base_trace);
+    factor::PivotTrace trace = factor::eliminate_steps(
+        m, factor::PivotStrategy::kPartial, chain.value_col, &perm, checks,
+        hook.every ? &hook : nullptr);
+    trace = detail::concat_traces(base_trace, trace);
+    rep.trace = trace;
+    rep.steps_used = guard.ticks_used();
+    rep.pivot_excerpt = detail::trace_excerpt(trace);
+    // The GEP reduction matrices are strongly nonsingular by construction
+    // (diagonal fillers): every eliminated column must have found a pivot.
+    for (const auto& e : trace.events()) {
+      if (e.action == factor::PivotAction::kSkip ||
+          e.action == factor::PivotAction::kFail) {
+        rep.diagnostic = Diagnostic::kPivotAnomaly;
+        rep.offending_col = e.column;
+        rep.detail = "column " + std::to_string(e.column) +
+                     " lost its pivot in a strongly nonsingular reduction";
+        return rep;
+      }
+    }
+    // Decode: exactly one live row at/below the value column.
+    int found = -1;
+    for (std::size_t i = chain.value_col; i < m.rows(); ++i) {
+      if (std::fabs(to_double(m(i, chain.value_col))) > 0.2) {
+        if (found >= 0) {
+          rep.diagnostic = Diagnostic::kDecodeAmbiguous;
+          rep.offending_row = i;
+          rep.offending_col = chain.value_col;
+          rep.detail = "multiple live rows at the value column";
+          return rep;
+        }
+        found = static_cast<int>(i);
+      }
+    }
+    if (found < 0) {
+      rep.diagnostic = Diagnostic::kDecodeAmbiguous;
+      rep.offending_col = chain.value_col;
+      rep.detail = "no live row at the value column";
+      return rep;
+    }
+    const double v =
+        to_double(m(static_cast<std::size_t>(found), chain.value_col));
+    rep.decoded_entry = v;
+    int enc = 0;
+    if (std::fabs(v - 1.0) <= limits.decode_tolerance) {
+      enc = 1;
+    } else if (std::fabs(v - 2.0) <= limits.decode_tolerance) {
+      enc = 2;
+    } else {
+      rep.diagnostic = Diagnostic::kDecodeOutOfTolerance;
+      rep.offending_row = static_cast<std::size_t>(found);
+      rep.offending_col = chain.value_col;
+      rep.detail = "decoded entry " + std::to_string(v) +
+                   " is outside the {1,2} tolerance band";
+      return rep;
+    }
+    const bool decoded = enc == 2;  // True = 2
+    const bool reference = !(u == 2 && w == 2);
+    if (decoded != reference) {
+      rep.diagnostic = Diagnostic::kCrossCheckMismatch;
+      rep.offending_row = static_cast<std::size_t>(found);
+      rep.offending_col = chain.value_col;
+      rep.detail = std::string("decode says ") +
+                   (decoded ? "true" : "false") +
+                   " but NAND(u,w) evaluates to " +
+                   (reference ? "true" : "false");
+      return rep;
+    }
+    rep.value = decoded;
+    rep.diagnostic = Diagnostic::kOk;
+  } catch (...) {
+    detail::apply_exception(rep, std::current_exception());
+    rep.steps_used = guard.ticks_used();
+  }
+  return rep;
+}
+
+// Double-field form (the gadget constants' native field); defined in
+// guarded_run.cpp.
 RunReport guarded_run_gep_chain(int u, int w, std::size_t depth,
                                 const GuardLimits& limits = {},
-                                const FaultPlan& fault = {});
+                                const FaultPlan& fault = {},
+                                const CheckpointConfig& ckpt = {});
 
 // ---------------------------------------------------------------------------
 // Theorem 4.1 (GQR): guarded run of the GQR NAND-through-PASS chain over a
@@ -325,7 +585,8 @@ RunReport guarded_run_gep_chain(int u, int w, std::size_t depth,
 template <class T>
 RunReport guarded_run_gqr_chain(int a, int b, std::size_t depth,
                                 const GuardLimits& limits = {},
-                                const FaultPlan& fault = {}) {
+                                const FaultPlan& fault = {},
+                                const CheckpointConfig& ckpt = {}) {
   RunReport rep;
   rep.algorithm = "GQR";
   detail::ReportMetrics metrics_guard(rep);
@@ -357,7 +618,27 @@ RunReport guarded_run_gqr_chain(int a, int b, std::size_t depth,
     Matrix<T> m = chain.matrix.template cast<T>();
     if (inj.corrupt_matrix(m)) rep.injection = inj.injection_log();
     rep.order = m.rows();
-    factor::givens_steps(m, m.rows() * m.rows(), &guard);
+    factor::PivotTrace base_trace;  // GQR records no pivot events
+    std::size_t start_pos = 0;
+    if (!detail::restore_checkpoint(ckpt, rep.algorithm, false, rep, m,
+                                    nullptr, base_trace, start_pos)) {
+      return rep;
+    }
+    factor::GivensCheckpointHook<T> hook;
+    if (ckpt.saving()) {
+      hook.every = ckpt.every;
+      hook.save = [&ckpt, &inj, &rep](std::size_t next_pos,
+                                      const Matrix<T>& snap) {
+        std::string blob = encode_checkpoint_parts(
+            "GQR", 0, next_pos, snap, nullptr, factor::PivotTrace{});
+        if (inj.corrupt_blob(blob)) rep.injection = inj.injection_log();
+        PFACT_COUNT(kCheckpointSaves);
+        PFACT_COUNT_N(kCheckpointBytes, blob.size());
+        ckpt.store->put(next_pos, std::move(blob));
+      };
+    }
+    factor::givens_steps(m, m.rows() * m.rows(), &guard, start_pos,
+                         hook.every ? &hook : nullptr);
     rep.steps_used = guard.ticks_used();
     const double v = to_double(m(chain.value_pos, chain.value_pos));
     rep.decoded_entry = v;

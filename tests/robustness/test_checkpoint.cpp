@@ -1,0 +1,201 @@
+// Checkpoint format tests: lossless per-field round-trips, and the
+// rejection guarantee — a truncated blob, a bit flip at ANY byte offset, a
+// version skew, or a field-tag mismatch is always refused with a specific
+// CheckpointStatus, never parsed into a resumable state.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "factor/pivot_trace.h"
+#include "matrix/matrix.h"
+#include "numeric/rational.h"
+#include "numeric/softfloat.h"
+#include "robustness/checkpoint.h"
+
+namespace pfact::robustness {
+namespace {
+
+using numeric::Float53;
+using numeric::Rational;
+
+TEST(Crc32, MatchesTheIeeeReferenceVector) {
+  // The canonical CRC-32/ISO-HDLC check value.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0x00000000u);
+}
+
+template <class T>
+FactorCheckpoint<T> sample_checkpoint() {
+  FactorCheckpoint<T> c;
+  c.algorithm = "GEM";
+  c.strategy = 1;
+  c.next_step = 2;
+  c.matrix = Matrix<T>(3, 4);
+  c.matrix(0, 0) = T(1);
+  c.matrix(0, 3) = T(-1);
+  c.matrix(1, 1) = T(2);
+  c.has_perm = true;
+  c.perm = Permutation(3);
+  c.perm.swap(0, 2);
+  factor::PivotEvent e;
+  e.column = 0;
+  e.pivot_pos = 2;
+  e.pivot_row = 2;
+  e.action = factor::PivotAction::kSwap;
+  c.trace.record(e);
+  e.column = 1;
+  e.action = factor::PivotAction::kSkip;
+  c.trace.record(e);
+  return c;
+}
+
+template <class T>
+void expect_roundtrip(const FactorCheckpoint<T>& c) {
+  const std::string blob = encode_checkpoint(c);
+  FactorCheckpoint<T> back;
+  ASSERT_EQ(decode_checkpoint<T>(blob, back), CheckpointStatus::kOk);
+  EXPECT_EQ(back.algorithm, c.algorithm);
+  EXPECT_EQ(back.strategy, c.strategy);
+  EXPECT_EQ(back.next_step, c.next_step);
+  ASSERT_EQ(back.matrix.rows(), c.matrix.rows());
+  ASSERT_EQ(back.matrix.cols(), c.matrix.cols());
+  for (std::size_t i = 0; i < c.matrix.rows(); ++i)
+    for (std::size_t j = 0; j < c.matrix.cols(); ++j)
+      EXPECT_TRUE(back.matrix(i, j) == c.matrix(i, j))
+          << "entry (" << i << "," << j << ")";
+  ASSERT_EQ(back.has_perm, c.has_perm);
+  if (c.has_perm) {
+    ASSERT_EQ(back.perm.size(), c.perm.size());
+    for (std::size_t i = 0; i < c.perm.size(); ++i)
+      EXPECT_EQ(back.perm[i], c.perm[i]);
+  }
+  ASSERT_EQ(back.trace.size(), c.trace.size());
+  for (std::size_t i = 0; i < c.trace.size(); ++i) {
+    EXPECT_EQ(back.trace[i].column, c.trace[i].column);
+    EXPECT_EQ(back.trace[i].pivot_pos, c.trace[i].pivot_pos);
+    EXPECT_EQ(back.trace[i].pivot_row, c.trace[i].pivot_row);
+    EXPECT_EQ(back.trace[i].action, c.trace[i].action);
+  }
+}
+
+TEST(CheckpointRoundTrip, DoubleIsBitExact) {
+  auto c = sample_checkpoint<double>();
+  c.matrix(1, 2) = 0.1;  // not exactly representable: bit pattern must survive
+  expect_roundtrip(c);
+}
+
+TEST(CheckpointRoundTrip, LongDoubleIsBitExact) {
+  auto c = sample_checkpoint<long double>();
+  c.matrix(1, 2) = 1.0L / 3.0L;
+  c.matrix(2, 0) = -7.25L;
+  expect_roundtrip(c);
+}
+
+TEST(CheckpointRoundTrip, SoftFloat53IsBitExact) {
+  auto c = sample_checkpoint<Float53>();
+  c.matrix(1, 2) = Float53(0.1);
+  expect_roundtrip(c);
+}
+
+TEST(CheckpointRoundTrip, RationalIsExact) {
+  auto c = sample_checkpoint<Rational>();
+  c.matrix(1, 2) = Rational(22, 7);
+  c.matrix(2, 0) = Rational(-5, 3);
+  expect_roundtrip(c);
+}
+
+TEST(CheckpointRejection, EveryTruncationIsRefused) {
+  const std::string blob = encode_checkpoint(sample_checkpoint<double>());
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    FactorCheckpoint<double> back;
+    const CheckpointStatus s =
+        decode_checkpoint<double>(std::string_view(blob.data(), len), back);
+    ASSERT_NE(s, CheckpointStatus::kOk) << "accepted at length " << len;
+    EXPECT_EQ(s, CheckpointStatus::kTruncated) << "at length " << len;
+  }
+}
+
+TEST(CheckpointRejection, EveryBitFlipIsRefused) {
+  const std::string blob = encode_checkpoint(sample_checkpoint<double>());
+  for (std::size_t at = 0; at < blob.size(); ++at) {
+    for (int bit : {0, 4, 7}) {
+      std::string bad = blob;
+      bad[at] = static_cast<char>(bad[at] ^ (1 << bit));
+      FactorCheckpoint<double> back;
+      ASSERT_NE(decode_checkpoint<double>(bad, back), CheckpointStatus::kOk)
+          << "accepted flip of bit " << bit << " at byte " << at;
+    }
+  }
+}
+
+TEST(CheckpointRejection, VersionSkewIsNamed) {
+  std::string blob = encode_checkpoint(sample_checkpoint<double>());
+  blob[4] = static_cast<char>(kCheckpointVersion + 1);  // version u32, LE
+  FactorCheckpoint<double> back;
+  EXPECT_EQ(decode_checkpoint<double>(blob, back),
+            CheckpointStatus::kBadVersion);
+}
+
+TEST(CheckpointRejection, ForeignBytesAreBadMagic) {
+  FactorCheckpoint<double> back;
+  EXPECT_EQ(decode_checkpoint<double>("this is not a checkpoint blob!", back),
+            CheckpointStatus::kBadMagic);
+}
+
+TEST(CheckpointRejection, FieldTagMismatchIsMalformed) {
+  const std::string blob = encode_checkpoint(sample_checkpoint<double>());
+  FactorCheckpoint<Float53> back;
+  EXPECT_EQ(decode_checkpoint<Float53>(blob, back),
+            CheckpointStatus::kMalformed);
+}
+
+TEST(CheckpointRejection, TrailingGarbageIsMalformed) {
+  std::string blob = encode_checkpoint(sample_checkpoint<double>());
+  // Extend the PAYLOAD (and fix up length+crc) so the reader finishes with
+  // bytes left over: self-consistent header, inconsistent content.
+  std::string body = blob.substr(kCheckpointHeaderBytes);
+  body += '\0';
+  detail::ByteWriter header;
+  header.put_u32(kCheckpointMagic);
+  header.put_u32(kCheckpointVersion);
+  header.put_u64(body.size());
+  header.put_u32(crc32(body.data(), body.size()));
+  FactorCheckpoint<double> back;
+  EXPECT_EQ(decode_checkpoint<double>(header.take() + body, back),
+            CheckpointStatus::kMalformed);
+}
+
+TEST(CheckpointStore, KeepsLatestAndDropsOnDemand) {
+  CheckpointStore store;
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.latest(), nullptr);
+  store.put(2, "aa");
+  store.put(6, "bbbb");
+  store.put(4, "ccc");
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.latest_step(), 6u);
+  EXPECT_EQ(*store.latest(), "bbbb");
+  EXPECT_EQ(store.total_bytes(), 9u);
+  store.drop_latest();
+  EXPECT_EQ(store.latest_step(), 4u);
+  EXPECT_EQ(*store.latest(), "ccc");
+  store.clear();
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(CheckpointFiles, RoundTripPreservesBinaryBlobs) {
+  const std::string blob = encode_checkpoint(sample_checkpoint<double>());
+  const std::string path =
+      testing::TempDir() + "/pfact_checkpoint_roundtrip.ckpt";
+  ASSERT_TRUE(write_checkpoint_file(path, blob));
+  std::string back;
+  ASSERT_TRUE(read_checkpoint_file(path, back));
+  EXPECT_EQ(back, blob);
+  std::remove(path.c_str());
+  EXPECT_FALSE(read_checkpoint_file(path, back));
+}
+
+}  // namespace
+}  // namespace pfact::robustness

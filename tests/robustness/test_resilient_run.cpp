@@ -1,0 +1,245 @@
+// Supervised driver tests: the retry/escalate loop's terminal behaviors,
+// ladder climbs that end certified on an exact substrate, deterministic
+// replay of whole attempt logs, and the injectable-clock deadline path
+// (no wall-clock sleeps anywhere in this file).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <exception>
+#include <new>
+#include <vector>
+
+#include "circuit/builders.h"
+#include "circuit/circuit.h"
+#include "obs/counters.h"
+#include "robustness/resilient_run.h"
+
+namespace pfact::robustness {
+namespace {
+
+constexpr bool kObsOn = PFACT_OBS_ENABLED != 0;
+
+ReductionTask gep_task(int u, int w, std::size_t depth = 1) {
+  ReductionTask t;
+  t.algorithm = Algorithm::kGep;
+  t.u = u;
+  t.w = w;
+  t.depth = depth;
+  return t;
+}
+
+TEST(ResilientRun, CleanTaskCertifiesOnTheFirstRung) {
+  ReductionTask task;
+  task.algorithm = Algorithm::kGem;
+  task.instance = circuit::CvpInstance{circuit::xor_circuit(), {true, false}};
+  const ResilientReport rep = resilient_run(task);
+  ASSERT_TRUE(rep.certified) << rep.to_string();
+  EXPECT_EQ(rep.value, task.expected());
+  EXPECT_EQ(rep.certified_by, Substrate::kDouble);
+  EXPECT_EQ(rep.attempts.size(), 1u);
+  EXPECT_EQ(rep.escalations, 0u);
+  EXPECT_EQ(rep.outcome, FailureKind::kSuccess);
+}
+
+TEST(ResilientRun, FatalInputFailsImmediatelyWithoutRetries) {
+  const ResilientReport rep = resilient_run(gep_task(0, 1));  // 0 not in {1,2}
+  EXPECT_FALSE(rep.certified);
+  EXPECT_EQ(rep.outcome, FailureKind::kFatal);
+  EXPECT_EQ(rep.final_report.diagnostic, Diagnostic::kBadInput);
+  EXPECT_EQ(rep.attempts.size(), 1u);
+  EXPECT_EQ(rep.escalations, 0u);
+}
+
+// A persistent rounding-mode flip on a ladder that starts on SoftFloat:
+// the probe reports kRoundingAnomaly (transient), retries exhaust, and the
+// climb to exact rationals certifies the value — rounding modes cannot
+// touch exact arithmetic.
+TEST(ResilientRun, RoundingFlipIsEscapedByEscalatingToRational) {
+  ReductionTask task = gep_task(2, 2);
+  ResilientOptions opt;
+  opt.ladder = {Substrate::kSoftFloat53, Substrate::kRational};
+  opt.retry.max_attempts = 2;
+  FaultPlan flip;
+  flip.fault = FaultClass::kRoundingFlip;
+  opt.fault_for_attempt = [flip](std::size_t) { return flip; };
+
+  const ResilientReport rep = resilient_run(task, opt);
+  ASSERT_TRUE(rep.certified) << rep.to_string();
+  EXPECT_EQ(rep.value, task.expected());
+  EXPECT_EQ(rep.certified_by, Substrate::kRational);
+  EXPECT_EQ(rep.escalations, 1u);
+  ASSERT_EQ(rep.attempts.size(), 3u);  // 2 SoftFloat failures + 1 Rational
+  EXPECT_EQ(rep.attempts[0].diagnostic, Diagnostic::kRoundingAnomaly);
+  EXPECT_EQ(rep.attempts[0].kind, FailureKind::kTransient);
+  EXPECT_EQ(rep.attempts[1].substrate, Substrate::kSoftFloat53);
+  EXPECT_EQ(rep.attempts[2].substrate, Substrate::kRational);
+  EXPECT_EQ(rep.attempts[2].diagnostic, Diagnostic::kOk);
+}
+
+TEST(ResilientRun, GqrLadderExcludesRational) {
+  for (Substrate s : default_ladder(Algorithm::kGqr)) {
+    EXPECT_NE(s, Substrate::kRational);
+  }
+  EXPECT_FALSE(substrate_supported(Algorithm::kGqr, Substrate::kRational));
+  // And the dispatch refuses rather than instantiating sqrt over rationals.
+  const RunReport rep =
+      run_on_substrate(gep_task(1, 1), Substrate::kRational);
+  EXPECT_EQ(rep.diagnostic, Diagnostic::kOk);  // GEP supports rationals
+  ReductionTask gqr;
+  gqr.algorithm = Algorithm::kGqr;
+  gqr.u = 1;
+  gqr.w = 1;
+  gqr.depth = 1;
+  EXPECT_EQ(run_on_substrate(gqr, Substrate::kRational).diagnostic,
+            Diagnostic::kBadInput);
+}
+
+// Preemption storm: every attempt is killed by its step budget; the
+// checkpoint/resume path accumulates progress until the task certifies.
+TEST(ResilientRun, PreemptionStormCompletesViaCheckpointResume) {
+  ReductionTask task = gep_task(2, 1);
+  const ResilientReport baseline = resilient_run(task);
+  ASSERT_TRUE(baseline.certified);
+
+  ResilientOptions opt;
+  opt.checkpoint_every = 2;
+  opt.limits.max_steps = 3;
+  opt.retry.max_attempts = 64;
+  obs::ScopedCounters counters;
+  const ResilientReport rep = resilient_run(task, opt);
+  ASSERT_TRUE(rep.certified) << rep.to_string();
+  EXPECT_EQ(rep.value, baseline.value);
+  EXPECT_GT(rep.attempts.size(), 2u);
+  std::size_t resumed = 0;
+  for (const AttemptRecord& a : rep.attempts) resumed += a.resumed ? 1 : 0;
+  EXPECT_GT(resumed, 0u);
+  // The full trace of the final (resumed) attempt equals the uninterrupted
+  // trace, event for event.
+  ASSERT_EQ(rep.final_report.trace.size(),
+            baseline.final_report.trace.size());
+  for (std::size_t i = 0; i < rep.final_report.trace.size(); ++i) {
+    EXPECT_EQ(rep.final_report.trace[i].column,
+              baseline.final_report.trace[i].column);
+    EXPECT_EQ(rep.final_report.trace[i].pivot_row,
+              baseline.final_report.trace[i].pivot_row);
+    EXPECT_EQ(rep.final_report.trace[i].action,
+              baseline.final_report.trace[i].action);
+  }
+  if (kObsOn) {
+    const obs::CounterDelta d = counters.delta();
+    EXPECT_EQ(d[obs::Counter::kRetryAttempts], rep.attempts.size());
+    EXPECT_GT(d[obs::Counter::kCheckpointSaves], 0u);
+    EXPECT_GT(d[obs::Counter::kCheckpointBytes],
+              d[obs::Counter::kCheckpointSaves]);  // blobs are > 1 byte each
+    EXPECT_GT(d[obs::Counter::kCheckpointResumes], 0u);
+  }
+}
+
+// The whole supervised log — diagnostics, kinds, backoff delays, resume
+// flags — replays bit-identically from the same options.
+TEST(ResilientRun, AttemptLogIsBitReproducible) {
+  ReductionTask task = gep_task(1, 2);
+  ResilientOptions opt;
+  opt.ladder = {Substrate::kSoftFloat53, Substrate::kRational};
+  opt.retry.max_attempts = 3;
+  opt.retry.jitter_seed = 99;
+  FaultPlan flip;
+  flip.fault = FaultClass::kRoundingFlip;
+  opt.fault_for_attempt = [flip](std::size_t) { return flip; };
+
+  const ResilientReport a = resilient_run(task, opt);
+  const ResilientReport b = resilient_run(task, opt);
+  ASSERT_EQ(a.attempts.size(), b.attempts.size());
+  for (std::size_t i = 0; i < a.attempts.size(); ++i) {
+    EXPECT_EQ(a.attempts[i].substrate, b.attempts[i].substrate);
+    EXPECT_EQ(a.attempts[i].attempt, b.attempts[i].attempt);
+    EXPECT_EQ(a.attempts[i].diagnostic, b.attempts[i].diagnostic);
+    EXPECT_EQ(a.attempts[i].kind, b.attempts[i].kind);
+    EXPECT_EQ(a.attempts[i].backoff.count(), b.attempts[i].backoff.count());
+    EXPECT_EQ(a.attempts[i].resumed, b.attempts[i].resumed);
+  }
+  EXPECT_EQ(a.certified, b.certified);
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.escalations, b.escalations);
+  // Retry backoffs (recorded, not slept) follow the seeded policy exactly.
+  ASSERT_GE(a.attempts.size(), 2u);
+  EXPECT_EQ(a.attempts[1].backoff.count(), opt.retry.backoff(1).count());
+}
+
+// The sleeper receives exactly the recorded backoffs (and nothing on first
+// attempts); no sleeper means no sleeping at all.
+TEST(ResilientRun, SleeperSeesExactlyTheRecordedBackoffs) {
+  ReductionTask task = gep_task(2, 2);
+  ResilientOptions opt;
+  opt.ladder = {Substrate::kSoftFloat53, Substrate::kRational};
+  opt.retry.max_attempts = 3;
+  opt.retry.jitter_seed = 5;
+  FaultPlan flip;
+  flip.fault = FaultClass::kRoundingFlip;
+  opt.fault_for_attempt = [flip](std::size_t) { return flip; };
+  std::vector<long long> slept;
+  opt.sleeper = [&slept](std::chrono::milliseconds d) {
+    slept.push_back(d.count());
+  };
+  const ResilientReport rep = resilient_run(task, opt);
+  std::vector<long long> recorded;
+  for (const AttemptRecord& a : rep.attempts) {
+    if (a.backoff.count() > 0) recorded.push_back(a.backoff.count());
+  }
+  EXPECT_EQ(slept, recorded);
+  EXPECT_FALSE(slept.empty());
+}
+
+// --- injectable-clock deadline path -----------------------------------------
+
+// A fake steady clock that jumps 60ms per observation: the 50ms timeout
+// expires on the very first guard tick, deterministically, with zero
+// wall-clock sleeping.
+std::chrono::steady_clock::time_point fake_now;  // NOLINT
+std::chrono::steady_clock::time_point fake_clock() {
+  fake_now += std::chrono::milliseconds(60);
+  return fake_now;
+}
+
+TEST(ResilientRun, DeadlineFiresDeterministicallyUnderAFakeClock) {
+  fake_now = std::chrono::steady_clock::time_point{};
+  ReductionTask task;
+  task.algorithm = Algorithm::kGem;
+  task.instance = circuit::CvpInstance{circuit::xor_circuit(), {true, true}};
+  GuardLimits limits;
+  limits.timeout = std::chrono::milliseconds(50);
+  limits.clock = &fake_clock;
+  const RunReport rep =
+      run_on_substrate(task, Substrate::kDouble, limits);
+  EXPECT_EQ(rep.diagnostic, Diagnostic::kDeadlineExceeded);
+  EXPECT_EQ(classify_diagnostic(rep.diagnostic), FailureKind::kTransient);
+}
+
+TEST(ResilientRun, DeadlineExhaustionEndsAsTerminalTransient) {
+  fake_now = std::chrono::steady_clock::time_point{};
+  ReductionTask task = gep_task(1, 1);
+  ResilientOptions opt;
+  opt.limits.timeout = std::chrono::milliseconds(50);
+  opt.limits.clock = &fake_clock;
+  opt.retry.max_attempts = 2;
+  const ResilientReport rep = resilient_run(task, opt);
+  EXPECT_FALSE(rep.certified);
+  EXPECT_EQ(rep.outcome, FailureKind::kTransient);
+  EXPECT_EQ(rep.final_report.diagnostic, Diagnostic::kDeadlineExceeded);
+  // Two attempts per rung, full ladder climbed, every attempt preempted.
+  EXPECT_EQ(rep.attempts.size(), 2u * default_ladder(task.algorithm).size());
+  EXPECT_EQ(rep.escalations, default_ladder(task.algorithm).size() - 1);
+}
+
+// --- resource exhaustion ----------------------------------------------------
+
+TEST(ResilientRun, BadAllocClassifiesAsTransientResourceExhaustion) {
+  RunReport rep;
+  detail::apply_exception(rep, std::make_exception_ptr(std::bad_alloc{}));
+  EXPECT_EQ(rep.diagnostic, Diagnostic::kResourceExhausted);
+  EXPECT_EQ(classify_diagnostic(rep.diagnostic), FailureKind::kTransient);
+}
+
+}  // namespace
+}  // namespace pfact::robustness

@@ -1,0 +1,104 @@
+// Retry-policy tests: the classifier's three-way decision table and the
+// bit-reproducibility of the jittered exponential backoff schedule.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "robustness/retry.h"
+
+namespace pfact::robustness {
+namespace {
+
+TEST(Classifier, SuccessIsSuccess) {
+  EXPECT_EQ(classify_diagnostic(Diagnostic::kOk), FailureKind::kSuccess);
+}
+
+TEST(Classifier, EnvironmentAndPreemptionAreTransient) {
+  for (Diagnostic d :
+       {Diagnostic::kRoundingAnomaly, Diagnostic::kStepBudgetExceeded,
+        Diagnostic::kDeadlineExceeded, Diagnostic::kCancelled,
+        Diagnostic::kResourceExhausted, Diagnostic::kCheckpointCorrupt,
+        Diagnostic::kWorkerFailure}) {
+    EXPECT_EQ(classify_diagnostic(d), FailureKind::kTransient)
+        << diagnostic_name(d);
+  }
+}
+
+TEST(Classifier, NumericFailuresAreDeterministic) {
+  for (Diagnostic d :
+       {Diagnostic::kDecodeNotBoolean, Diagnostic::kDecodeAmbiguous,
+        Diagnostic::kDecodeOutOfTolerance, Diagnostic::kCrossCheckMismatch,
+        Diagnostic::kPivotAnomaly, Diagnostic::kNumericOverflow,
+        Diagnostic::kNumericNonFinite, Diagnostic::kInvariantViolation}) {
+    EXPECT_EQ(classify_diagnostic(d), FailureKind::kDeterministic)
+        << diagnostic_name(d);
+  }
+}
+
+TEST(Classifier, BadInputAndBugsAreFatal) {
+  EXPECT_EQ(classify_diagnostic(Diagnostic::kBadInput), FailureKind::kFatal);
+  EXPECT_EQ(classify_diagnostic(Diagnostic::kInternalError),
+            FailureKind::kFatal);
+}
+
+TEST(Backoff, SameSeedReplaysBitIdentically) {
+  RetryPolicy a;
+  a.jitter_seed = 42;
+  RetryPolicy b = a;
+  for (std::size_t k = 1; k <= 16; ++k) {
+    EXPECT_EQ(a.backoff(k).count(), b.backoff(k).count()) << "attempt " << k;
+  }
+}
+
+TEST(Backoff, DifferentSeedsDiverge) {
+  RetryPolicy a;
+  a.jitter_seed = 1;
+  RetryPolicy b;
+  b.jitter_seed = 2;
+  bool any_differ = false;
+  for (std::size_t k = 1; k <= 16 && !any_differ; ++k) {
+    any_differ = a.backoff(k).count() != b.backoff(k).count();
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(Backoff, StaysInTheJitteredExponentialEnvelope) {
+  RetryPolicy p;
+  p.base_delay = std::chrono::milliseconds{10};
+  p.max_delay = std::chrono::milliseconds{1000};
+  p.jitter_seed = 7;
+  for (std::size_t k = 1; k <= 20; ++k) {
+    const long long raw =
+        std::min<long long>(1000, 10LL << std::min<std::size_t>(k - 1, 20));
+    const long long d = p.backoff(k).count();
+    EXPECT_GE(d, raw / 2) << "attempt " << k;
+    EXPECT_LE(d, raw) << "attempt " << k;
+  }
+}
+
+TEST(Backoff, HugeAttemptIndexSaturatesAtTheCap) {
+  RetryPolicy p;
+  p.base_delay = std::chrono::milliseconds{10};
+  p.max_delay = std::chrono::milliseconds{500};
+  const long long d = p.backoff(1000).count();
+  EXPECT_GE(d, 250);
+  EXPECT_LE(d, 500);
+}
+
+TEST(Backoff, ZeroBaseDisablesSleeping) {
+  RetryPolicy p;
+  p.base_delay = std::chrono::milliseconds{0};
+  for (std::size_t k = 1; k <= 4; ++k) {
+    EXPECT_EQ(p.backoff(k).count(), 0);
+  }
+}
+
+TEST(Mix64, IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(1, 1), mix64(1, 1));
+  EXPECT_NE(mix64(1, 1), mix64(1, 2));
+  EXPECT_NE(mix64(1, 1), mix64(2, 1));
+}
+
+}  // namespace
+}  // namespace pfact::robustness

@@ -1,0 +1,388 @@
+// Supervised chaos soak for the resilient execution engine.
+//
+// Replays randomized-but-deterministic fault campaigns against the four
+// reductions (GEM / GEMS / GEP / GQR, plus the bordered nonsingular GEM)
+// through robustness::resilient_run and asserts the engine's one
+// non-negotiable property: ZERO WRONG ANSWERS. Every campaign must end
+// either certified-correct (the decoded boolean matches the direct circuit
+// evaluation AND the task's ground truth) or as a classified terminal
+// failure — a campaign that certifies the wrong boolean fails the whole
+// soak immediately and dumps its evidence.
+//
+// Campaign shapes, selected per-campaign from the seed stream:
+//   fault-sweep  — one FaultClass injected persistently on every attempt;
+//                  the ladder must detect it on every rung it survives to.
+//   flip-ladder  — kRoundingFlip against a ladder that STARTS on SoftFloat
+//                  (where the flip is visible): transient retries exhaust,
+//                  then escalation to exact rationals certifies the value.
+//   preemption   — a step budget smaller than the factorization, with
+//                  checkpointing: every attempt is killed mid-run and the
+//                  next one resumes from the last snapshot, so the task
+//                  finishes by accumulated progress across kills.
+//   torn-write   — preemption plus kTornWrite: the first snapshot of an
+//                  attempt is corrupted at save time; resume must reject it
+//                  (CRC / truncation), drop it, and recover from an intact
+//                  earlier snapshot or from scratch.
+//   kill-resume  — explicit crash/resume equivalence: kill a checkpointing
+//                  run at a boundary, hand the surviving store to a fresh
+//                  engine call, and require the SAME decoded boolean and
+//                  the SAME pivot trace, event for event, as an
+//                  uninterrupted baseline.
+//
+// Usage: pfact_soak [--campaigns N] [--seed S] [--log FILE]
+//                   [--fail-dir DIR] [--verbose]
+//
+// Exit code 0 iff every campaign held the contract. The log file (one line
+// per campaign) and any failing checkpoint blobs (--fail-dir) are the CI
+// artifacts.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "circuit/builders.h"
+#include "circuit/circuit.h"
+#include "robustness/checkpoint.h"
+#include "robustness/escalation.h"
+#include "robustness/fault_injector.h"
+#include "robustness/resilient_run.h"
+#include "robustness/retry.h"
+
+using namespace pfact;
+using namespace pfact::robustness;
+
+namespace {
+
+struct Options {
+  std::size_t campaigns = 200;
+  std::uint64_t seed = 1;
+  std::string log_path = "soak_log.txt";
+  std::string fail_dir;
+  bool verbose = false;
+};
+
+struct SoakStats {
+  std::size_t certified = 0;
+  std::size_t terminal = 0;
+  std::size_t escalations = 0;
+  std::size_t attempts = 0;
+  std::size_t resumes = 0;
+  std::size_t checkpoint_rejections = 0;
+  std::size_t wrong_answers = 0;  // must stay 0
+  std::size_t broken_contracts = 0;
+};
+
+// Deterministic per-campaign stream: mix64 of (seed, campaign, salt).
+struct Stream {
+  std::uint64_t seed;
+  std::uint64_t campaign;
+  std::uint64_t salt = 0;
+  std::uint64_t next() { return mix64(seed + campaign * 0x1000003ull, ++salt); }
+  std::uint64_t pick(std::uint64_t n) { return next() % n; }
+};
+
+std::vector<ReductionTask> build_task_pool() {
+  std::vector<ReductionTask> pool;
+  auto add_cvp = [&pool](Algorithm alg, circuit::Circuit c,
+                         std::vector<bool> in) {
+    ReductionTask t;
+    t.algorithm = alg;
+    t.instance = circuit::CvpInstance{std::move(c), std::move(in)};
+    pool.push_back(std::move(t));
+  };
+  add_cvp(Algorithm::kGem, circuit::xor_circuit(), {true, false});
+  add_cvp(Algorithm::kGem, circuit::majority3_circuit(), {true, false, true});
+  add_cvp(Algorithm::kGems, circuit::xor_circuit(), {true, true});
+  add_cvp(Algorithm::kGems, circuit::parity_circuit(3), {true, true, false});
+  add_cvp(Algorithm::kGemNonsingular, circuit::xor_circuit(), {false, true});
+  for (int u = 1; u <= 2; ++u) {
+    for (int w = 1; w <= 2; ++w) {
+      ReductionTask gep;
+      gep.algorithm = Algorithm::kGep;
+      gep.u = u;
+      gep.w = w;
+      gep.depth = 2;
+      pool.push_back(gep);
+    }
+  }
+  for (int a = -1; a <= 1; a += 2) {
+    for (int b = -1; b <= 1; b += 2) {
+      ReductionTask gqr;
+      gqr.algorithm = Algorithm::kGqr;
+      gqr.u = a;
+      gqr.w = b;
+      gqr.depth = 1;
+      pool.push_back(gqr);
+    }
+  }
+  return pool;
+}
+
+bool traces_equal(const factor::PivotTrace& a, const factor::PivotTrace& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].column != b[i].column || a[i].pivot_pos != b[i].pivot_pos ||
+        a[i].pivot_row != b[i].pivot_row || a[i].action != b[i].action) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void tally(const ResilientReport& rep, SoakStats& stats) {
+  stats.attempts += rep.attempts.size();
+  stats.escalations += rep.escalations;
+  for (const AttemptRecord& a : rep.attempts) {
+    if (a.resumed) ++stats.resumes;
+    if (a.diagnostic == Diagnostic::kCheckpointCorrupt) {
+      ++stats.checkpoint_rejections;
+    }
+  }
+}
+
+// The one property the engine must never lose: a certified answer is the
+// ground truth. Returns false (and dumps evidence) on violation.
+bool check_verdict(const ReductionTask& task, const ResilientReport& rep,
+                   const Options& opt, const CheckpointStore* store,
+                   std::size_t campaign, std::ofstream& log,
+                   SoakStats& stats) {
+  if (rep.certified) {
+    ++stats.certified;
+    if (rep.value != task.expected()) {
+      ++stats.wrong_answers;
+      log << "campaign " << campaign << " WRONG ANSWER: " << task.describe()
+          << " certified " << (rep.value ? "true" : "false") << " but truth is "
+          << (task.expected() ? "true" : "false") << "\n"
+          << rep.to_string() << "\n";
+      if (!opt.fail_dir.empty() && store != nullptr) {
+        std::size_t i = 0;
+        for (const auto& [step, blob] : store->blobs()) {
+          write_checkpoint_file(opt.fail_dir + "/campaign" +
+                                    std::to_string(campaign) + "_step" +
+                                    std::to_string(step) + ".ckpt",
+                                blob);
+          ++i;
+        }
+        (void)i;
+      }
+      return false;
+    }
+  } else {
+    ++stats.terminal;
+    // A terminal failure must be a *classified* one — the supervisor never
+    // gives up with kOk or an unexplained success-kind.
+    if (rep.outcome == FailureKind::kSuccess ||
+        rep.final_report.diagnostic == Diagnostic::kOk) {
+      ++stats.broken_contracts;
+      log << "campaign " << campaign
+          << " BROKEN CONTRACT: terminal report carries kOk\n"
+          << rep.to_string() << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--campaigns") {
+      opt.campaigns = static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--log") {
+      opt.log_path = value();
+    } else if (arg == "--fail-dir") {
+      opt.fail_dir = value();
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: pfact_soak [--campaigns N] [--seed S] [--log FILE] "
+                   "[--fail-dir DIR] [--verbose]\n");
+      return 2;
+    }
+  }
+
+  std::ofstream log(opt.log_path, std::ios::trunc);
+  if (!log) {
+    std::fprintf(stderr, "cannot open log file %s\n", opt.log_path.c_str());
+    return 2;
+  }
+  log << "pfact_soak seed=" << opt.seed << " campaigns=" << opt.campaigns
+      << "\n";
+
+  const std::vector<ReductionTask> pool = build_task_pool();
+  const std::vector<FaultClass> faults = all_fault_classes();
+  SoakStats stats;
+  bool ok = true;
+
+  for (std::size_t campaign = 0; campaign < opt.campaigns && ok; ++campaign) {
+    Stream rng{opt.seed, campaign};
+    const ReductionTask& task = pool[rng.pick(pool.size())];
+
+    ResilientOptions ro;
+    ro.retry.max_attempts = 3;
+    ro.retry.base_delay = std::chrono::milliseconds{1};
+    ro.retry.jitter_seed = rng.next();
+    // No sleeper installed: backoffs are recorded, not slept — the campaign
+    // stream is wall-clock independent.
+
+    const std::uint64_t shape = rng.pick(5);
+    const char* shape_name = "?";
+    CheckpointStore store;
+
+    switch (shape) {
+      case 0: {  // fault-sweep: one persistent fault across all attempts
+        shape_name = "fault-sweep";
+        FaultPlan plan;
+        plan.fault = faults[rng.pick(faults.size())];
+        plan.seed = rng.next();
+        ro.checkpoint_every = 2 + rng.pick(4);
+        ro.store = &store;
+        ro.fault_for_attempt = [plan](std::size_t) { return plan; };
+        break;
+      }
+      case 1: {  // flip-ladder: rounding flip, ladder starts on SoftFloat
+        shape_name = "flip-ladder";
+        if (task.algorithm == Algorithm::kGqr) {
+          // GQR has no exact rung to escalate into; give it the full ladder
+          // from the bottom instead (the flip is harmless on long double).
+          ro.ladder = {Substrate::kDouble, Substrate::kSoftFloat53};
+        } else {
+          ro.ladder = {Substrate::kSoftFloat53, Substrate::kRational};
+        }
+        FaultPlan plan;
+        plan.fault = FaultClass::kRoundingFlip;
+        plan.seed = rng.next();
+        ro.fault_for_attempt = [plan](std::size_t) { return plan; };
+        break;
+      }
+      case 2: {  // preemption storm: kill every attempt, finish by resume
+        shape_name = "preemption";
+        ro.checkpoint_every = 2;
+        ro.store = &store;
+        ro.limits.max_steps = 3 + rng.pick(3);
+        // Progress per kill is ~checkpoint_every steps, so crossing the
+        // largest pool task (order ~10^2) takes a few hundred kills.
+        ro.retry.max_attempts = 1024;
+        break;
+      }
+      case 3: {  // torn-write: preemption plus a blob corrupted at save
+        shape_name = "torn-write";
+        ro.checkpoint_every = 2;
+        ro.store = &store;
+        ro.limits.max_steps = 4;
+        ro.retry.max_attempts = 1024;
+        FaultPlan plan;
+        plan.fault = FaultClass::kTornWrite;
+        plan.seed = rng.next();
+        ro.fault_for_attempt = [plan](std::size_t attempt) {
+          // Tear only the first attempt's snapshot so the campaign also
+          // proves recovery, not just rejection.
+          return attempt == 1 ? plan : FaultPlan{};
+        };
+        break;
+      }
+      default: {  // kill-resume: explicit crash/resume equivalence
+        shape_name = "kill-resume";
+        // Uninterrupted baseline.
+        ResilientOptions base;
+        base.retry.max_attempts = 1;
+        const ResilientReport baseline = resilient_run(task, base);
+        if (!baseline.certified) {
+          ++stats.broken_contracts;
+          log << "campaign " << campaign << " BROKEN CONTRACT: clean run of "
+              << task.describe() << " not certified\n"
+              << baseline.to_string() << "\n";
+          ok = false;
+          break;
+        }
+        // Kill a checkpointing run at a step boundary...
+        const std::size_t every = 2 + rng.pick(3);
+        ResilientOptions crash;
+        crash.retry.max_attempts = 1;
+        crash.checkpoint_every = every;
+        crash.store = &store;
+        crash.limits.max_steps = every * (1 + rng.pick(3));
+        resilient_run(task, crash);
+        // ...and hand the surviving store to a fresh engine call.
+        ResilientOptions resume;
+        resume.retry.max_attempts = 2;
+        resume.checkpoint_every = every;
+        resume.store = &store;
+        const ResilientReport resumed = resilient_run(task, resume);
+        tally(resumed, stats);
+        if (!resumed.certified || resumed.value != baseline.value ||
+            !traces_equal(resumed.final_report.trace,
+                          baseline.final_report.trace)) {
+          ++stats.broken_contracts;
+          log << "campaign " << campaign
+              << " CRASH/RESUME DIVERGENCE: " << task.describe()
+              << " baseline value=" << baseline.value
+              << " trace=" << baseline.final_report.trace.size()
+              << " events; resumed:\n"
+              << resumed.to_string() << "\n";
+          ok = false;
+          break;
+        }
+        ++stats.certified;
+        if (opt.verbose) {
+          std::printf("campaign %zu %s %s: resumed identically (%zu events)\n",
+                      campaign, shape_name, task.describe().c_str(),
+                      resumed.final_report.trace.size());
+        }
+        log << "campaign " << campaign << " " << shape_name << " "
+            << task.describe() << " ok\n";
+        continue;
+      }
+    }
+    if (!ok) break;
+
+    const ResilientReport rep = resilient_run(task, ro);
+    tally(rep, stats);
+    ok = check_verdict(task, rep, opt, &store, campaign, log, stats);
+    if (opt.verbose) {
+      std::printf("campaign %zu %s %s: %s\n", campaign, shape_name,
+                  task.describe().c_str(),
+                  rep.certified ? "certified" : "terminal");
+    }
+    log << "campaign " << campaign << " " << shape_name << " "
+        << task.describe() << " "
+        << (rep.certified ? "certified" : "terminal") << " attempts="
+        << rep.attempts.size() << " escalations=" << rep.escalations << "\n";
+  }
+
+  log << "summary certified=" << stats.certified
+      << " terminal=" << stats.terminal << " attempts=" << stats.attempts
+      << " escalations=" << stats.escalations << " resumes=" << stats.resumes
+      << " checkpoint-rejections=" << stats.checkpoint_rejections
+      << " wrong-answers=" << stats.wrong_answers
+      << " broken-contracts=" << stats.broken_contracts << "\n";
+  std::printf(
+      "pfact_soak: %zu certified, %zu terminal, %zu attempts, "
+      "%zu escalations, %zu resumes, %zu checkpoint rejections, "
+      "%zu wrong answers, %zu broken contracts\n",
+      stats.certified, stats.terminal, stats.attempts, stats.escalations,
+      stats.resumes, stats.checkpoint_rejections, stats.wrong_answers,
+      stats.broken_contracts);
+  if (!ok || stats.wrong_answers != 0 || stats.broken_contracts != 0) {
+    std::printf("pfact_soak: FAILED (see %s)\n", opt.log_path.c_str());
+    return 1;
+  }
+  std::printf("pfact_soak: all campaigns held the contract\n");
+  return 0;
+}
