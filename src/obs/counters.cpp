@@ -1,8 +1,8 @@
 #include "obs/counters.h"
 
-#include <atomic>
 #include <deque>
-#include <mutex>
+
+#include "parallel/annotations.h"
 
 namespace pfact::obs {
 
@@ -91,9 +91,12 @@ namespace {
 // Blocks are appended, never removed: a thread that exits leaves its totals
 // behind (counters are cumulative), and snapshot() never touches freed
 // memory. std::deque keeps existing blocks stable across registrations.
+// `blocks` (the container) is guarded by `mu`; the atomics INSIDE a block
+// are lock-free by design — registered blocks are read outside the lock by
+// their owning thread, which is exactly the relaxed-atomic contract.
 struct Registry {
-  std::mutex mu;
-  std::deque<CounterBlock> blocks;
+  par::Mutex mu;
+  std::deque<CounterBlock> blocks PFACT_GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -105,8 +108,10 @@ Registry& registry() {
 
 CounterBlock* this_thread_block() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  par::MutexLock lock(r.mu);
   r.blocks.emplace_back();
+  // Escapes the lock on purpose: the block is never freed and its fields
+  // are atomics, so the owning thread bumps them lock-free.
   return &r.blocks.back();
 }
 
@@ -115,7 +120,7 @@ CounterBlock* this_thread_block() {
 CounterSnapshot snapshot() {
   CounterSnapshot s;
   detail::Registry& r = detail::registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  par::MutexLock lock(r.mu);
   for (const detail::CounterBlock& b : r.blocks) {
     for (std::size_t i = 0; i < kNumCounters; ++i) {
       s.counts[i] += b.counts[i].load(std::memory_order_relaxed);

@@ -4,7 +4,8 @@
 #include <atomic>
 #include <chrono>
 #include <deque>
-#include <mutex>
+
+#include "parallel/annotations.h"
 
 namespace pfact::obs {
 
@@ -20,15 +21,15 @@ std::atomic<bool> g_tracing{false};
 // dump/clear hold it per buffer, so tracing a pool worker never contends
 // with another worker.
 struct SpanBuffer {
-  std::mutex mu;
-  std::vector<SpanEvent> events;
-  std::uint32_t tid = 0;
+  par::Mutex mu;
+  std::vector<SpanEvent> events PFACT_GUARDED_BY(mu);
+  std::uint32_t tid = 0;  // written once at registration, read-only after
 };
 
 struct SpanRegistry {
-  std::mutex mu;
-  std::deque<SpanBuffer> buffers;
-  std::uint32_t next_tid = 0;
+  par::Mutex mu;
+  std::deque<SpanBuffer> buffers PFACT_GUARDED_BY(mu);
+  std::uint32_t next_tid PFACT_GUARDED_BY(mu) = 0;
 };
 
 SpanRegistry& span_registry() {
@@ -38,9 +39,11 @@ SpanRegistry& span_registry() {
 
 SpanBuffer* this_thread_buffer() {
   SpanRegistry& r = span_registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  par::MutexLock lock(r.mu);
   r.buffers.emplace_back();
   r.buffers.back().tid = r.next_tid++;
+  // Escapes the lock on purpose: buffers are never freed, and all event
+  // access goes through the buffer's own mu.
   return &r.buffers.back();
 }
 
@@ -73,7 +76,7 @@ void record_span(const char* name, std::uint64_t begin_ns,
                  std::uint64_t end_ns) {
   thread_local SpanBuffer* buf = this_thread_buffer();
   {
-    std::lock_guard<std::mutex> lock(buf->mu);
+    par::MutexLock lock(buf->mu);
     buf->events.push_back(SpanEvent{name, begin_ns, end_ns, buf->tid});
   }
   PFACT_HISTO(kSpanDurationUs, (end_ns - begin_ns) / 1000);
@@ -83,9 +86,9 @@ void record_span(const char* name, std::uint64_t begin_ns,
 
 void clear_spans() {
   SpanRegistry& r = span_registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  par::MutexLock lock(r.mu);
   for (SpanBuffer& b : r.buffers) {
-    std::lock_guard<std::mutex> bl(b.mu);
+    par::MutexLock bl(b.mu);
     b.events.clear();
   }
 }
@@ -93,9 +96,9 @@ void clear_spans() {
 std::vector<SpanEvent> dump_spans() {
   std::vector<SpanEvent> out;
   SpanRegistry& r = span_registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  par::MutexLock lock(r.mu);
   for (SpanBuffer& b : r.buffers) {
-    std::lock_guard<std::mutex> bl(b.mu);
+    par::MutexLock bl(b.mu);
     out.insert(out.end(), b.events.begin(), b.events.end());
   }
   return out;

@@ -1,0 +1,121 @@
+#pragma once
+// Clang thread-safety (capability) annotations and an annotated mutex
+// wrapper — the compile-time counterpart of the TSan lane.
+//
+// Clang's -Wthread-safety analysis proves, per translation unit, that every
+// access to a PFACT_GUARDED_BY(mu) member happens while `mu` is held, that
+// functions declared PFACT_REQUIRES(mu) are only called under the lock, and
+// that scoped locks are released on every path. GCC and MSVC do not
+// implement the attribute, so every macro below expands to nothing there:
+// annotated code compiles identically on all toolchains, and only the CI
+// thread-safety lane (Clang, -Werror=thread-safety) enforces the contracts.
+//
+// std::mutex itself carries no capability attribute in libstdc++/libc++, so
+// the analysis cannot see through it. Mutex below wraps std::mutex with the
+// capability attribute, and MutexLock is the annotated scoped lock (built on
+// std::unique_lock so it can drive a condition_variable wait). All shared
+// state in the library — the thread pool queue, the counter and span
+// registries, the checkpoint store — is guarded by these wrappers.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define PFACT_TSA(x) __attribute__((x))
+#endif
+#endif
+#if !defined(PFACT_TSA)
+#define PFACT_TSA(x)  // non-Clang: annotations vanish
+#endif
+
+// A type that acts as a lockable capability ("mutex" names the kind used in
+// diagnostics).
+#define PFACT_CAPABILITY(x) PFACT_TSA(capability(x))
+
+// A scoped-lockable type: acquires in the constructor, releases in the
+// destructor (std::lock_guard-like).
+#define PFACT_SCOPED_CAPABILITY PFACT_TSA(scoped_lockable)
+
+// Data member: may only be read/written while holding `x`.
+#define PFACT_GUARDED_BY(x) PFACT_TSA(guarded_by(x))
+
+// Pointer member: the pointed-to data is guarded by `x` (the pointer itself
+// is not).
+#define PFACT_PT_GUARDED_BY(x) PFACT_TSA(pt_guarded_by(x))
+
+// Function: caller must hold the capability (exclusively) on entry and still
+// holds it on exit.
+#define PFACT_REQUIRES(...) \
+  PFACT_TSA(requires_capability(__VA_ARGS__))
+
+// Function: acquires / releases the capability.
+#define PFACT_ACQUIRE(...) \
+  PFACT_TSA(acquire_capability(__VA_ARGS__))
+#define PFACT_RELEASE(...) \
+  PFACT_TSA(release_capability(__VA_ARGS__))
+#define PFACT_TRY_ACQUIRE(...) \
+  PFACT_TSA(try_acquire_capability(__VA_ARGS__))
+
+// Function: caller must NOT hold the capability (deadlock prevention for
+// non-reentrant locks).
+#define PFACT_EXCLUDES(...) PFACT_TSA(locks_excluded(__VA_ARGS__))
+
+// Function: returns a reference to the named capability.
+#define PFACT_RETURN_CAPABILITY(x) PFACT_TSA(lock_returned(x))
+
+// Escape hatch, used only where the analysis cannot follow the code (e.g. a
+// lock handed across a std::condition_variable wait); every use carries a
+// comment saying why.
+#define PFACT_NO_THREAD_SAFETY_ANALYSIS \
+  PFACT_TSA(no_thread_safety_analysis)
+
+namespace pfact::par {
+
+// std::mutex with the capability attribute, so -Wthread-safety can reason
+// about what it protects. Zero overhead: the wrapper is exactly a
+// std::mutex.
+class PFACT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PFACT_ACQUIRE() { mu_.lock(); }
+  void unlock() PFACT_RELEASE() { mu_.unlock(); }
+  bool try_lock() PFACT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // The raw std::mutex, for APIs that need it (condition_variable via
+  // MutexLock). Callers must not lock through it directly.
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// Annotated scoped lock over Mutex. Built on std::unique_lock so a
+// condition_variable wait can release/reacquire the underlying mutex; the
+// analysis treats the capability as held for the whole scope, which is the
+// standard (conservative) model for cv waits — the guarded predicate is
+// re-checked under the lock after every wakeup.
+class PFACT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PFACT_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() PFACT_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  // Releases and reacquires the underlying mutex around the wait. No
+  // predicate overload on purpose: a predicate lambda is a separate
+  // function to the analysis, so guarded reads inside it would not see the
+  // held capability — callers write the while-loop in their own body.
+  void wait(std::condition_variable& cv) { cv.wait(lock_); }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace pfact::par

@@ -20,7 +20,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -34,7 +34,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> pt(std::move(task));
   std::future<void> fut = pt.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stop_) {
       throw std::runtime_error(
           "ThreadPool::submit: pool is shutting down; the task would never "
@@ -58,8 +58,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Plain wait loop (no predicate lambda): the guarded reads of stop_
+      // and queue_ stay in this function's body, where the thread-safety
+      // analysis can see the held capability.
+      while (!stop_ && queue_.empty()) lock.wait(cv_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();

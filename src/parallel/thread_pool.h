@@ -23,11 +23,12 @@
 #include <exception>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
+#include <stdexcept>
 #include <thread>
-#include <utility>
 #include <vector>
+
+#include "parallel/annotations.h"
 
 namespace pfact::par {
 
@@ -73,10 +74,12 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable cv_;
-  std::queue<std::packaged_task<void()>> queue_;
-  bool stop_ = false;
+  std::queue<std::packaged_task<void()>> queue_ PFACT_GUARDED_BY(mu_);
+  bool stop_ PFACT_GUARDED_BY(mu_) = false;
+  // Only mutated in the constructor, before any worker can observe `this`;
+  // size() reads it concurrently but the vector is immutable by then.
   std::vector<std::thread> workers_;
 };
 

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -40,6 +41,7 @@
 #include "numeric/rational.h"
 #include "numeric/softfloat.h"
 #include "obs/counters.h"
+#include "parallel/annotations.h"
 
 namespace pfact::robustness {
 
@@ -423,35 +425,64 @@ CheckpointStatus decode_checkpoint(std::string_view blob,
 // Resume uses latest(); a blob that fails validation is dropped with
 // drop_latest() so the next retry falls back to the previous snapshot (or
 // a from-scratch start).
+//
+// Internally synchronized: a store outlives individual attempts (the
+// crash/resume harness hands one across engine calls, and a supervisor may
+// observe progress while a factorization thread is saving), so every method
+// takes the store's own mutex and nothing hands out references into the
+// guarded map — latest() copies the blob out and blobs() snapshots the
+// whole sequence. Blobs are small relative to the factorizations that
+// produce them, and resume/dump are cold paths.
 class CheckpointStore {
  public:
   void put(std::uint64_t step, std::string blob) {
+    par::MutexLock lock(mu_);
     blobs_[step] = std::move(blob);
   }
-  bool empty() const { return blobs_.empty(); }
-  std::size_t size() const { return blobs_.size(); }
-  void clear() { blobs_.clear(); }
+  bool empty() const {
+    par::MutexLock lock(mu_);
+    return blobs_.empty();
+  }
+  std::size_t size() const {
+    par::MutexLock lock(mu_);
+    return blobs_.size();
+  }
+  void clear() {
+    par::MutexLock lock(mu_);
+    blobs_.clear();
+  }
 
-  const std::string* latest() const {
-    return blobs_.empty() ? nullptr : &blobs_.rbegin()->second;
+  // The newest blob, copied out (std::nullopt when the store is empty).
+  std::optional<std::string> latest() const {
+    par::MutexLock lock(mu_);
+    if (blobs_.empty()) return std::nullopt;
+    return blobs_.rbegin()->second;
   }
   std::uint64_t latest_step() const {
+    par::MutexLock lock(mu_);
     return blobs_.empty() ? 0 : blobs_.rbegin()->first;
   }
   void drop_latest() {
+    par::MutexLock lock(mu_);
     if (!blobs_.empty()) blobs_.erase(std::prev(blobs_.end()));
   }
 
   std::uint64_t total_bytes() const {
+    par::MutexLock lock(mu_);
     std::uint64_t n = 0;
     for (const auto& [step, blob] : blobs_) n += blob.size();
     return n;
   }
 
-  const std::map<std::uint64_t, std::string>& blobs() const { return blobs_; }
+  // A consistent copy of the whole sequence (artifact dumps, assertions).
+  std::map<std::uint64_t, std::string> blobs() const {
+    par::MutexLock lock(mu_);
+    return blobs_;
+  }
 
  private:
-  std::map<std::uint64_t, std::string> blobs_;
+  mutable par::Mutex mu_;
+  std::map<std::uint64_t, std::string> blobs_ PFACT_GUARDED_BY(mu_);
 };
 
 // File helpers for the soak harness / CI artifacts: a failing blob is

@@ -150,9 +150,16 @@ class FaultInjector {
         PFACT_COUNT(kFaultsInjected);
         return true;
       }
-      default:
+      // Not matrix-level faults: injected by corrupt_instance /
+      // corrupt_encoded_input / corrupt_blob instead. Enumerated so that
+      // -Wswitch-enum forces a new FaultClass to choose its site here.
+      case FaultClass::kNone:
+      case FaultClass::kRoundingFlip:
+      case FaultClass::kTruncatedInput:
+      case FaultClass::kTornWrite:
         return false;
     }
+    return false;
   }
 
   // Instance-level fault (kTruncatedInput): drops the last input bit, so

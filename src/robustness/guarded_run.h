@@ -149,8 +149,8 @@ bool restore_checkpoint(const CheckpointConfig& ckpt,
                         std::size_t& start_step) {
   start_step = 0;
   if (!ckpt.resume || ckpt.store == nullptr) return true;
-  const std::string* blob = ckpt.store->latest();
-  if (blob == nullptr) return true;
+  const std::optional<std::string> blob = ckpt.store->latest();
+  if (!blob.has_value()) return true;
   FactorCheckpoint<T> c;
   const CheckpointStatus status = decode_checkpoint<T>(*blob, c);
   if (status != CheckpointStatus::kOk) {

@@ -170,7 +170,7 @@ TEST(CheckpointRejection, TrailingGarbageIsMalformed) {
 TEST(CheckpointStore, KeepsLatestAndDropsOnDemand) {
   CheckpointStore store;
   EXPECT_TRUE(store.empty());
-  EXPECT_EQ(store.latest(), nullptr);
+  EXPECT_EQ(store.latest(), std::nullopt);
   store.put(2, "aa");
   store.put(6, "bbbb");
   store.put(4, "ccc");

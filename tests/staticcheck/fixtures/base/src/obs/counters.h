@@ -1,0 +1,18 @@
+#pragma once
+// staticcheck fixture: minimal Counter/Histogram taxonomy in the house
+// shape pfact_lint parses. Not compiled — parsed only.
+
+namespace pfact::obs {
+
+enum class Counter : std::size_t {
+  kElimSteps,
+  kRowUpdates,
+  kCount_,
+};
+
+enum class Histogram : std::size_t {
+  kPivotMoveDistance,
+  kCount_,
+};
+
+}  // namespace pfact::obs

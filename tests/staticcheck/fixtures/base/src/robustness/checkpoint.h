@@ -1,0 +1,16 @@
+#pragma once
+// staticcheck fixture: minimal checkpoint schema (version constant + field
+// tags) in the shape pfact_lint parses.
+
+namespace pfact::robustness {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+template <class T>
+const char* field_tag() = delete;
+template <>
+inline const char* field_tag<double>() { return "double"; }
+template <>
+inline const char* field_tag<float>() { return "single"; }
+
+}  // namespace pfact::robustness

@@ -1,0 +1,21 @@
+#pragma once
+// staticcheck fixture: minimal Diagnostic taxonomy with its name switch.
+
+namespace pfact::robustness {
+
+enum class Diagnostic {
+  kOk,
+  kBadInput,
+  kNumericOverflow,
+};
+
+inline const char* diagnostic_name(Diagnostic d) {
+  switch (d) {
+    case Diagnostic::kOk: return "ok";
+    case Diagnostic::kBadInput: return "bad-input";
+    case Diagnostic::kNumericOverflow: return "numeric-overflow";
+  }
+  return "?";
+}
+
+}  // namespace pfact::robustness

@@ -1,0 +1,28 @@
+#pragma once
+// staticcheck fixture: minimal fault taxonomy (enum + name switch + sweep
+// list) in the shape pfact_lint parses.
+
+namespace pfact::robustness {
+
+enum class FaultClass {
+  kNone,
+  kBitFlip,
+  kPivotTie,
+};
+
+inline const char* fault_class_name(FaultClass f) {
+  switch (f) {
+    case FaultClass::kNone: return "none";
+    case FaultClass::kBitFlip: return "bit-flip";
+    case FaultClass::kPivotTie: return "pivot-tie";
+  }
+  return "?";
+}
+
+inline const std::vector<FaultClass>& all_fault_classes() {
+  static const std::vector<FaultClass> classes = {FaultClass::kBitFlip,
+                                                  FaultClass::kPivotTie};
+  return classes;
+}
+
+}  // namespace pfact::robustness

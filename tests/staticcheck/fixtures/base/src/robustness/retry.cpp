@@ -1,0 +1,19 @@
+#include "robustness/retry.h"
+
+namespace pfact::robustness {
+
+FailureKind classify_diagnostic(Diagnostic d) {
+  switch (d) {
+    case Diagnostic::kOk:
+      return FailureKind::kSuccess;
+
+    case Diagnostic::kNumericOverflow:
+      return FailureKind::kDeterministic;
+
+    case Diagnostic::kBadInput:
+      return FailureKind::kFatal;
+  }
+  return FailureKind::kFatal;
+}
+
+}  // namespace pfact::robustness

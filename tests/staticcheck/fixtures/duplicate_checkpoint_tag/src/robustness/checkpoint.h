@@ -1,0 +1,16 @@
+#pragma once
+// Seeded violation for PL006: two field_tag specializations return the same
+// string — resume could validate a blob taken in the wrong scalar field.
+
+namespace pfact::robustness {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+template <class T>
+const char* field_tag() = delete;
+template <>
+inline const char* field_tag<double>() { return "double"; }
+template <>
+inline const char* field_tag<float>() { return "double"; }
+
+}  // namespace pfact::robustness

@@ -1,0 +1,25 @@
+#include "obs/counters.h"
+
+// Seeded violation for PL002: two counters share one JSON key, so one
+// counter's emitted value would silently overwrite the other's.
+
+namespace pfact::obs {
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kElimSteps: return "elim-steps";
+    case Counter::kRowUpdates: return "elim-steps";
+    case Counter::kCount_: break;
+  }
+  return "?";
+}
+
+const char* histogram_name(Histogram h) {
+  switch (h) {
+    case Histogram::kPivotMoveDistance: return "pivot-move-distance";
+    case Histogram::kCount_: break;
+  }
+  return "?";
+}
+
+}  // namespace pfact::obs

@@ -1,0 +1,19 @@
+#pragma once
+// Seeded violation for PL008: the schema grew a tag AND the version was
+// correctly bumped to 2, but the committed manifest still records the old
+// state — it must be regenerated with --update-manifest.
+
+namespace pfact::robustness {
+
+inline constexpr std::uint32_t kCheckpointVersion = 2;
+
+template <class T>
+const char* field_tag() = delete;
+template <>
+inline const char* field_tag<double>() { return "double"; }
+template <>
+inline const char* field_tag<float>() { return "single"; }
+template <>
+inline const char* field_tag<long double>() { return "long-double"; }
+
+}  // namespace pfact::robustness

@@ -1,0 +1,19 @@
+#pragma once
+// Seeded violation for PL007: a new field tag ("long-double") joined the
+// schema but kCheckpointVersion was NOT bumped — old blobs would decode
+// under the new schema.
+
+namespace pfact::robustness {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+template <class T>
+const char* field_tag() = delete;
+template <>
+inline const char* field_tag<double>() { return "double"; }
+template <>
+inline const char* field_tag<float>() { return "single"; }
+template <>
+inline const char* field_tag<long double>() { return "long-double"; }
+
+}  // namespace pfact::robustness

@@ -1,0 +1,25 @@
+#pragma once
+// Seeded violation for PL005: Diagnostic::kMystery was added to the taxonomy
+// (and is printable) but the retry classifier was never taught about it, so
+// the resilient driver could not decide retry vs escalate vs fail for it.
+
+namespace pfact::robustness {
+
+enum class Diagnostic {
+  kOk,
+  kBadInput,
+  kNumericOverflow,
+  kMystery,
+};
+
+inline const char* diagnostic_name(Diagnostic d) {
+  switch (d) {
+    case Diagnostic::kOk: return "ok";
+    case Diagnostic::kBadInput: return "bad-input";
+    case Diagnostic::kNumericOverflow: return "numeric-overflow";
+    case Diagnostic::kMystery: return "mystery";
+  }
+  return "?";
+}
+
+}  // namespace pfact::robustness

@@ -1,0 +1,31 @@
+#pragma once
+// Seeded violation for PL004: FaultClass::kRoundingFlip was added to the
+// taxonomy (and is printable) but never added to the all_fault_classes()
+// sweep list — so the robustness suite would never inject it.
+
+namespace pfact::robustness {
+
+enum class FaultClass {
+  kNone,
+  kBitFlip,
+  kPivotTie,
+  kRoundingFlip,
+};
+
+inline const char* fault_class_name(FaultClass f) {
+  switch (f) {
+    case FaultClass::kNone: return "none";
+    case FaultClass::kBitFlip: return "bit-flip";
+    case FaultClass::kPivotTie: return "pivot-tie";
+    case FaultClass::kRoundingFlip: return "rounding-flip";
+  }
+  return "?";
+}
+
+inline const std::vector<FaultClass>& all_fault_classes() {
+  static const std::vector<FaultClass> classes = {FaultClass::kBitFlip,
+                                                  FaultClass::kPivotTie};
+  return classes;
+}
+
+}  // namespace pfact::robustness

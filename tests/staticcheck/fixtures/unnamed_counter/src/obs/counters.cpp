@@ -1,0 +1,25 @@
+#include "obs/counters.h"
+
+// Seeded violation for PL001: Counter::kRowUpdates exists in the enum but
+// its name-switch case was "forgotten" — the classic drift this rule exists
+// to catch (snapshots would silently emit no JSON key for it).
+
+namespace pfact::obs {
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kElimSteps: return "elim-steps";
+    case Counter::kCount_: break;
+  }
+  return "?";
+}
+
+const char* histogram_name(Histogram h) {
+  switch (h) {
+    case Histogram::kPivotMoveDistance: return "pivot-move-distance";
+    case Histogram::kCount_: break;
+  }
+  return "?";
+}
+
+}  // namespace pfact::obs

@@ -1,0 +1,143 @@
+// The pfact_lint contract, pinned end to end: the clean fixture (and the
+// repo itself) pass with exit 0, and every seeded-violation fixture fails
+// with a nonzero exit naming its precise rule ID. Fixtures are overlays:
+// each violation directory holds only the file(s) that differ from base/,
+// and the test materializes base + overlay into a temp tree before linting
+// it — so a fixture documents exactly the drift it seeds.
+//
+// The binary is exercised as a subprocess (not a linked library) because
+// the exit status IS part of the contract: CI gates on it.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct LintResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintResult run_lint(const std::string& args) {
+  const std::string cmd = std::string(PFACT_LINT_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << cmd;
+  LintResult res;
+  if (pipe == nullptr) return res;
+  std::array<char, 4096> buf;
+  while (std::fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    res.output += buf.data();
+  }
+  const int status = pclose(pipe);
+  res.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return res;
+}
+
+// Materializes base/ plus the named overlay into a fresh temp tree and
+// returns its path.
+fs::path materialize(const std::string& overlay) {
+  const fs::path fixtures(PFACT_LINT_FIXTURES);
+  const fs::path dst =
+      fs::path(testing::TempDir()) / ("pfact_lint_" + overlay);
+  fs::remove_all(dst);
+  fs::copy(fixtures / "base", dst, fs::copy_options::recursive);
+  if (!overlay.empty() && overlay != "base") {
+    fs::copy(fixtures / overlay, dst,
+             fs::copy_options::recursive | fs::copy_options::overwrite_existing);
+  }
+  return dst;
+}
+
+void expect_violation(const std::string& overlay, const std::string& rule,
+                      const std::string& symbol) {
+  const fs::path root = materialize(overlay);
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 1) << res.output;
+  EXPECT_NE(res.output.find(rule), std::string::npos)
+      << "expected " << rule << " in:\n" << res.output;
+  EXPECT_NE(res.output.find(symbol), std::string::npos)
+      << "expected mention of " << symbol << " in:\n" << res.output;
+}
+
+TEST(PfactLint, CleanFixturePasses) {
+  const fs::path root = materialize("base");
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("clean"), std::string::npos) << res.output;
+}
+
+// The acceptance bar for every commit: HEAD itself lints clean.
+TEST(PfactLint, RepositoryHeadIsClean) {
+  const LintResult res = run_lint(std::string("--root ") + PFACT_REPO_ROOT);
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+}
+
+TEST(PfactLint, UnnamedCounterFailsPL001) {
+  expect_violation("unnamed_counter", "PL001", "Counter::kRowUpdates");
+}
+
+TEST(PfactLint, NameCollisionFailsPL002) {
+  expect_violation("name_collision", "PL002", "elim-steps");
+}
+
+TEST(PfactLint, UnhandledFaultClassFailsPL004) {
+  expect_violation("unhandled_fault_class", "PL004",
+                   "FaultClass::kRoundingFlip");
+}
+
+TEST(PfactLint, UnclassifiedDiagnosticFailsPL005) {
+  expect_violation("unclassified_diagnostic", "PL005",
+                   "Diagnostic::kMystery");
+}
+
+TEST(PfactLint, DuplicateCheckpointTagFailsPL006) {
+  const fs::path root = materialize("duplicate_checkpoint_tag");
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 1) << res.output;
+  EXPECT_NE(res.output.find("PL006"), std::string::npos) << res.output;
+  // The duplicate fires alone: the fixture manifest matches the duplicated
+  // tag multiset, so no version/manifest rule piggybacks on the finding.
+  EXPECT_EQ(res.output.find("PL007"), std::string::npos) << res.output;
+  EXPECT_EQ(res.output.find("PL008"), std::string::npos) << res.output;
+}
+
+TEST(PfactLint, StaleVersionFailsPL007) {
+  expect_violation("stale_version", "PL007", "long-double");
+}
+
+TEST(PfactLint, OutdatedManifestFailsPL008) {
+  expect_violation("outdated_manifest", "PL008", "--update-manifest");
+}
+
+// --update-manifest is the sanctioned way out of PL007/PL008: after a
+// legitimate schema change plus version bump, regenerating the manifest
+// returns the tree to clean.
+TEST(PfactLint, UpdateManifestRepairsOutdatedManifest) {
+  const fs::path root = materialize("outdated_manifest");
+  const LintResult regen =
+      run_lint("--root " + root.string() + " --update-manifest");
+  EXPECT_EQ(regen.exit_code, 0) << regen.output;
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+}
+
+TEST(PfactLint, MissingRootIsAUsageError) {
+  const LintResult res = run_lint("");
+  EXPECT_EQ(res.exit_code, 2) << res.output;
+}
+
+TEST(PfactLint, UnreadableTreeIsAnIoError) {
+  const LintResult res =
+      run_lint("--root " + (fs::path(testing::TempDir()) /
+                            "pfact_lint_does_not_exist").string());
+  EXPECT_EQ(res.exit_code, 2) << res.output;
+}
+
+}  // namespace

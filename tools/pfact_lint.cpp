@@ -1,0 +1,540 @@
+// pfact_lint — domain-aware cross-file consistency checker.
+//
+// The repo's dynamic layers hang off a handful of closed taxonomies:
+// obs::Counter / obs::Histogram (every enumerator needs a stable JSON name),
+// robustness::FaultClass (every fault must be sweepable and printable),
+// robustness::Diagnostic (every diagnostic must classify to exactly one
+// FailureKind), and the checkpoint field tags + "PFCK" version constant
+// (resume compatibility). Each taxonomy is DEFINED in one file and CONSUMED
+// in another, so a forgotten enumerator compiles cleanly and only fails at
+// runtime — if a test happens to reach it. This tool closes that gap at
+// lint time with rules no generic linter can express.
+//
+// Rule catalogue (stable IDs; each finding prints exactly one):
+//   PL001 counter-unnamed            Counter enumerator with no
+//                                    counter_name() case returning a string
+//   PL002 obs-name-collision         two Counter/Histogram enumerators map
+//                                    to the same name, or a name is not
+//                                    kebab-case
+//   PL003 histogram-unnamed          Histogram enumerator with no
+//                                    histogram_name() case
+//   PL004 fault-class-unhandled      FaultClass enumerator missing from
+//                                    fault_class_name() or (except kNone)
+//                                    from the all_fault_classes() sweep list
+//   PL005 diagnostic-unclassified    Diagnostic enumerator missing from
+//                                    classify_diagnostic() or
+//                                    diagnostic_name()
+//   PL006 checkpoint-tag-duplicate   two field_tag<T>() specializations
+//                                    return the same tag string
+//   PL007 checkpoint-version-stale   the field-tag set changed but
+//                                    kCheckpointVersion was not bumped
+//                                    against the committed manifest
+//   PL008 checkpoint-manifest-outdated  the committed manifest does not
+//                                    match the current (version, tag set);
+//                                    regenerate with --update-manifest
+//
+// Usage:
+//   pfact_lint --root <repo-root> [--manifest <file>] [--update-manifest]
+//
+// Exit status: 0 clean, 1 findings, 2 usage or I/O failure.
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Finding {
+  std::string rule;     // "PL001"
+  std::string slug;     // "counter-unnamed"
+  std::string message;  // what and where
+};
+
+// Blanks out // and /* */ comments (preserving newlines) so that a function
+// or enum name mentioned in prose can never hijack a scraper's anchor. The
+// checked files keep comment markers out of string literals (house style,
+// pinned by the fixtures), so no string-awareness is needed.
+std::string strip_comments(const std::string& src) {
+  std::string out = src;
+  std::size_t i = 0;
+  while (i + 1 < out.size()) {
+    if (out[i] == '/' && out[i + 1] == '/') {
+      while (i < out.size() && out[i] != '\n') out[i++] = ' ';
+    } else if (out[i] == '/' && out[i + 1] == '*') {
+      out[i] = out[i + 1] = ' ';
+      i += 2;
+      while (i + 1 < out.size() && !(out[i] == '*' && out[i + 1] == '/')) {
+        if (out[i] != '\n') out[i] = ' ';
+        ++i;
+      }
+      if (i + 1 < out.size()) {
+        out[i] = out[i + 1] = ' ';
+        i += 2;
+      }
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+struct Lint {
+  std::string root;
+  std::vector<Finding> findings;
+  bool io_error = false;
+
+  void report(const std::string& rule, const std::string& slug,
+              const std::string& message) {
+    findings.push_back({rule, slug, message});
+  }
+
+  std::string read(const std::string& relpath) {
+    std::ifstream in(root + "/" + relpath, std::ios::binary);
+    if (!in) {
+      std::cerr << "pfact_lint: cannot read " << root << "/" << relpath
+                << "\n";
+      io_error = true;
+      return std::string();
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return strip_comments(ss.str());
+  }
+};
+
+// --- tiny source scrapers ---------------------------------------------------
+// These parse the repo's own house style (clang-format'd, one enumerator per
+// line, switch cases of the form `case Enum::kX: ... return "...";`), not
+// arbitrary C++. That trade is deliberate: the checked files are part of
+// this repo, and the fixtures pin the accepted shapes.
+
+// Enumerators of `enum class <name>`, in declaration order, excluding the
+// kCount_ sentinel.
+std::vector<std::string> parse_enum(const std::string& src,
+                                    const std::string& name) {
+  std::vector<std::string> out;
+  const std::regex head("enum\\s+class\\s+" + name + "\\b[^{]*\\{");
+  std::smatch m;
+  if (!std::regex_search(src, m, head)) return out;
+  const std::size_t begin = static_cast<std::size_t>(m.position()) + m.length();
+  const std::size_t end = src.find("};", begin);
+  if (end == std::string::npos) return out;
+  const std::string body = src.substr(begin, end - begin);
+  const std::regex enumerator("(?:^|[\\n,{])\\s*(k[A-Za-z0-9_]+)\\s*[,=}]");
+  for (auto it = std::sregex_iterator(body.begin(), body.end(), enumerator);
+       it != std::sregex_iterator(); ++it) {
+    const std::string id = (*it)[1].str();
+    if (id != "kCount_") out.push_back(id);
+  }
+  return out;
+}
+
+// The brace-matched body of the function named `name`: the text between the
+// '{' that opens its definition and the matching '}'. A definition site is
+// an occurrence of `name` that is a whole token, is followed by '(', and
+// reaches a '{' before any ';' (which would make it a declaration or a
+// call) — so mentions in comments or call sites don't hijack the anchor.
+// Empty when no such body is found. String/char literals in the checked
+// files never contain braces, so plain counting is sufficient (the fixtures
+// pin this).
+std::string function_body(const std::string& src, const std::string& name) {
+  auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  for (std::size_t at = src.find(name); at != std::string::npos;
+       at = src.find(name, at + 1)) {
+    if (at > 0 && is_ident(src[at - 1])) continue;
+    std::size_t after = at + name.size();
+    while (after < src.size() &&
+           std::isspace(static_cast<unsigned char>(src[after]))) {
+      ++after;
+    }
+    if (after >= src.size() || src[after] != '(') continue;
+    const std::size_t open = src.find('{', after);
+    const std::size_t semi = src.find(';', after);
+    if (open == std::string::npos || (semi != std::string::npos && semi < open))
+      continue;
+    int depth = 0;
+    for (std::size_t i = open; i < src.size(); ++i) {
+      if (src[i] == '{') ++depth;
+      if (src[i] == '}' && --depth == 0) {
+        return src.substr(open, i - open + 1);
+      }
+    }
+    return std::string();
+  }
+  return std::string();
+}
+
+// `case <enum>::<id>:` sites, each mapped to the token that decides it: the
+// first `return <something>;` at or after the case label. Fall-through case
+// labels share their group's return, which is exactly the classifier's
+// shape. Returns enumerator -> returned expression text (trimmed).
+std::map<std::string, std::string> parse_switch_returns(
+    const std::string& src, const std::string& enum_name) {
+  std::map<std::string, std::string> out;
+  const std::regex label("case\\s+" + enum_name + "::(k[A-Za-z0-9_]+)\\s*:");
+  const std::regex ret("return\\s+([^;]+);");
+  for (auto it = std::sregex_iterator(src.begin(), src.end(), label);
+       it != std::sregex_iterator(); ++it) {
+    const std::string id = (*it)[1].str();
+    const std::size_t from =
+        static_cast<std::size_t>(it->position()) + it->length();
+    // `break;` before the next return means the case deliberately returns
+    // nothing (the sentinel's escape) — record it as empty.
+    const std::size_t brk = src.find("break;", from);
+    std::smatch r;
+    const std::string rest = src.substr(from);
+    if (std::regex_search(rest, r, ret)) {
+      const std::size_t rpos = from + static_cast<std::size_t>(r.position());
+      if (brk != std::string::npos && brk < rpos) {
+        out[id] = "";
+      } else {
+        out[id] = r[1].str();
+      }
+    } else {
+      out[id] = "";
+    }
+  }
+  return out;
+}
+
+// The quoted string inside a returned expression, if it is one.
+std::optional<std::string> quoted(const std::string& expr) {
+  const std::regex q("^\\s*\"([^\"]*)\"\\s*$");
+  std::smatch m;
+  if (std::regex_match(expr, m, q)) return m[1].str();
+  return std::nullopt;
+}
+
+bool is_kebab_case(const std::string& s) {
+  if (s.empty() || s.front() == '-' || s.back() == '-') return false;
+  for (char c : s) {
+    if (!(std::islower(static_cast<unsigned char>(c)) ||
+          std::isdigit(static_cast<unsigned char>(c)) || c == '-')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- per-taxonomy rules -----------------------------------------------------
+
+// PL001/PL002/PL003: every Counter/Histogram enumerator carries a unique
+// kebab-case name string in the name-switch.
+void check_obs_names(Lint& lint) {
+  const std::string header = lint.read("src/obs/counters.h");
+  const std::string impl = lint.read("src/obs/counters.cpp");
+  if (header.empty() || impl.empty()) return;
+
+  std::map<std::string, std::string> seen;  // name -> "Enum::kId"
+  const struct {
+    const char* enum_name;
+    const char* fn_name;
+    const char* rule;
+    const char* slug;
+  } taxa[] = {{"Counter", "counter_name", "PL001", "counter-unnamed"},
+              {"Histogram", "histogram_name", "PL003", "histogram-unnamed"}};
+  for (const auto& taxon : taxa) {
+    const std::vector<std::string> ids = parse_enum(header, taxon.enum_name);
+    if (ids.empty()) {
+      lint.report(taxon.rule, taxon.slug,
+                  std::string("enum class ") + taxon.enum_name +
+                      " not found in src/obs/counters.h");
+      continue;
+    }
+    const std::map<std::string, std::string> cases = parse_switch_returns(
+        function_body(impl, taxon.fn_name), taxon.enum_name);
+    for (const std::string& id : ids) {
+      const auto it = cases.find(id);
+      const std::optional<std::string> name =
+          it == cases.end() ? std::nullopt : quoted(it->second);
+      if (!name.has_value()) {
+        lint.report(taxon.rule, taxon.slug,
+                    std::string(taxon.enum_name) + "::" + id +
+                        " has no name-string case in src/obs/counters.cpp");
+        continue;
+      }
+      const std::string qualified =
+          std::string(taxon.enum_name) + "::" + id;
+      if (!is_kebab_case(*name)) {
+        lint.report("PL002", "obs-name-collision",
+                    qualified + " name \"" + *name + "\" is not kebab-case");
+      }
+      const auto [pos, inserted] = seen.emplace(*name, qualified);
+      if (!inserted) {
+        lint.report("PL002", "obs-name-collision",
+                    qualified + " reuses name \"" + *name + "\" already "
+                    "taken by " + pos->second);
+      }
+    }
+  }
+}
+
+// PL004: the fault taxonomy is printable and sweepable.
+void check_fault_classes(Lint& lint) {
+  const std::string src = lint.read("src/robustness/fault_injector.h");
+  if (src.empty()) return;
+  const std::vector<std::string> ids = parse_enum(src, "FaultClass");
+  if (ids.empty()) {
+    lint.report("PL004", "fault-class-unhandled",
+                "enum class FaultClass not found in "
+                "src/robustness/fault_injector.h");
+    return;
+  }
+  const std::map<std::string, std::string> names = parse_switch_returns(
+      function_body(src, "fault_class_name"), "FaultClass");
+
+  // The all_fault_classes() sweep list: every FaultClass:: mention inside
+  // the function body (the static vector's brace-initializer).
+  std::set<std::string> swept;
+  const std::string sweep_body = function_body(src, "all_fault_classes");
+  const std::regex mention("FaultClass::(k[A-Za-z0-9_]+)");
+  for (auto it =
+           std::sregex_iterator(sweep_body.begin(), sweep_body.end(), mention);
+       it != std::sregex_iterator(); ++it) {
+    swept.insert((*it)[1].str());
+  }
+  for (const std::string& id : ids) {
+    const auto it = names.find(id);
+    if (it == names.end() || !quoted(it->second).has_value()) {
+      lint.report("PL004", "fault-class-unhandled",
+                  "FaultClass::" + id +
+                      " has no name case in fault_class_name()");
+    }
+    if (id != "kNone" && swept.count(id) == 0) {
+      lint.report("PL004", "fault-class-unhandled",
+                  "FaultClass::" + id +
+                      " is missing from the all_fault_classes() sweep list — "
+                      "the robustness suite would never inject it");
+    }
+  }
+}
+
+// PL005: every Diagnostic both prints and classifies.
+void check_diagnostics(Lint& lint) {
+  const std::string header = lint.read("src/robustness/diagnostics.h");
+  const std::string classifier = lint.read("src/robustness/retry.cpp");
+  if (header.empty() || classifier.empty()) return;
+  const std::vector<std::string> ids = parse_enum(header, "Diagnostic");
+  if (ids.empty()) {
+    lint.report("PL005", "diagnostic-unclassified",
+                "enum class Diagnostic not found in "
+                "src/robustness/diagnostics.h");
+    return;
+  }
+  const std::map<std::string, std::string> names = parse_switch_returns(
+      function_body(header, "diagnostic_name"), "Diagnostic");
+  const std::map<std::string, std::string> kinds = parse_switch_returns(
+      function_body(classifier, "classify_diagnostic"), "Diagnostic");
+  for (const std::string& id : ids) {
+    const auto n = names.find(id);
+    if (n == names.end() || !quoted(n->second).has_value()) {
+      lint.report("PL005", "diagnostic-unclassified",
+                  "Diagnostic::" + id +
+                      " has no name case in diagnostic_name()");
+    }
+    const auto k = kinds.find(id);
+    if (k == kinds.end() || k->second.find("FailureKind::") ==
+                                std::string::npos) {
+      lint.report("PL005", "diagnostic-unclassified",
+                  "Diagnostic::" + id +
+                      " is not mapped to a FailureKind in "
+                      "classify_diagnostic() (src/robustness/retry.cpp)");
+    }
+  }
+}
+
+// --- checkpoint schema: tags, version, manifest -----------------------------
+
+struct CheckpointSchema {
+  std::vector<std::string> tags;  // sorted, as parsed
+  std::optional<long> version;
+};
+
+CheckpointSchema parse_checkpoint_schema(Lint& lint) {
+  CheckpointSchema schema;
+  const std::string src = lint.read("src/robustness/checkpoint.h");
+  if (src.empty()) return schema;
+  const std::regex tag(
+      "field_tag<[^>]+>\\(\\)\\s*\\{\\s*return\\s*\"([^\"]+)\"");
+  for (auto it = std::sregex_iterator(src.begin(), src.end(), tag);
+       it != std::sregex_iterator(); ++it) {
+    schema.tags.push_back((*it)[1].str());
+  }
+  const std::regex ver("kCheckpointVersion\\s*=\\s*([0-9]+)");
+  std::smatch m;
+  if (std::regex_search(src, m, ver)) schema.version = std::stol(m[1].str());
+  return schema;
+}
+
+// PL006: duplicate tags (checked before sorting loses multiplicity).
+void check_tag_uniqueness(Lint& lint, const CheckpointSchema& schema) {
+  std::set<std::string> seen;
+  for (const std::string& t : schema.tags) {
+    if (!seen.insert(t).second) {
+      lint.report("PL006", "checkpoint-tag-duplicate",
+                  "field_tag \"" + t +
+                      "\" is returned by more than one specialization in "
+                      "src/robustness/checkpoint.h — resume could validate "
+                      "a blob from the wrong field");
+    }
+  }
+}
+
+struct Manifest {
+  std::optional<long> version;
+  std::vector<std::string> tags;  // sorted
+  bool present = false;
+};
+
+Manifest read_manifest(const std::string& path) {
+  Manifest m;
+  std::ifstream in(path);
+  if (!in) return m;
+  m.present = true;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key, value;
+    ls >> key >> value;
+    if (key == "version") m.version = std::stol(value);
+    if (key == "tag") m.tags.push_back(value);
+  }
+  std::sort(m.tags.begin(), m.tags.end());
+  return m;
+}
+
+bool write_manifest(const std::string& path, const CheckpointSchema& s) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "# pfact_lint checkpoint manifest — the committed record of the\n"
+         "# \"PFCK\" blob schema. Regenerate ONLY together with a\n"
+         "# kCheckpointVersion bump:  pfact_lint --root . --update-manifest\n";
+  out << "version " << (s.version ? *s.version : 0) << "\n";
+  std::vector<std::string> tags = s.tags;
+  std::sort(tags.begin(), tags.end());
+  for (const std::string& t : tags) out << "tag " << t << "\n";
+  return static_cast<bool>(out);
+}
+
+// PL007/PL008: the tag set may only change together with a version bump,
+// and the manifest must record the current state.
+void check_manifest(Lint& lint, const CheckpointSchema& schema,
+                    const std::string& manifest_path) {
+  const Manifest m = read_manifest(manifest_path);
+  if (!m.present || !m.version.has_value()) {
+    lint.report("PL008", "checkpoint-manifest-outdated",
+                "manifest " + manifest_path +
+                    " is missing or unparsable — regenerate with "
+                    "--update-manifest");
+    return;
+  }
+  std::vector<std::string> tags = schema.tags;
+  std::sort(tags.begin(), tags.end());
+  const bool tags_changed = tags != m.tags;
+  const bool version_changed = schema.version != m.version;
+  if (tags_changed && !version_changed) {
+    std::string delta;
+    for (const std::string& t : tags) {
+      if (!std::binary_search(m.tags.begin(), m.tags.end(), t)) {
+        delta += " +" + t;
+      }
+    }
+    for (const std::string& t : m.tags) {
+      if (!std::binary_search(tags.begin(), tags.end(), t)) delta += " -" + t;
+    }
+    lint.report("PL007", "checkpoint-version-stale",
+                "the checkpoint field-tag set changed (" +
+                    (delta.empty() ? std::string(" reordered") : delta) +
+                    " ) but kCheckpointVersion is still " +
+                    std::to_string(m.version.value()) +
+                    " — old blobs would decode under the new schema; bump "
+                    "the version, then --update-manifest");
+  } else if (tags_changed || version_changed) {
+    lint.report("PL008", "checkpoint-manifest-outdated",
+                "manifest records version " +
+                    std::to_string(m.version.value()) + " with " +
+                    std::to_string(m.tags.size()) +
+                    " tag(s), but src/robustness/checkpoint.h now has "
+                    "version " +
+                    (schema.version ? std::to_string(*schema.version)
+                                    : std::string("?")) +
+                    " with " + std::to_string(schema.tags.size()) +
+                    " tag(s) — regenerate with --update-manifest");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string manifest_path;
+  bool update_manifest = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--manifest" && i + 1 < argc) {
+      manifest_path = argv[++i];
+    } else if (arg == "--update-manifest") {
+      update_manifest = true;
+    } else {
+      std::cerr << "usage: pfact_lint --root <repo-root> "
+                   "[--manifest <file>] [--update-manifest]\n";
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    std::cerr << "pfact_lint: --root is required\n";
+    return 2;
+  }
+  if (manifest_path.empty()) {
+    manifest_path = root + "/tools/pfact_lint_manifest.txt";
+  }
+
+  Lint lint;
+  lint.root = root;
+
+  const CheckpointSchema schema = parse_checkpoint_schema(lint);
+  if (update_manifest) {
+    if (schema.tags.empty() || !schema.version.has_value()) {
+      std::cerr << "pfact_lint: cannot regenerate manifest — no checkpoint "
+                   "schema parsed from src/robustness/checkpoint.h\n";
+      return 2;
+    }
+    if (!write_manifest(manifest_path, schema)) {
+      std::cerr << "pfact_lint: cannot write " << manifest_path << "\n";
+      return 2;
+    }
+    std::cout << "pfact_lint: wrote " << manifest_path << "\n";
+    return 0;
+  }
+
+  check_obs_names(lint);
+  check_fault_classes(lint);
+  check_diagnostics(lint);
+  check_tag_uniqueness(lint, schema);
+  check_manifest(lint, schema, manifest_path);
+
+  if (lint.io_error) return 2;
+  for (const Finding& f : lint.findings) {
+    std::cout << "pfact_lint: " << f.rule << " " << f.slug << ": "
+              << f.message << "\n";
+  }
+  if (lint.findings.empty()) {
+    std::cout << "pfact_lint: clean (" << root << ")\n";
+    return 0;
+  }
+  std::cout << "pfact_lint: " << lint.findings.size() << " finding(s)\n";
+  return 1;
+}
