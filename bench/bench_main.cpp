@@ -8,12 +8,15 @@
 //   bench_main --json BENCH_pr2.json          # write the artifact
 //   bench_main --list                         # enumerate workloads
 //   bench_main --filter gqr --repeats 9       # explore interactively
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "analysis/depth_model.h"
 #include "circuit/builders.h"
@@ -32,6 +35,9 @@
 #include "obs/bench_emitter.h"
 #include "robustness/guarded_run.h"
 #include "robustness/resilient_run.h"
+#include "serve/supervisor.h"
+#include "serve/wire.h"
+#include "serve/worker_pool.h"
 
 namespace {
 
@@ -245,6 +251,113 @@ void register_workloads(obs::BenchSuite& suite) {
     if (!rep.certified || rep.certified_by != robustness::Substrate::kRational)
       std::abort();
   });
+
+  // --- Serve: process-isolation overhead ----------------------------------
+  // The Table 1 GEM xor suite again, but every attempt in a forked,
+  // rlimit-sandboxed worker through the supervisor. The delta against
+  // serve/gem-xor-inproc (the same tasks through in-process resilient_run
+  // at the same k=8 cadence) is the full isolation bill: fork + request
+  // ship + checkpoint frames over the pipe + result frame + reap. The
+  // instrumented pass records the worker-lifecycle counters
+  // (worker-spawns etc.) into the JSON next to the wall times.
+  auto gem_xor_tasks = [] {
+    std::vector<robustness::ReductionTask> tasks;
+    const circuit::Circuit c = circuit::xor_circuit();
+    for (unsigned m = 0; m < 4; ++m) {
+      robustness::ReductionTask task;
+      task.algorithm = robustness::Algorithm::kGem;
+      task.instance = circuit::CvpInstance{c, {(m & 1) != 0, (m & 2) != 0}};
+      tasks.push_back(std::move(task));
+    }
+    return tasks;
+  };
+  suite.add("serve/gem-xor-inproc", "serve", [gem_xor_tasks] {
+    for (const robustness::ReductionTask& task : gem_xor_tasks()) {
+      robustness::CheckpointStore store;
+      robustness::ResilientOptions opt;
+      opt.checkpoint_every = 8;
+      opt.store = &store;
+      robustness::ResilientReport rep = robustness::resilient_run(task, opt);
+      if (!rep.certified || rep.value != task.expected()) std::abort();
+    }
+  });
+  auto gem_xor_supervised = [gem_xor_tasks](std::size_t every) {
+    serve::WorkerPool pool;
+    for (const robustness::ReductionTask& task : gem_xor_tasks()) {
+      robustness::CheckpointStore store;
+      serve::SupervisorOptions so;
+      so.checkpoint_every = every;
+      so.store = &store;
+      serve::SupervisedReport rep = serve::supervised_run(pool, task, so);
+      if (!rep.certified || rep.value != task.expected()) std::abort();
+    }
+  };
+  suite.add("serve/gem-xor-supervised-k1", "serve",
+            [gem_xor_supervised] { gem_xor_supervised(1); });
+  suite.add("serve/gem-xor-supervised-k8", "serve",
+            [gem_xor_supervised] { gem_xor_supervised(8); });
+  suite.add("serve/gem-xor-supervised-k64", "serve",
+            [gem_xor_supervised] { gem_xor_supervised(64); });
+
+  // Pipe transport in isolation: the dense n=96 elimination of
+  // resilience/ge-dense-n96-ckpt-k*, but every snapshot is framed, shipped
+  // through a real pipe, envelope-verified and filed by a reader thread —
+  // the wire cost of checkpoint streaming WITHOUT the fork. Each n=96 blob
+  // (~73 KB) overflows the 64 KB pipe buffer, so writer and reader really
+  // interleave, exactly as a worker and its supervisor do.
+  auto dense_pipe = [](std::size_t every) {
+    int fds[2];
+    if (::pipe(fds) != 0) std::abort();
+    robustness::CheckpointStore store;
+    std::thread reader([rd = fds[0], &store] {
+      for (;;) {
+        serve::FrameType type = serve::FrameType::kRequest;
+        std::string payload;
+        if (serve::read_frame(rd, type, payload) != serve::WireStatus::kOk)
+          break;
+        std::uint64_t step = 0;
+        std::string blob;
+        if (!serve::decode_checkpoint_frame(payload, step, blob))
+          std::abort();
+        if (robustness::validate_checkpoint_envelope(blob) !=
+            robustness::CheckpointStatus::kOk) {
+          std::abort();
+        }
+        store.put(step, std::move(blob));
+      }
+    });
+    Matrix<double> a = gen::random_general(96, 13);
+    factor::CheckpointHook<double> hook;
+    hook.every = every;
+    hook.save = [wr = fds[1]](std::size_t next_step,
+                              const Matrix<double>& snap,
+                              const Permutation* perm,
+                              const factor::PivotTrace& trace) {
+      std::string blob = robustness::encode_checkpoint_parts(
+          "bench/ge-dense", 0, next_step, snap, perm, trace);
+      PFACT_COUNT(kCheckpointSaves);
+      PFACT_COUNT_N(kCheckpointBytes, blob.size());
+      if (serve::write_frame(
+              wr, serve::FrameType::kCheckpoint,
+              serve::encode_checkpoint_frame(next_step, blob)) !=
+          serve::WireStatus::kOk) {
+        std::abort();
+      }
+    };
+    Permutation perm(a.rows());
+    factor::eliminate_steps(a, factor::PivotStrategy::kPartial, a.rows(),
+                            &perm, {}, &hook);
+    ::close(fds[1]);
+    reader.join();
+    ::close(fds[0]);
+    if (store.empty()) std::abort();
+  };
+  suite.add("serve/ge-dense-n96-pipe-k1", "serve",
+            [dense_pipe] { dense_pipe(1); });
+  suite.add("serve/ge-dense-n96-pipe-k8", "serve",
+            [dense_pipe] { dense_pipe(8); });
+  suite.add("serve/ge-dense-n96-pipe-k64", "serve",
+            [dense_pipe] { dense_pipe(64); });
 }
 
 int usage(const char* argv0) {

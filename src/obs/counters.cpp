@@ -47,6 +47,10 @@ const char* counter_name(Counter c) {
     case Counter::kCheckpointBytes: return "checkpoint-bytes";
     case Counter::kCheckpointResumes: return "checkpoint-resumes";
     case Counter::kCheckpointRejects: return "checkpoint-rejects";
+    case Counter::kWorkerSpawns: return "worker-spawns";
+    case Counter::kWorkerCrashes: return "worker-crashes";
+    case Counter::kWorkerWatchdogKills: return "worker-watchdog-kills";
+    case Counter::kWorkerResumeHandoffs: return "worker-resume-handoffs";
     case Counter::kCount_: break;
   }
   return "?";

@@ -95,6 +95,12 @@ enum class Counter : std::size_t {
   kCheckpointResumes,  // runs restarted from a validated checkpoint
   kCheckpointRejects,  // checkpoints refused (CRC / version / truncation)
 
+  // --- serve/: process-isolation worker lifecycle ---------------------------
+  kWorkerSpawns,          // worker subprocesses forked
+  kWorkerCrashes,         // workers that died without delivering a result
+  kWorkerWatchdogKills,   // workers SIGKILLed by the supervisor's watchdog
+  kWorkerResumeHandoffs,  // respawns seeded with a verified checkpoint blob
+
   kCount_,  // sentinel: number of counters
 };
 

@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "obs/counters.h"
@@ -45,6 +46,22 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   PFACT_COUNT(kPoolTasksSubmitted);
   cv_.notify_one();
   return fut;
+}
+
+std::size_t ThreadPool::drain_pending() {
+  std::size_t drained = 0;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      MutexLock lock(mu_);
+      if (queue_.empty()) break;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // inline on the caller; exceptions land in the task's future
+    ++drained;
+  }
+  return drained;
 }
 
 namespace {
@@ -143,7 +160,30 @@ ParallelOutcome parallel_for_report(
   }
   // Wait for EVERY chunk before returning: the loop body (and anything it
   // captures by reference) must not be destroyed while a chunk still runs.
+  // Fail-fast drain: the moment the sweep is cancelled (token fired) or a
+  // chunk has thrown, any queued-but-unstarted chunks are pulled off the
+  // pool queue and run inline here — they observe should_stop() at their
+  // first iteration boundary and return immediately — so cancellation never
+  // waits behind unrelated long-running work and never leaks a queued task.
+  bool drained = false;
   for (auto& f : futs) {
+    if (!drained && should_stop()) {
+      pool->drain_pending();
+      drained = true;
+    }
+    if (!drained && token != nullptr) {
+      // A token may fire while we block; poll so the one-time drain above
+      // still happens promptly. Without a token only chunk failure can
+      // trigger fail-fast, which the check at the top of the loop covers.
+      while (f.wait_for(std::chrono::milliseconds(1)) !=
+             std::future_status::ready) {
+        if (should_stop()) {
+          pool->drain_pending();
+          drained = true;
+          break;
+        }
+      }
+    }
     try {
       f.get();
     } catch (...) {

@@ -68,6 +68,14 @@ class ThreadPool {
   // then would never run and its future would never resolve).
   std::future<void> submit(std::function<void()> task);
 
+  // Pops every queued-but-unstarted task and runs it inline on the calling
+  // thread, so its future resolves now instead of whenever a worker frees
+  // up. Used by the fail-fast path of parallel_for_report: once a sweep is
+  // cancelled, its remaining chunks are no-ops, and draining them here means
+  // cancellation returns without waiting behind unrelated long-running work
+  // and can never leak a queued task. Returns the number of tasks drained.
+  std::size_t drain_pending();
+
   // Shared process-wide pool, sized to the hardware.
   static ThreadPool& global();
 

@@ -54,6 +54,25 @@ std::uint32_t crc32(const void* data, std::size_t len) {
   return c ^ 0xFFFFFFFFu;
 }
 
+CheckpointStatus validate_checkpoint_envelope(std::string_view blob) {
+  if (blob.size() < kCheckpointHeaderBytes) return CheckpointStatus::kTruncated;
+  detail::ByteReader header(blob.substr(0, kCheckpointHeaderBytes));
+  const std::uint32_t magic = header.get_u32();
+  const std::uint32_t version = header.get_u32();
+  const std::uint64_t length = header.get_u64();
+  const std::uint32_t crc = header.get_u32();
+  if (magic != kCheckpointMagic) return CheckpointStatus::kBadMagic;
+  if (version != kCheckpointVersion) return CheckpointStatus::kBadVersion;
+  if (blob.size() < kCheckpointHeaderBytes + length)
+    return CheckpointStatus::kTruncated;
+  const std::string_view body = blob.substr(kCheckpointHeaderBytes, length);
+  if (crc32(body.data(), body.size()) != crc)
+    return CheckpointStatus::kCrcMismatch;
+  if (blob.size() != kCheckpointHeaderBytes + length)
+    return CheckpointStatus::kMalformed;  // trailing garbage after the payload
+  return CheckpointStatus::kOk;
+}
+
 bool write_checkpoint_file(const std::string& path, std::string_view blob) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return false;

@@ -345,6 +345,13 @@ std::string encode_checkpoint(const FactorCheckpoint<T>& c) {
                                  c.trace);
 }
 
+// Field-agnostic envelope check: magic, version, declared length, and
+// payload CRC — everything that can be verified without knowing the scalar
+// field T. The process-isolation supervisor uses this to vet checkpoint
+// frames arriving over a worker pipe before filing them for resume (full
+// payload validation happens in decode_checkpoint<T> on the resuming side).
+CheckpointStatus validate_checkpoint_envelope(std::string_view blob);
+
 // Validates and parses `blob` into `out`. Any failure leaves `out`
 // unspecified and names the rejection reason; kOk is returned only when
 // the header verifies, the CRC matches, and the payload parses completely
@@ -462,9 +469,15 @@ class CheckpointStore {
     par::MutexLock lock(mu_);
     return blobs_.empty() ? 0 : blobs_.rbegin()->first;
   }
-  void drop_latest() {
+  // Discards the newest blob. On an empty store this is a classified no-op:
+  // it returns false and touches nothing (resilient retry loops call this
+  // unconditionally after a kCheckpointCorrupt attempt, and the corrupt blob
+  // may already have been dropped — or never stored at all).
+  bool drop_latest() {
     par::MutexLock lock(mu_);
-    if (!blobs_.empty()) blobs_.erase(std::prev(blobs_.end()));
+    if (blobs_.empty()) return false;
+    blobs_.erase(std::prev(blobs_.end()));
+    return true;
   }
 
   std::uint64_t total_bytes() const {

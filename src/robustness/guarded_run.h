@@ -25,8 +25,10 @@
 #include <cmath>
 #include <cstddef>
 #include <exception>
+#include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <type_traits>
 
 #include "circuit/circuit.h"
@@ -76,6 +78,11 @@ struct CheckpointConfig {
   std::size_t every = 0;
   CheckpointStore* store = nullptr;
   bool resume = false;
+  // Observer invoked with every saved (step, blob) pair AFTER fault
+  // injection but BEFORE the store->put, i.e. it sees exactly the bytes the
+  // store files. The serve/ worker uses it to stream checkpoint frames over
+  // its pipe so a hard kill still leaves the supervisor a resume point.
+  std::function<void(std::uint64_t, std::string_view)> on_save;
 
   bool saving() const { return every != 0 && store != nullptr; }
 };
@@ -201,6 +208,7 @@ factor::CheckpointHook<T> make_elimination_hook(
     if (inj.corrupt_blob(blob)) rep.injection = inj.injection_log();
     PFACT_COUNT(kCheckpointSaves);
     PFACT_COUNT_N(kCheckpointBytes, blob.size());
+    if (ckpt.on_save) ckpt.on_save(next_step, blob);
     ckpt.store->put(next_step, std::move(blob));
   };
   return hook;
@@ -634,6 +642,7 @@ RunReport guarded_run_gqr_chain(int a, int b, std::size_t depth,
         if (inj.corrupt_blob(blob)) rep.injection = inj.injection_log();
         PFACT_COUNT(kCheckpointSaves);
         PFACT_COUNT_N(kCheckpointBytes, blob.size());
+        if (ckpt.on_save) ckpt.on_save(next_pos, blob);
         ckpt.store->put(next_pos, std::move(blob));
       };
     }

@@ -1,0 +1,32 @@
+#pragma once
+// The worker side of the process-isolation protocol.
+//
+// worker_main runs inside a freshly forked child: it reads ONE TaskRequest
+// frame, applies its rlimit sandbox, runs the guarded reduction on the
+// requested substrate — streaming every save-every-k checkpoint blob back
+// over the response pipe as it is produced — and ships the RunReport as a
+// result frame before _exit(0). All of pfact's actual failure handling
+// lives OUTSIDE this process: a worker that dies (SIGSEGV, OOM under
+// RLIMIT_AS, SIGXCPU, a supervisor watchdog SIGKILL) takes nothing with it
+// but its own address space, and the checkpoints already on the wire let
+// the supervisor respawn a successor that resumes where it stopped.
+//
+// Fork-safety: the guarded drivers are single-threaded by construction, so
+// the child never touches ThreadPool::global() — a forked child inherits
+// only the forking thread, and any wait on pool threads that do not exist
+// would deadlock. This function must stay free of thread-pool use.
+
+namespace pfact::serve {
+
+// Protocol-failure exit codes, distinct from kKillPlanExitCode (wire.h) so
+// the supervisor's nonzero-exit diagnostics name the real cause.
+inline constexpr int kWorkerExitBadRequestFrame = 10;  // unreadable request
+inline constexpr int kWorkerExitBadRequestBody = 11;   // undecodable payload
+inline constexpr int kWorkerExitResultWriteFailed = 12;
+
+// Runs the whole worker conversation on the given pipe fds; returns the
+// process exit code (0 = result frame delivered). The caller — the forked
+// child in WorkerPool — must pass the return value straight to _exit().
+int worker_main(int request_fd, int response_fd);
+
+}  // namespace pfact::serve

@@ -1,0 +1,120 @@
+#pragma once
+// WorkerPool: forks rlimit-sandboxed worker subprocesses and pumps their
+// pipes — the containment boundary of the serve/ layer.
+//
+// One run_task call is one worker lifetime: fork, ship the TaskRequest,
+// collect checkpoint frames into the caller's CheckpointStore (each blob
+// envelope-verified before it is filed — a crash can only hand back state
+// that hashes), read the result frame, reap, classify. The classification
+// is WorkerExit — the pool's own taxonomy of HOW the process ended, which
+// the Supervisor then maps into the robustness Diagnostic taxonomy
+// (diagnose_worker_exit in supervisor.h). Keeping the two taxonomies
+// separate keeps waitpid plumbing out of the retry/escalation logic.
+//
+// Thread-safety: run_task is safe to call from multiple supervisor threads;
+// the job table (live pids + lifetime stats) is guarded by an annotated
+// mutex. The forked child itself never touches the table — between fork and
+// _exit it runs only worker_main, which is single-threaded by contract.
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+#include "parallel/annotations.h"
+#include "robustness/checkpoint.h"
+#include "robustness/diagnostics.h"
+#include "serve/wire.h"
+
+namespace pfact::serve {
+
+// How a worker subprocess ended, from the supervisor's chair. Total: every
+// waitpid outcome lands in exactly one class (pfact_lint rule PL009 checks
+// that each class has a printable name, a Diagnostic mapping, and soak
+// coverage).
+enum class WorkerExit {
+  kCompleted,      // exit(0) AND a decodable result frame arrived
+  kNonzeroExit,    // exited by itself with a nonzero status
+  kSignalled,      // killed by a signal (SIGSEGV, SIGKILL, SIGABRT, ...)
+  kCpuLimit,       // terminated by SIGXCPU: the RLIMIT_CPU sandbox fired
+  kWatchdog,       // SIGKILLed by this pool's own watchdog deadline
+  kProtocolError,  // exited 0 but the result frame is missing or corrupt
+};
+
+inline const char* worker_exit_name(WorkerExit e) {
+  switch (e) {
+    case WorkerExit::kCompleted: return "completed";
+    case WorkerExit::kNonzeroExit: return "nonzero-exit";
+    case WorkerExit::kSignalled: return "signalled";
+    case WorkerExit::kCpuLimit: return "cpu-limit";
+    case WorkerExit::kWatchdog: return "watchdog";
+    case WorkerExit::kProtocolError: return "protocol-error";
+  }
+  return "?";
+}
+
+// The sweepable taxonomy, for the soak harness's coverage assertion (every
+// death class the pool can report must actually be produced and survived
+// by a real-kill campaign). kCompleted is included: a sweep that never
+// completes anything proves nothing.
+inline const std::vector<WorkerExit>& all_worker_exits() {
+  static const std::vector<WorkerExit> classes = {
+      WorkerExit::kCompleted,  WorkerExit::kNonzeroExit,
+      WorkerExit::kSignalled,  WorkerExit::kCpuLimit,
+      WorkerExit::kWatchdog,   WorkerExit::kProtocolError};
+  return classes;
+}
+
+// Everything one worker lifetime produced.
+struct WorkerRun {
+  WorkerExit exit = WorkerExit::kProtocolError;
+  int exit_code = 0;    // WIFEXITED status (kCompleted / kNonzeroExit)
+  int term_signal = 0;  // WTERMSIG (kSignalled / kCpuLimit / kWatchdog)
+  bool has_result = false;
+  robustness::RunReport result;  // valid iff has_result
+  std::size_t checkpoints_received = 0;  // envelope-verified, filed
+  std::size_t checkpoints_rejected = 0;  // failed the envelope check
+  std::string detail;  // human-readable death/protocol description
+};
+
+class WorkerPool {
+ public:
+  WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Forks a worker, ships `request`, pumps its response pipe until the
+  // result frame or death, reaps, classifies. Checkpoint frames whose PFCK
+  // envelope verifies are filed into `store` (nullptr discards them).
+  // `watchdog` > 0 arms a wall-clock deadline: a worker still alive then is
+  // SIGKILLed and reported kWatchdog. Blocking; thread-safe.
+  WorkerRun run_task(const TaskRequest& request,
+                     robustness::CheckpointStore* store,
+                     std::chrono::milliseconds watchdog =
+                         std::chrono::milliseconds{0});
+
+  // Lifetime totals of this pool (the job table's aggregate view).
+  struct Stats {
+    std::uint64_t spawned = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t crashed = 0;  // any non-kCompleted ending
+    std::uint64_t watchdog_kills = 0;
+  };
+  Stats stats() const;
+
+  // Number of workers currently forked-but-unreaped (observable from other
+  // threads; run_task itself always reaps before returning).
+  std::size_t live_workers() const;
+
+ private:
+  void register_worker(pid_t pid);
+  void finish_worker(pid_t pid, WorkerExit exit);
+
+  mutable par::Mutex mu_;
+  std::vector<pid_t> live_ PFACT_GUARDED_BY(mu_);
+  Stats stats_ PFACT_GUARDED_BY(mu_);
+};
+
+}  // namespace pfact::serve

@@ -185,6 +185,49 @@ TEST(CheckpointStore, KeepsLatestAndDropsOnDemand) {
   EXPECT_TRUE(store.empty());
 }
 
+// Regression: drop_latest on an EMPTY store must be a classified no-op
+// (false, nothing touched), not UB. The resilient drivers call it
+// unconditionally after a kCheckpointCorrupt attempt, and the corrupt blob
+// may never have been stored at all (e.g. a worker rejected its seed blob
+// before saving anything).
+TEST(CheckpointStore, DropLatestOnEmptyStoreIsAClassifiedNoOp) {
+  CheckpointStore store;
+  EXPECT_FALSE(store.drop_latest());
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.latest(), std::nullopt);
+
+  store.put(3, "xyz");
+  EXPECT_TRUE(store.drop_latest());   // the real drop reports true...
+  EXPECT_FALSE(store.drop_latest());  // ...and draining past empty is safe
+  EXPECT_FALSE(store.drop_latest());
+  EXPECT_TRUE(store.empty());
+  // The store stays fully usable after the no-op drops.
+  store.put(5, "ok");
+  EXPECT_EQ(store.latest_step(), 5u);
+}
+
+// The envelope check (field-agnostic header+CRC validation, used by the
+// serve/ supervisor on pipe frames) agrees with the full decoder on every
+// corruption the rejection suite exercises.
+TEST(CheckpointEnvelope, AgreesWithTheFullDecoderOnDamage) {
+  const std::string good = encode_checkpoint(sample_checkpoint<double>());
+  EXPECT_EQ(validate_checkpoint_envelope(good), CheckpointStatus::kOk);
+  EXPECT_EQ(validate_checkpoint_envelope(good.substr(0, good.size() / 2)),
+            CheckpointStatus::kTruncated);
+  EXPECT_EQ(validate_checkpoint_envelope(
+                good.substr(0, kCheckpointHeaderBytes - 1)),
+            CheckpointStatus::kTruncated);
+  EXPECT_EQ(validate_checkpoint_envelope(std::string(64, 'x')),
+            CheckpointStatus::kBadMagic);
+  std::string flipped = good;
+  flipped[good.size() - 1] =
+      static_cast<char>(flipped[good.size() - 1] ^ 0x40);
+  EXPECT_EQ(validate_checkpoint_envelope(flipped),
+            CheckpointStatus::kCrcMismatch);
+  EXPECT_EQ(validate_checkpoint_envelope(good + "tail"),
+            CheckpointStatus::kMalformed);
+}
+
 TEST(CheckpointFiles, RoundTripPreservesBinaryBlobs) {
   const std::string blob = encode_checkpoint(sample_checkpoint<double>());
   const std::string path =

@@ -176,5 +176,76 @@ TEST(ThreadPool, DestructionDrainsQueuedTasks) {
   EXPECT_EQ(ran.load(), 32);
 }
 
+// Fail-fast drain: a cancelled sweep must return promptly even when every
+// pool thread is wedged under unrelated long-running work — the sweep's
+// queued-but-unstarted chunks are drained inline by the cancelling caller,
+// so nothing stays stuck behind the blocker and no queued task leaks. This
+// is the supervisor-shutdown scenario: cancel during teardown cannot wait
+// for (or abandon) work that never started. TSan validates the locking of
+// drain_pending against the worker loop.
+TEST(ParallelFor, CancellationDrainsQueuedChunksPastABlockedPool) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> blocker = release.get_future().share();
+  std::atomic<bool> started{false};
+  // Occupy the pool's only thread until we explicitly release it; wait for
+  // the worker to actually hold it, so the blocker cannot still be queued
+  // (and drained inline) when the sweep below cancels.
+  std::future<void> occupied = pool.submit([blocker, &started] {
+    started.store(true);
+    blocker.wait();
+  });
+  while (!started.load()) std::this_thread::yield();
+
+  CancellationToken token;
+  std::atomic<int> ran{0};
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    token.cancel();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  ParallelOutcome out = parallel_for_report(
+      0, 1024, [&](std::size_t) { ++ran; }, &pool, &token);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  canceller.join();
+
+  // The sweep came back cancelled while the blocker was STILL holding the
+  // pool's only thread: its chunks were drained inline, not waited for.
+  EXPECT_TRUE(out.cancelled);
+  EXPECT_TRUE(out.errors.empty());
+  EXPECT_EQ(ran.load(), 0);  // every chunk saw the token before iterating
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+
+  release.set_value();
+  EXPECT_NO_THROW(occupied.get());
+}
+
+// drain_pending itself: tasks drained by the caller still resolve their
+// futures (run inline), and the drain reports how many it took.
+TEST(ThreadPool, DrainPendingRunsQueuedTasksInline) {
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> blocker = release.get_future().share();
+  std::atomic<bool> started{false};
+  std::future<void> occupied = pool.submit([blocker, &started] {
+    started.store(true);
+    blocker.wait();
+  });
+  while (!started.load()) std::this_thread::yield();
+
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 8; ++i) {
+    futs.push_back(pool.submit([&ran] { ++ran; }));
+  }
+  const std::size_t drained = pool.drain_pending();
+  EXPECT_EQ(drained, 8u);
+  EXPECT_EQ(ran.load(), 8);
+  for (auto& f : futs) EXPECT_NO_THROW(f.get());  // resolved, not leaked
+
+  release.set_value();
+  EXPECT_NO_THROW(occupied.get());
+}
+
 }  // namespace
 }  // namespace pfact::par

@@ -1,0 +1,236 @@
+// Wire-protocol unit tests: payload codecs round-trip bit-exactly, and the
+// frame layer rejects every way a frame can arrive damaged (CRC mismatch,
+// truncation, desynchronization, deadline expiry) instead of half-parsing.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "circuit/builders.h"
+#include "circuit/circuit.h"
+#include "robustness/escalation.h"
+#include "robustness/guarded_run.h"
+#include "serve/wire.h"
+
+namespace pfact::serve {
+namespace {
+
+using robustness::Algorithm;
+using robustness::Diagnostic;
+using robustness::ReductionTask;
+using robustness::RunReport;
+using robustness::Substrate;
+
+ReductionTask gem_xor_task() {
+  ReductionTask task;
+  task.algorithm = Algorithm::kGem;
+  task.instance = circuit::CvpInstance{circuit::xor_circuit(), {true, false}};
+  return task;
+}
+
+TEST(Wire, RequestRoundTripsACircuitTask) {
+  TaskRequest req;
+  req.task = gem_xor_task();
+  req.substrate = Substrate::kSoftFloat53;
+  req.limits.max_steps = 77;
+  req.limits.timeout = std::chrono::milliseconds(1234);
+  req.limits.max_order = 4096;
+  req.limits.decode_tolerance = 1e-9;
+  req.checkpoint_every = 3;
+  req.resume_step = 42;
+  req.resume_blob = "not a real blob";
+  req.fault.fault = robustness::FaultClass::kTornWrite;
+  req.fault.seed = 17;
+  req.kill.mode = KillPlan::Mode::kSigsegv;
+  req.kill.after_saves = 5;
+  req.rlimits.address_space_bytes = 1u << 30;
+  req.rlimits.cpu_seconds = 9;
+
+  TaskRequest back;
+  ASSERT_TRUE(decode_request(encode_request(req), back));
+  EXPECT_EQ(back.task.algorithm, req.task.algorithm);
+  EXPECT_EQ(back.task.instance.circuit.num_inputs(),
+            req.task.instance.circuit.num_inputs());
+  EXPECT_EQ(back.task.instance.circuit.num_gates(),
+            req.task.instance.circuit.num_gates());
+  EXPECT_EQ(back.task.instance.inputs, req.task.instance.inputs);
+  EXPECT_EQ(back.task.expected(), req.task.expected());
+  EXPECT_EQ(back.substrate, req.substrate);
+  EXPECT_EQ(back.limits.max_steps, req.limits.max_steps);
+  EXPECT_EQ(back.limits.timeout, req.limits.timeout);
+  EXPECT_EQ(back.limits.max_order, req.limits.max_order);
+  EXPECT_EQ(back.limits.decode_tolerance, req.limits.decode_tolerance);
+  EXPECT_EQ(back.checkpoint_every, req.checkpoint_every);
+  EXPECT_EQ(back.resume_step, req.resume_step);
+  EXPECT_EQ(back.resume_blob, req.resume_blob);
+  EXPECT_EQ(back.fault.fault, req.fault.fault);
+  EXPECT_EQ(back.fault.seed, req.fault.seed);
+  EXPECT_EQ(back.kill.mode, req.kill.mode);
+  EXPECT_EQ(back.kill.after_saves, req.kill.after_saves);
+  EXPECT_EQ(back.rlimits.address_space_bytes, req.rlimits.address_space_bytes);
+  EXPECT_EQ(back.rlimits.cpu_seconds, req.rlimits.cpu_seconds);
+}
+
+TEST(Wire, RequestRoundTripsAChainTaskWithEmptyInstance) {
+  TaskRequest req;
+  req.task.algorithm = Algorithm::kGqr;
+  req.task.u = 1;
+  req.task.w = -1;
+  req.task.depth = 2;
+
+  TaskRequest back;
+  ASSERT_TRUE(decode_request(encode_request(req), back));
+  EXPECT_EQ(back.task.algorithm, Algorithm::kGqr);
+  EXPECT_EQ(back.task.instance.circuit.num_inputs(), 0u);
+  EXPECT_EQ(back.task.instance.circuit.num_gates(), 0u);
+  EXPECT_EQ(back.task.u, 1);
+  EXPECT_EQ(back.task.w, -1);
+  EXPECT_EQ(back.task.depth, 2u);
+}
+
+TEST(Wire, ResultRoundTripsAFullRealReport) {
+  const RunReport rep = run_on_substrate(gem_xor_task(), Substrate::kDouble);
+  ASSERT_EQ(rep.diagnostic, Diagnostic::kOk);
+  ASSERT_GT(rep.trace.size(), 0u);
+
+  RunReport back;
+  ASSERT_TRUE(decode_result(encode_result(rep), back));
+  EXPECT_EQ(back.diagnostic, rep.diagnostic);
+  EXPECT_EQ(back.value, rep.value);
+  EXPECT_EQ(back.algorithm, rep.algorithm);
+  EXPECT_EQ(back.order, rep.order);
+  EXPECT_EQ(back.decoded_entry, rep.decoded_entry);  // bit-equal
+  EXPECT_EQ(back.steps_used, rep.steps_used);
+  EXPECT_EQ(back.offending_row, rep.offending_row);
+  EXPECT_EQ(back.offending_col, rep.offending_col);
+  EXPECT_EQ(back.detail, rep.detail);
+  ASSERT_EQ(back.trace.size(), rep.trace.size());
+  for (std::size_t i = 0; i < rep.trace.size(); ++i) {
+    EXPECT_EQ(back.trace[i].column, rep.trace[i].column);
+    EXPECT_EQ(back.trace[i].pivot_pos, rep.trace[i].pivot_pos);
+    EXPECT_EQ(back.trace[i].pivot_row, rep.trace[i].pivot_row);
+    EXPECT_EQ(back.trace[i].action, rep.trace[i].action);
+  }
+}
+
+TEST(Wire, TruncatedPayloadsDoNotDecode) {
+  const std::string req = encode_request(TaskRequest{});
+  for (std::size_t keep : {std::size_t{0}, std::size_t{3}, req.size() - 1}) {
+    TaskRequest out;
+    EXPECT_FALSE(decode_request(req.substr(0, keep), out)) << keep;
+  }
+  const std::string res = encode_result(RunReport{});
+  RunReport out;
+  EXPECT_FALSE(decode_result(res.substr(0, res.size() - 1), out));
+  EXPECT_FALSE(decode_result(res + "x", out));  // trailing garbage
+}
+
+class FramePipe : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    rd_ = fds[0];
+    wr_ = fds[1];
+  }
+  void TearDown() override {
+    if (rd_ >= 0) ::close(rd_);
+    if (wr_ >= 0) ::close(wr_);
+  }
+  void close_wr() {
+    ::close(wr_);
+    wr_ = -1;
+  }
+  int rd_ = -1;
+  int wr_ = -1;
+};
+
+TEST_F(FramePipe, FramesRoundTripWithTypeAndPayload) {
+  const std::string payload = encode_checkpoint_frame(7, "blob bytes");
+  ASSERT_EQ(write_frame(wr_, FrameType::kCheckpoint, payload), WireStatus::kOk);
+  close_wr();
+
+  FrameType type = FrameType::kRequest;
+  std::string got;
+  ASSERT_EQ(read_frame(rd_, type, got), WireStatus::kOk);
+  EXPECT_EQ(type, FrameType::kCheckpoint);
+  EXPECT_EQ(got, payload);
+  std::uint64_t step = 0;
+  std::string blob;
+  ASSERT_TRUE(decode_checkpoint_frame(got, step, blob));
+  EXPECT_EQ(step, 7u);
+  EXPECT_EQ(blob, "blob bytes");
+  // And the stream ends cleanly.
+  EXPECT_EQ(read_frame(rd_, type, got), WireStatus::kEof);
+}
+
+TEST_F(FramePipe, CorruptedPayloadIsRejectedByCrc) {
+  std::string frame;
+  {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    ASSERT_EQ(write_frame(fds[1], FrameType::kResult, "payload"), WireStatus::kOk);
+    ::close(fds[1]);
+    char buf[256];
+    const ssize_t n = ::read(fds[0], buf, sizeof(buf));
+    ASSERT_GT(n, 0);
+    frame.assign(buf, static_cast<std::size_t>(n));
+    ::close(fds[0]);
+  }
+  frame[kFrameHeaderBytes] ^= 0x01;  // flip one payload bit
+  ASSERT_EQ(::write(wr_, frame.data(), frame.size()),
+            static_cast<ssize_t>(frame.size()));
+  close_wr();
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+  EXPECT_EQ(read_frame(rd_, type, payload), WireStatus::kCrcMismatch);
+}
+
+TEST_F(FramePipe, StreamDyingMidFrameIsTruncatedNotEof) {
+  std::string frame;
+  {
+    int fds[2];
+    ASSERT_EQ(::pipe(fds), 0);
+    ASSERT_EQ(write_frame(fds[1], FrameType::kResult, "payload"), WireStatus::kOk);
+    ::close(fds[1]);
+    char buf[256];
+    const ssize_t n = ::read(fds[0], buf, sizeof(buf));
+    ASSERT_GT(n, 0);
+    frame.assign(buf, static_cast<std::size_t>(n));
+    ::close(fds[0]);
+  }
+  // Ship only part of the frame, then kill the stream — a mid-write death.
+  ASSERT_EQ(::write(wr_, frame.data(), frame.size() - 3),
+            static_cast<ssize_t>(frame.size() - 3));
+  close_wr();
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+  EXPECT_EQ(read_frame(rd_, type, payload), WireStatus::kTruncated);
+}
+
+TEST_F(FramePipe, DesynchronizedStreamIsBadMagic) {
+  const std::string junk(kFrameHeaderBytes, 'x');
+  ASSERT_EQ(::write(wr_, junk.data(), junk.size()),
+            static_cast<ssize_t>(junk.size()));
+  close_wr();
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+  EXPECT_EQ(read_frame(rd_, type, payload), WireStatus::kBadMagic);
+}
+
+TEST_F(FramePipe, SilentPeerHitsTheDeadline) {
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(read_frame(rd_, type, payload,
+                       t0 + std::chrono::milliseconds(50)),
+            WireStatus::kTimeout);
+  EXPECT_GE(std::chrono::steady_clock::now() - t0,
+            std::chrono::milliseconds(40));
+}
+
+}  // namespace
+}  // namespace pfact::serve

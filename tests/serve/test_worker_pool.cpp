@@ -1,0 +1,126 @@
+// WorkerPool lifecycle tests: real forked workers, real deaths. Every
+// WorkerExit class the pool can report is produced here by actually ending
+// a worker that way — SIGKILL, a genuine wild store, a nonzero _exit, a
+// spinning worker caught by the watchdog, and RLIMIT_CPU's SIGXCPU — and
+// each death leaves the supervisor process fully intact.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+
+#include <chrono>
+
+#include "circuit/builders.h"
+#include "circuit/circuit.h"
+#include "robustness/checkpoint.h"
+#include "robustness/escalation.h"
+#include "serve/worker_pool.h"
+
+namespace pfact::serve {
+namespace {
+
+using robustness::Algorithm;
+using robustness::CheckpointStore;
+using robustness::Diagnostic;
+using robustness::ReductionTask;
+
+TaskRequest gem_request() {
+  TaskRequest req;
+  req.task.algorithm = Algorithm::kGem;
+  req.task.instance =
+      circuit::CvpInstance{circuit::xor_circuit(), {true, false}};
+  return req;
+}
+
+TEST(WorkerPool, CompletedWorkerDeliversACertifiedResult) {
+  WorkerPool pool;
+  const TaskRequest req = gem_request();
+  const WorkerRun run = pool.run_task(req, nullptr);
+  ASSERT_EQ(run.exit, WorkerExit::kCompleted) << run.detail;
+  ASSERT_TRUE(run.has_result);
+  EXPECT_EQ(run.result.diagnostic, Diagnostic::kOk) << run.result.detail;
+  EXPECT_EQ(run.result.value, req.task.expected());
+  EXPECT_EQ(pool.stats().completed, 1u);
+  EXPECT_EQ(pool.stats().crashed, 0u);
+  EXPECT_EQ(pool.live_workers(), 0u);
+}
+
+TEST(WorkerPool, SigkilledWorkerIsClassifiedSignalled) {
+  WorkerPool pool;
+  TaskRequest req = gem_request();
+  req.kill.mode = KillPlan::Mode::kSigkill;
+  const WorkerRun run = pool.run_task(req, nullptr);
+  EXPECT_EQ(run.exit, WorkerExit::kSignalled) << run.detail;
+  EXPECT_EQ(run.term_signal, SIGKILL);
+  EXPECT_FALSE(run.has_result);
+  EXPECT_EQ(pool.stats().crashed, 1u);
+}
+
+TEST(WorkerPool, SegfaultingWorkerIsContained) {
+  WorkerPool pool;
+  TaskRequest req = gem_request();
+  req.kill.mode = KillPlan::Mode::kSigsegv;
+  const WorkerRun run = pool.run_task(req, nullptr);
+  EXPECT_EQ(run.exit, WorkerExit::kSignalled) << run.detail;
+  EXPECT_EQ(run.term_signal, SIGSEGV);
+  EXPECT_FALSE(run.has_result);
+  // The whole point: the SIGSEGV happened, and THIS process is still here.
+}
+
+TEST(WorkerPool, NonzeroExitIsItsOwnClass) {
+  WorkerPool pool;
+  TaskRequest req = gem_request();
+  req.kill.mode = KillPlan::Mode::kExit;
+  const WorkerRun run = pool.run_task(req, nullptr);
+  EXPECT_EQ(run.exit, WorkerExit::kNonzeroExit) << run.detail;
+  EXPECT_EQ(run.exit_code, kKillPlanExitCode);
+}
+
+TEST(WorkerPool, WatchdogKillsAWedgedWorker) {
+  WorkerPool pool;
+  TaskRequest req = gem_request();
+  req.kill.mode = KillPlan::Mode::kSpin;  // never returns on its own
+  const auto t0 = std::chrono::steady_clock::now();
+  const WorkerRun run =
+      pool.run_task(req, nullptr, std::chrono::milliseconds(200));
+  EXPECT_EQ(run.exit, WorkerExit::kWatchdog) << run.detail;
+  EXPECT_EQ(run.term_signal, SIGKILL);
+  EXPECT_EQ(pool.stats().watchdog_kills, 1u);
+  // The watchdog bounded the wait: well under the forever the spin wanted.
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(30));
+}
+
+TEST(WorkerPool, CpuRlimitSurfacesAsCpuLimit) {
+  WorkerPool pool;
+  TaskRequest req = gem_request();
+  req.kill.mode = KillPlan::Mode::kSpin;
+  req.rlimits.cpu_seconds = 1;  // the sandbox, not the watchdog, ends this
+  const WorkerRun run = pool.run_task(req, nullptr);
+  EXPECT_EQ(run.exit, WorkerExit::kCpuLimit) << run.detail;
+  EXPECT_EQ(run.term_signal, SIGXCPU);
+}
+
+TEST(WorkerPool, CheckpointFramesAreVerifiedAndFiled) {
+  WorkerPool pool;
+  TaskRequest req = gem_request();
+  req.checkpoint_every = 2;
+  req.kill.mode = KillPlan::Mode::kSigkill;
+  req.kill.after_saves = 2;  // die right after shipping the second save
+  CheckpointStore store;
+  const WorkerRun run = pool.run_task(req, &store);
+  EXPECT_EQ(run.exit, WorkerExit::kSignalled) << run.detail;
+  EXPECT_EQ(run.checkpoints_received, 2u);
+  EXPECT_EQ(run.checkpoints_rejected, 0u);
+  EXPECT_EQ(store.size(), 2u);
+  // Saves land at multiples of the cadence; the newest is save #2.
+  EXPECT_EQ(store.latest_step(), 4u);
+}
+
+TEST(WorkerPool, EveryExitClassHasAPrintableName) {
+  for (WorkerExit e : all_worker_exits()) {
+    EXPECT_STRNE(worker_exit_name(e), "?");
+  }
+  EXPECT_EQ(all_worker_exits().size(), 6u);
+}
+
+}  // namespace
+}  // namespace pfact::serve

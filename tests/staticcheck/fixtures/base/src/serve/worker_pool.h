@@ -1,0 +1,29 @@
+#pragma once
+// staticcheck fixture: minimal worker-death taxonomy (enum + name switch +
+// soak-coverage sweep list) in the shape pfact_lint parses for PL009.
+
+namespace pfact::serve {
+
+enum class WorkerExit {
+  kCompleted,
+  kSignalled,
+  kWatchdog,
+};
+
+inline const char* worker_exit_name(WorkerExit e) {
+  switch (e) {
+    case WorkerExit::kCompleted: return "completed";
+    case WorkerExit::kSignalled: return "signalled";
+    case WorkerExit::kWatchdog: return "watchdog";
+  }
+  return "?";
+}
+
+inline const std::vector<WorkerExit>& all_worker_exits() {
+  static const std::vector<WorkerExit> classes = {WorkerExit::kCompleted,
+                                                  WorkerExit::kSignalled,
+                                                  WorkerExit::kWatchdog};
+  return classes;
+}
+
+}  // namespace pfact::serve

@@ -1,0 +1,34 @@
+#pragma once
+// Seeded violation for PL009: WorkerExit::kMystery was added to the pool's
+// taxonomy (named, and in the soak sweep) but diagnose_worker_exit() in
+// supervisor.h was never taught about it — a worker dying this way would
+// fall through to the kInternalError backstop instead of the retry loop.
+
+namespace pfact::serve {
+
+enum class WorkerExit {
+  kCompleted,
+  kSignalled,
+  kWatchdog,
+  kMystery,
+};
+
+inline const char* worker_exit_name(WorkerExit e) {
+  switch (e) {
+    case WorkerExit::kCompleted: return "completed";
+    case WorkerExit::kSignalled: return "signalled";
+    case WorkerExit::kWatchdog: return "watchdog";
+    case WorkerExit::kMystery: return "mystery";
+  }
+  return "?";
+}
+
+inline const std::vector<WorkerExit>& all_worker_exits() {
+  static const std::vector<WorkerExit> classes = {WorkerExit::kCompleted,
+                                                  WorkerExit::kSignalled,
+                                                  WorkerExit::kWatchdog,
+                                                  WorkerExit::kMystery};
+  return classes;
+}
+
+}  // namespace pfact::serve

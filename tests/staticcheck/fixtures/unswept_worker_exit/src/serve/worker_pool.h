@@ -1,0 +1,33 @@
+#pragma once
+// Seeded violation for PL009: WorkerExit::kMystery is named and diagnosed
+// (see this overlay's supervisor.h) but missing from the all_worker_exits()
+// sweep list — the real-kill soak harness would report full coverage while
+// never producing or surviving this death class.
+
+namespace pfact::serve {
+
+enum class WorkerExit {
+  kCompleted,
+  kSignalled,
+  kWatchdog,
+  kMystery,
+};
+
+inline const char* worker_exit_name(WorkerExit e) {
+  switch (e) {
+    case WorkerExit::kCompleted: return "completed";
+    case WorkerExit::kSignalled: return "signalled";
+    case WorkerExit::kWatchdog: return "watchdog";
+    case WorkerExit::kMystery: return "mystery";
+  }
+  return "?";
+}
+
+inline const std::vector<WorkerExit>& all_worker_exits() {
+  static const std::vector<WorkerExit> classes = {WorkerExit::kCompleted,
+                                                  WorkerExit::kSignalled,
+                                                  WorkerExit::kWatchdog};
+  return classes;
+}
+
+}  // namespace pfact::serve

@@ -116,6 +116,24 @@ TEST(PfactLint, OutdatedManifestFailsPL008) {
   expect_violation("outdated_manifest", "PL008", "--update-manifest");
 }
 
+TEST(PfactLint, UnmappedWorkerExitFailsPL009) {
+  expect_violation("unmapped_worker_exit", "PL009", "WorkerExit::kMystery");
+}
+
+TEST(PfactLint, UnsweptWorkerExitFailsPL009) {
+  const fs::path root = materialize("unswept_worker_exit");
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 1) << res.output;
+  EXPECT_NE(res.output.find("PL009"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("all_worker_exits"), std::string::npos)
+      << res.output;
+  // kMystery IS named and diagnosed in this overlay, so the sweep gap is
+  // the only finding — the rule localizes, not shotgun-blasts.
+  EXPECT_EQ(res.output.find("diagnose_worker_exit()"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
+}
+
 // --update-manifest is the sanctioned way out of PL007/PL008: after a
 // legitimate schema change plus version bump, regenerating the manifest
 // returns the tree to clean.

@@ -32,6 +32,11 @@
 //   PL008 checkpoint-manifest-outdated  the committed manifest does not
 //                                    match the current (version, tag set);
 //                                    regenerate with --update-manifest
+//   PL009 worker-exit-unmapped       WorkerExit enumerator with no
+//                                    worker_exit_name() case, no
+//                                    diagnose_worker_exit() mapping to a
+//                                    Diagnostic, or missing from the
+//                                    all_worker_exits() soak-coverage sweep
 //
 // Usage:
 //   pfact_lint --root <repo-root> [--manifest <file>] [--update-manifest]
@@ -353,6 +358,61 @@ void check_diagnostics(Lint& lint) {
   }
 }
 
+// PL009: the worker-death taxonomy is printable, diagnosable, and swept.
+// WorkerExit is DEFINED in src/serve/worker_pool.h (with its name switch and
+// the all_worker_exits() sweep the soak harness certifies coverage against)
+// but DIAGNOSED in src/serve/supervisor.h — the classic cross-file gap this
+// tool exists for: a new death class compiles everywhere and silently falls
+// through to the kInternalError backstop at the first real crash.
+void check_worker_exits(Lint& lint) {
+  const std::string pool = lint.read("src/serve/worker_pool.h");
+  const std::string sup = lint.read("src/serve/supervisor.h");
+  if (pool.empty() || sup.empty()) return;
+  const std::vector<std::string> ids = parse_enum(pool, "WorkerExit");
+  if (ids.empty()) {
+    lint.report("PL009", "worker-exit-unmapped",
+                "enum class WorkerExit not found in src/serve/worker_pool.h");
+    return;
+  }
+  const std::map<std::string, std::string> names = parse_switch_returns(
+      function_body(pool, "worker_exit_name"), "WorkerExit");
+  const std::map<std::string, std::string> diags = parse_switch_returns(
+      function_body(sup, "diagnose_worker_exit"), "WorkerExit");
+
+  std::set<std::string> swept;
+  const std::string sweep_body = function_body(pool, "all_worker_exits");
+  const std::regex mention("WorkerExit::(k[A-Za-z0-9_]+)");
+  for (auto it =
+           std::sregex_iterator(sweep_body.begin(), sweep_body.end(), mention);
+       it != std::sregex_iterator(); ++it) {
+    swept.insert((*it)[1].str());
+  }
+  for (const std::string& id : ids) {
+    const auto n = names.find(id);
+    if (n == names.end() || !quoted(n->second).has_value()) {
+      lint.report("PL009", "worker-exit-unmapped",
+                  "WorkerExit::" + id +
+                      " has no name case in worker_exit_name()");
+    }
+    const auto d = diags.find(id);
+    if (d == diags.end() ||
+        d->second.find("Diagnostic::") == std::string::npos) {
+      lint.report("PL009", "worker-exit-unmapped",
+                  "WorkerExit::" + id +
+                      " is not mapped to a Diagnostic in "
+                      "diagnose_worker_exit() (src/serve/supervisor.h) — a "
+                      "worker dying this way would hit the kInternalError "
+                      "backstop instead of the retry taxonomy");
+    }
+    if (swept.count(id) == 0) {
+      lint.report("PL009", "worker-exit-unmapped",
+                  "WorkerExit::" + id +
+                      " is missing from the all_worker_exits() sweep list — "
+                      "the real-kill soak could never certify coverage of it");
+    }
+  }
+}
+
 // --- checkpoint schema: tags, version, manifest -----------------------------
 
 struct CheckpointSchema {
@@ -523,6 +583,7 @@ int main(int argc, char** argv) {
   check_obs_names(lint);
   check_fault_classes(lint);
   check_diagnostics(lint);
+  check_worker_exits(lint);
   check_tag_uniqueness(lint, schema);
   check_manifest(lint, schema, manifest_path);
 

@@ -29,8 +29,20 @@
 //                  the SAME pivot trace, event for event, as an
 //                  uninterrupted baseline.
 //
+// With --kill-only the soak switches to REAL-kill campaigns through the
+// serve/ process-isolation layer: every attempt runs in a forked,
+// rlimit-sandboxed worker that is actually destroyed — SIGKILL, a genuine
+// wild-store SIGSEGV, a nonzero _exit, the RLIMIT_CPU sandbox's SIGXCPU, or
+// the supervisor's watchdog — and the campaign must still end certified
+// with the ground-truth boolean (the successor worker is seeded from the
+// checkpoints the victim streamed over the pipe before dying). The kill-only
+// soak additionally certifies COVERAGE: every WorkerExit class except
+// kProtocolError must be produced and survived at least once (protocol
+// errors need a corrupted-but-exit-0 worker that no supported KillPlan
+// produces; tests/serve covers that path with hand-built frames).
+//
 // Usage: pfact_soak [--campaigns N] [--seed S] [--log FILE]
-//                   [--fail-dir DIR] [--verbose]
+//                   [--fail-dir DIR] [--kill-only] [--verbose]
 //
 // Exit code 0 iff every campaign held the contract. The log file (one line
 // per campaign) and any failing checkpoint blobs (--fail-dir) are the CI
@@ -40,6 +52,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -50,6 +63,8 @@
 #include "robustness/fault_injector.h"
 #include "robustness/resilient_run.h"
 #include "robustness/retry.h"
+#include "serve/supervisor.h"
+#include "serve/worker_pool.h"
 
 using namespace pfact;
 using namespace pfact::robustness;
@@ -61,6 +76,7 @@ struct Options {
   std::uint64_t seed = 1;
   std::string log_path = "soak_log.txt";
   std::string fail_dir;
+  bool kill_only = false;
   bool verbose = false;
 };
 
@@ -186,6 +202,160 @@ bool check_verdict(const ReductionTask& task, const ResilientReport& rep,
   return true;
 }
 
+// --- real-kill campaigns through the serve/ layer ---------------------------
+
+// One deliberate death per campaign, cycled so every class is exercised:
+// the shape names the WorkerExit it must produce and the Diagnostic the
+// supervisor must classify it as.
+struct KillShape {
+  const char* name;
+  serve::KillPlan::Mode mode;
+  bool watchdog;    // arm a 200ms supervisor deadline
+  bool cpu_rlimit;  // 1-second RLIMIT_CPU sandbox
+  serve::WorkerExit expect_exit;
+  Diagnostic expect_diag;
+};
+
+constexpr KillShape kKillShapes[] = {
+    {"worker-sigkill", serve::KillPlan::Mode::kSigkill, false, false,
+     serve::WorkerExit::kSignalled, Diagnostic::kWorkerFailure},
+    {"worker-sigsegv", serve::KillPlan::Mode::kSigsegv, false, false,
+     serve::WorkerExit::kSignalled, Diagnostic::kWorkerFailure},
+    {"worker-exit", serve::KillPlan::Mode::kExit, false, false,
+     serve::WorkerExit::kNonzeroExit, Diagnostic::kWorkerFailure},
+    {"worker-watchdog", serve::KillPlan::Mode::kSpin, true, false,
+     serve::WorkerExit::kWatchdog, Diagnostic::kDeadlineExceeded},
+    {"worker-rlimit", serve::KillPlan::Mode::kSpin, false, true,
+     serve::WorkerExit::kCpuLimit, Diagnostic::kResourceExhausted},
+};
+
+int run_kill_campaigns(const Options& opt, std::ofstream& log) {
+  const std::vector<ReductionTask> pool_tasks = build_task_pool();
+  serve::WorkerPool pool;
+  SoakStats stats;
+  std::set<serve::WorkerExit> observed;
+  std::size_t resume_handoffs = 0;
+  bool ok = true;
+
+  for (std::size_t campaign = 0; campaign < opt.campaigns && ok; ++campaign) {
+    Stream rng{opt.seed, campaign};
+    const ReductionTask& task = pool_tasks[rng.pick(pool_tasks.size())];
+    // Cycle shapes deterministically so a short soak still covers them all.
+    const KillShape& shape = kKillShapes[campaign % std::size(kKillShapes)];
+
+    CheckpointStore store;
+    serve::SupervisorOptions so;
+    so.retry.max_attempts = 3;
+    so.retry.base_delay = std::chrono::milliseconds{1};
+    so.retry.jitter_seed = rng.next();
+    so.checkpoint_every = 2;
+    so.store = &store;
+    if (shape.watchdog) so.watchdog = std::chrono::milliseconds{200};
+    if (shape.cpu_rlimit) so.rlimits.cpu_seconds = 1;
+    // 0 = die before any save, 1 = die right after the first save. Capped
+    // at 1 because the smallest pool tasks may stream only one snapshot —
+    // a trigger that never fires would let attempt 1 complete cleanly and
+    // trip the misclassification check below.
+    const std::uint64_t after_saves = rng.pick(2);
+    so.kill_for_attempt = [&shape, after_saves](std::size_t attempt) {
+      serve::KillPlan kill;
+      if (attempt == 1) {
+        kill.mode = shape.mode;
+        kill.after_saves = after_saves;
+      }
+      return kill;
+    };
+
+    const serve::SupervisedReport rep = supervised_run(pool, task, so);
+    stats.attempts += rep.attempts.size();
+    stats.escalations += rep.escalations;
+    resume_handoffs += rep.resume_handoffs;
+
+    // Zero wrong answers, across a real process death.
+    if (!rep.certified || rep.value != task.expected()) {
+      if (rep.certified) ++stats.wrong_answers;
+      ++stats.broken_contracts;
+      log << "campaign " << campaign << " " << shape.name << " "
+          << task.describe() << " FAILED: "
+          << (rep.certified ? "WRONG ANSWER" : "not certified") << "\n"
+          << rep.to_string() << "\n";
+      if (!opt.fail_dir.empty()) {
+        for (const auto& [step, blob] : store.blobs()) {
+          write_checkpoint_file(opt.fail_dir + "/campaign" +
+                                    std::to_string(campaign) + "_step" +
+                                    std::to_string(step) + ".ckpt",
+                                blob);
+        }
+      }
+      ok = false;
+      break;
+    }
+    ++stats.certified;
+    // The victim's death was classified exactly as the taxonomy promises.
+    if (rep.attempts.empty() ||
+        rep.attempts.front().diagnostic != shape.expect_diag) {
+      ++stats.broken_contracts;
+      log << "campaign " << campaign << " " << shape.name
+          << " MISCLASSIFIED: expected "
+          << diagnostic_name(shape.expect_diag) << ", got "
+          << (rep.attempts.empty()
+                  ? "no attempts"
+                  : diagnostic_name(rep.attempts.front().diagnostic))
+          << "\n" << rep.to_string() << "\n";
+      ok = false;
+      break;
+    }
+    observed.insert(shape.expect_exit);
+    observed.insert(rep.last_worker_exit);  // kCompleted on certification
+    log << "campaign " << campaign << " " << shape.name << " "
+        << task.describe() << " certified attempts=" << rep.attempts.size()
+        << " resume-handoffs=" << rep.resume_handoffs << "\n";
+    if (opt.verbose) {
+      std::printf("campaign %zu %s %s: certified (%zu attempts)\n", campaign,
+                  shape.name, task.describe().c_str(), rep.attempts.size());
+    }
+  }
+
+  // Coverage: every death class the pool can report was really produced
+  // and survived — except kProtocolError (no KillPlan yields exit-0 with a
+  // corrupt result frame; tests/serve covers it with hand-built frames).
+  if (ok && opt.campaigns >= std::size(kKillShapes)) {
+    for (serve::WorkerExit e : serve::all_worker_exits()) {
+      if (e == serve::WorkerExit::kProtocolError) continue;
+      if (observed.count(e) == 0) {
+        ++stats.broken_contracts;
+        log << "COVERAGE GAP: WorkerExit " << serve::worker_exit_name(e)
+            << " never observed\n";
+        ok = false;
+      }
+    }
+  }
+
+  const serve::WorkerPool::Stats ps = pool.stats();
+  log << "summary certified=" << stats.certified
+      << " attempts=" << stats.attempts
+      << " workers-spawned=" << ps.spawned << " workers-crashed="
+      << ps.crashed << " watchdog-kills=" << ps.watchdog_kills
+      << " resume-handoffs=" << resume_handoffs
+      << " wrong-answers=" << stats.wrong_answers
+      << " broken-contracts=" << stats.broken_contracts << "\n";
+  std::printf(
+      "pfact_soak --kill-only: %zu certified, %zu attempts, "
+      "%llu workers spawned, %llu crashed, %llu watchdog kills, "
+      "%zu resume handoffs, %zu wrong answers, %zu broken contracts\n",
+      stats.certified, stats.attempts,
+      static_cast<unsigned long long>(ps.spawned),
+      static_cast<unsigned long long>(ps.crashed),
+      static_cast<unsigned long long>(ps.watchdog_kills), resume_handoffs,
+      stats.wrong_answers, stats.broken_contracts);
+  if (!ok || stats.wrong_answers != 0 || stats.broken_contracts != 0) {
+    std::printf("pfact_soak: FAILED (see %s)\n", opt.log_path.c_str());
+    return 1;
+  }
+  std::printf("pfact_soak: all real-kill campaigns held the contract\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -207,12 +377,14 @@ int main(int argc, char** argv) {
       opt.log_path = value();
     } else if (arg == "--fail-dir") {
       opt.fail_dir = value();
+    } else if (arg == "--kill-only") {
+      opt.kill_only = true;
     } else if (arg == "--verbose") {
       opt.verbose = true;
     } else {
       std::fprintf(stderr,
                    "usage: pfact_soak [--campaigns N] [--seed S] [--log FILE] "
-                   "[--fail-dir DIR] [--verbose]\n");
+                   "[--fail-dir DIR] [--kill-only] [--verbose]\n");
       return 2;
     }
   }
@@ -223,7 +395,9 @@ int main(int argc, char** argv) {
     return 2;
   }
   log << "pfact_soak seed=" << opt.seed << " campaigns=" << opt.campaigns
-      << "\n";
+      << (opt.kill_only ? " kill-only" : "") << "\n";
+
+  if (opt.kill_only) return run_kill_campaigns(opt, log);
 
   const std::vector<ReductionTask> pool = build_task_pool();
   const std::vector<FaultClass> faults = all_fault_classes();
