@@ -51,6 +51,16 @@ const char* counter_name(Counter c) {
     case Counter::kWorkerCrashes: return "worker-crashes";
     case Counter::kWorkerWatchdogKills: return "worker-watchdog-kills";
     case Counter::kWorkerResumeHandoffs: return "worker-resume-handoffs";
+    case Counter::kServeForkFailures: return "serve-fork-failures";
+    case Counter::kServeWarmJobs: return "serve-warm-jobs";
+    case Counter::kServeWorkerRecycles: return "serve-worker-recycles";
+    case Counter::kServeJobsSubmitted: return "serve-jobs-submitted";
+    case Counter::kServeJobsShed: return "serve-jobs-shed";
+    case Counter::kServeCacheHits: return "serve-cache-hits";
+    case Counter::kServeCacheMisses: return "serve-cache-misses";
+    case Counter::kServeCacheFills: return "serve-cache-fills";
+    case Counter::kServeCacheEvictions: return "serve-cache-evictions";
+    case Counter::kServeCacheCorrupt: return "serve-cache-corrupt";
     case Counter::kCount_: break;
   }
   return "?";
@@ -61,6 +71,7 @@ const char* histogram_name(Histogram h) {
     case Histogram::kPivotMoveDistance: return "pivot-move-distance";
     case Histogram::kBigIntLimbs: return "bigint-limbs";
     case Histogram::kSpanDurationUs: return "span-duration-us";
+    case Histogram::kQueueDepth: return "queue-depth";
     case Histogram::kCount_: break;
   }
   return "?";

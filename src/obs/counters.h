@@ -101,6 +101,18 @@ enum class Counter : std::size_t {
   kWorkerWatchdogKills,   // workers SIGKILLed by the supervisor's watchdog
   kWorkerResumeHandoffs,  // respawns seeded with a verified checkpoint blob
 
+  // --- serve/: warm pool, admission control, result cache -------------------
+  kServeForkFailures,     // fork() itself failed (resource exhaustion)
+  kServeWarmJobs,         // jobs executed on an already-warm worker
+  kServeWorkerRecycles,   // warm workers retired on plan (job quota/rlimits)
+  kServeJobsSubmitted,    // jobs offered to the service queue
+  kServeJobsShed,         // jobs refused by admission control (classified)
+  kServeCacheHits,        // result-cache probes answered from cache
+  kServeCacheMisses,      // probes that fell through to the warm pool
+  kServeCacheFills,       // verified answers written into the cache
+  kServeCacheEvictions,   // entries displaced by capacity bounds
+  kServeCacheCorrupt,     // entries rejected on read (CRC/envelope)
+
   kCount_,  // sentinel: number of counters
 };
 
@@ -116,6 +128,7 @@ enum class Histogram : std::size_t {
   kPivotMoveDistance,   // piv - k: how far the chosen pivot row travelled
   kBigIntLimbs,         // limb count of allocated magnitudes
   kSpanDurationUs,      // span wall time, microseconds
+  kQueueDepth,          // service queue depth observed at each admission
   kCount_,
 };
 

@@ -40,6 +40,7 @@ enum class Diagnostic {
   kCheckpointCorrupt,     // a resume checkpoint failed CRC/version/shape
   kWorkerFailure,         // a pool worker failed with an unclassified error
   kInternalError,         // anything else — a bug in this library
+  kOverloaded,            // admission control shed the job (queue saturated)
 };
 
 inline const char* diagnostic_name(Diagnostic d) {
@@ -62,6 +63,7 @@ inline const char* diagnostic_name(Diagnostic d) {
     case Diagnostic::kCheckpointCorrupt: return "checkpoint-corrupt";
     case Diagnostic::kWorkerFailure: return "worker-failure";
     case Diagnostic::kInternalError: return "internal-error";
+    case Diagnostic::kOverloaded: return "overloaded";
   }
   return "?";
 }

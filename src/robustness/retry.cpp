@@ -26,6 +26,8 @@ FailureKind classify_diagnostic(Diagnostic d) {
     case Diagnostic::kResourceExhausted:   // bad_alloc under memory pressure
     case Diagnostic::kCheckpointCorrupt:   // torn write; retry re-resumes
     case Diagnostic::kWorkerFailure:       // a pool worker died
+    case Diagnostic::kOverloaded:          // shed by admission control; the
+                                           // work was refused, never refuted
       return FailureKind::kTransient;
 
     // The arithmetic on this substrate produced these bits and will again:

@@ -1,0 +1,231 @@
+#include "serve/queue.h"
+
+#include <utility>
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+#include "robustness/retry.h"
+
+namespace pfact::serve {
+
+using robustness::CheckpointStore;
+using robustness::Diagnostic;
+using robustness::FailureKind;
+using robustness::ReductionTask;
+using robustness::Substrate;
+
+const ServiceResponse& ReductionService::Pending::wait() {
+  par::MutexLock lock(mu_);
+  while (!done_) lock.wait(done_cv_);
+  return response_;
+}
+
+ReductionService::ReductionService(ServiceOptions options)
+    : options_(std::move(options)),
+      pool_(options_.pool),
+      cache_(options_.cache_capacity) {
+  if (options_.dispatchers == 0) options_.dispatchers = 1;
+  if (options_.queue_depth == 0) options_.queue_depth = 1;
+  dispatchers_.reserve(options_.dispatchers);
+  for (std::size_t i = 0; i < options_.dispatchers; ++i) {
+    dispatchers_.emplace_back([this] { dispatch_loop(); });
+  }
+}
+
+ReductionService::~ReductionService() {
+  {
+    par::MutexLock lock(mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : dispatchers_) t.join();
+}
+
+void ReductionService::resolve(Pending& pending, ServiceResponse response) {
+  par::MutexLock lock(pending.mu_);
+  pending.response_ = std::move(response);
+  pending.done_ = true;
+  pending.done_cv_.notify_all();
+}
+
+ServiceResponse ReductionService::shed_response(Admission admission,
+                                                const char* detail) {
+  ServiceResponse resp;
+  resp.admission = admission;
+  const Diagnostic diag = diagnose_admission(admission);
+  resp.report.certified = false;
+  resp.report.outcome = robustness::classify_diagnostic(diag);
+  resp.report.final_report.diagnostic = diag;
+  resp.report.final_report.detail = detail;
+  return resp;
+}
+
+std::shared_ptr<ReductionService::Pending> ReductionService::submit(
+    const ReductionTask& task, const JobOptions& job) {
+  auto pending = std::make_shared<Pending>();
+  PFACT_COUNT(kServeJobsSubmitted);
+
+  Job queued;
+  queued.task = task;
+  queued.options = job;
+  const auto deadline =
+      job.deadline.count() > 0 ? job.deadline : options_.default_deadline;
+  if (deadline.count() > 0) {
+    queued.deadline = std::chrono::steady_clock::now() + deadline;
+  }
+  queued.pending = pending;
+
+  {
+    par::MutexLock lock(mu_);
+    ++stats_.submitted;
+    if (stopping_) {
+      ++stats_.shed_shutdown;
+      PFACT_COUNT(kServeJobsShed);
+      resolve(*pending, shed_response(Admission::kShedShutdown,
+                                      "service is shutting down"));
+      return pending;
+    }
+    if (queue_.size() >= options_.queue_depth) {
+      // The load-shedding moment: refuse NOW, classified, rather than grow
+      // an unbounded backlog whose answers arrive after anyone cares.
+      ++stats_.shed_queue_full;
+      PFACT_COUNT(kServeJobsShed);
+      resolve(*pending,
+              shed_response(Admission::kShedQueueFull,
+                            "admission control: queue depth bound reached"));
+      return pending;
+    }
+    queue_.push_back(std::move(queued));
+    ++stats_.accepted;
+    if (queue_.size() > stats_.peak_queue_depth) {
+      stats_.peak_queue_depth = queue_.size();
+    }
+    PFACT_HISTO(kQueueDepth, queue_.size());
+  }
+  queue_cv_.notify_one();
+  return pending;
+}
+
+ServiceResponse ReductionService::run(const ReductionTask& task,
+                                      const JobOptions& job) {
+  return submit(task, job)->wait();
+}
+
+void ReductionService::dispatch_loop() {
+  for (;;) {
+    Job job;
+    bool shed_shutdown = false;
+    {
+      par::MutexLock lock(mu_);
+      while (queue_.empty() && !stopping_) lock.wait(queue_cv_);
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      // Graceful shutdown: still-queued jobs are resolved, not executed —
+      // bounded teardown, and every waiter gets a classified answer.
+      if (stopping_) {
+        shed_shutdown = true;
+        ++stats_.shed_shutdown;
+      }
+    }
+    if (shed_shutdown) {
+      PFACT_COUNT(kServeJobsShed);
+      resolve(*job.pending, shed_response(Admission::kShedShutdown,
+                                          "service is shutting down"));
+      continue;
+    }
+    if (job.deadline != std::chrono::steady_clock::time_point{} &&
+        std::chrono::steady_clock::now() >= job.deadline) {
+      {
+        par::MutexLock lock(mu_);
+        ++stats_.shed_deadline;
+      }
+      PFACT_COUNT(kServeJobsShed);
+      resolve(*job.pending,
+              shed_response(Admission::kShedDeadline,
+                            "deadline expired while queued"));
+      continue;
+    }
+    PFACT_SPAN("serve.queue");
+    ServiceResponse resp = execute(job);
+    if (resp.from_cache) {
+      par::MutexLock lock(mu_);
+      ++stats_.served_from_cache;
+    }
+    resolve(*job.pending, std::move(resp));
+  }
+}
+
+ServiceResponse ReductionService::execute(const Job& job) {
+  ServiceResponse resp;
+  resp.admission = Admission::kAccepted;
+
+  const std::vector<Substrate> ladder =
+      options_.supervisor.ladder.empty()
+          ? robustness::default_ladder(job.task.algorithm)
+          : options_.supervisor.ladder;
+
+  // Cache probe, one key per ladder rung: escalation may have certified a
+  // previous identical task on a higher rung than the first.
+  {
+    PFACT_SPAN("serve.cache");
+    for (Substrate sub : ladder) {
+      if (!robustness::substrate_supported(job.task.algorithm, sub)) continue;
+      CacheEntry entry;
+      if (cache_.lookup(ResultCache::key_for(job.task, sub), entry) !=
+          CacheProbe::kHit) {
+        continue;
+      }
+      // The zero-wrong-answer contract is absolute, so the hit path keeps
+      // its own cross-check: the direct evaluation is linear-time, and a
+      // cached value that contradicts it is treated as poison (fall
+      // through to re-factor; the eventual verified fill overwrites it).
+      if (entry.value != job.task.expected()) continue;
+      resp.from_cache = true;
+      resp.report.certified = true;
+      resp.report.value = entry.value;
+      resp.report.certified_by = entry.substrate;
+      resp.report.outcome = FailureKind::kSuccess;
+      resp.report.final_report.diagnostic = Diagnostic::kOk;
+      resp.report.final_report.value = entry.value;
+      resp.report.final_report.detail = "served from verified result cache";
+      return resp;
+    }
+  }
+
+  // Miss: factor on the warm pool through the supervised retry/escalation
+  // loop, with a private checkpoint store so the final verified blob can
+  // ride into the cache entry.
+  SupervisorOptions so = options_.supervisor;
+  CheckpointStore store;
+  so.store = &store;
+  if (job.options.kill_for_attempt) {
+    so.kill_for_attempt = job.options.kill_for_attempt;
+  }
+  if (job.options.rlimits.address_space_bytes != 0 ||
+      job.options.rlimits.cpu_seconds != 0) {
+    so.rlimits = job.options.rlimits;
+  }
+  if (job.options.watchdog.count() > 0) so.watchdog = job.options.watchdog;
+  resp.report = supervised_run(pool_, job.task, so);
+
+  if (resp.report.certified) {
+    // Fill only after certification (worker cross-check + supervisor
+    // re-check): the cache preserves truth, it never creates it.
+    CacheEntry entry;
+    entry.value = resp.report.value;
+    entry.substrate = resp.report.certified_by;
+    if (!store.empty()) entry.final_checkpoint = *store.latest();
+    PFACT_SPAN("serve.cache");
+    cache_.insert(ResultCache::key_for(job.task, resp.report.certified_by),
+                  entry);
+  }
+  return resp;
+}
+
+ReductionService::Stats ReductionService::stats() const {
+  par::MutexLock lock(mu_);
+  return stats_;
+}
+
+}  // namespace pfact::serve

@@ -1,0 +1,156 @@
+#include "serve/result_cache.h"
+
+#include <utility>
+
+#include "circuit/io.h"
+#include "obs/counters.h"
+#include "robustness/checkpoint.h"
+
+namespace pfact::serve {
+
+namespace {
+
+using robustness::detail::ByteReader;
+using robustness::detail::ByteWriter;
+
+std::string serialize_entry(const CacheEntry& entry) {
+  ByteWriter w;
+  w.put_u8(entry.value ? 1 : 0);
+  w.put_u32(static_cast<std::uint32_t>(entry.substrate));
+  w.put_string(entry.final_checkpoint);
+  return w.take();
+}
+
+bool deserialize_entry(const std::string& bytes, CacheEntry& out) {
+  ByteReader r(bytes);
+  CacheEntry entry;
+  entry.value = r.get_u8() != 0;
+  const std::uint32_t substrate = r.get_u32();
+  if (substrate > static_cast<std::uint32_t>(robustness::Substrate::kRational))
+    return false;
+  entry.substrate = static_cast<robustness::Substrate>(substrate);
+  entry.final_checkpoint = r.get_string();
+  if (!r.ok() || !r.exhausted()) return false;
+  out = std::move(entry);
+  return true;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::string ResultCache::key_for(const robustness::ReductionTask& task,
+                                 robustness::Substrate substrate) {
+  // The circuit travels by the same canonical rule the wire codec uses
+  // (wire.cpp encode_request): the empty instance — GEP/GQR chain tasks —
+  // is the empty string, anything else is the canonical circuit text with
+  // its input assignment. The canonical text IS the content address.
+  std::string circuit_text;
+  if (task.instance.circuit.num_inputs() != 0 ||
+      task.instance.circuit.num_gates() != 0) {
+    const std::vector<bool>* inputs =
+        task.instance.inputs.empty() ? nullptr : &task.instance.inputs;
+    circuit_text = circuit::circuit_to_text(task.instance.circuit, inputs);
+  }
+  std::string key = robustness::algorithm_name(task.algorithm);
+  key += '\n';
+  key += robustness::substrate_name(substrate);
+  key += '\n';
+  key += std::to_string(task.u) + ' ' + std::to_string(task.w) + ' ' +
+         std::to_string(task.depth);
+  key += '\n';
+  key += circuit_text;
+  return key;
+}
+
+void ResultCache::drop(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru);
+  entries_.erase(it);
+}
+
+CacheProbe ResultCache::lookup(const std::string& key, CacheEntry& out) {
+  par::MutexLock lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    PFACT_COUNT(kServeCacheMisses);
+    return CacheProbe::kMiss;
+  }
+  Stored& stored = it->second;
+  if (robustness::crc32(stored.bytes.data(), stored.bytes.size()) !=
+      stored.crc) {
+    drop(key);
+    ++stats_.corrupt;
+    PFACT_COUNT(kServeCacheCorrupt);
+    return CacheProbe::kCorruptEntry;
+  }
+  CacheEntry entry;
+  if (!deserialize_entry(stored.bytes, entry)) {
+    // Bytes hash but do not parse: same corruption family, same exit.
+    drop(key);
+    ++stats_.corrupt;
+    PFACT_COUNT(kServeCacheCorrupt);
+    return CacheProbe::kCorruptEntry;
+  }
+  if (!entry.final_checkpoint.empty() &&
+      robustness::validate_checkpoint_envelope(entry.final_checkpoint) !=
+          robustness::CheckpointStatus::kOk) {
+    drop(key);
+    ++stats_.corrupt;
+    PFACT_COUNT(kServeCacheCorrupt);
+    return CacheProbe::kEnvelopeRejected;
+  }
+  // Freshen: a hit entry moves to the MRU end of the eviction order.
+  lru_.erase(stored.lru);
+  lru_.push_front(key);
+  stored.lru = lru_.begin();
+  ++stats_.hits;
+  PFACT_COUNT(kServeCacheHits);
+  out = std::move(entry);
+  return CacheProbe::kHit;
+}
+
+void ResultCache::insert(const std::string& key, const CacheEntry& entry) {
+  if (capacity_ == 0) return;
+  par::MutexLock lock(mu_);
+  drop(key);  // replace, never duplicate
+  while (entries_.size() >= capacity_) {
+    drop(lru_.back());
+    ++stats_.evictions;
+    PFACT_COUNT(kServeCacheEvictions);
+  }
+  Stored stored;
+  stored.bytes = serialize_entry(entry);
+  stored.crc = robustness::crc32(stored.bytes.data(), stored.bytes.size());
+  lru_.push_front(key);
+  stored.lru = lru_.begin();
+  entries_.emplace(key, std::move(stored));
+  ++stats_.fills;
+  PFACT_COUNT(kServeCacheFills);
+}
+
+std::size_t ResultCache::size() const {
+  par::MutexLock lock(mu_);
+  return entries_.size();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  par::MutexLock lock(mu_);
+  return stats_;
+}
+
+bool ResultCache::corrupt_entry_for_testing(const std::string& key) {
+  par::MutexLock lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  // Flip a byte in the middle of the protected bytes — the CRC recorded at
+  // fill time must now refuse the entry.
+  std::string& bytes = it->second.bytes;
+  if (bytes.empty()) return false;
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  return true;
+}
+
+}  // namespace pfact::serve

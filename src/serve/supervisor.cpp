@@ -34,7 +34,7 @@ std::string SupervisedReport::to_string() const {
   return s;
 }
 
-SupervisedReport supervised_run(WorkerPool& pool, const ReductionTask& task,
+SupervisedReport supervised_run(JobRunner& pool, const ReductionTask& task,
                                 const SupervisorOptions& options) {
   PFACT_SPAN("serve.supervised-run");
   SupervisedReport out;

@@ -45,6 +45,7 @@ namespace pfact::serve {
 //   kProtocolError -> kWorkerFailure
 //   kCpuLimit      -> kResourceExhausted (the rlimit sandbox fired)
 //   kWatchdog      -> kDeadlineExceeded  (the supervisor's own deadline)
+//   kForkFailure   -> kResourceExhausted (out of pids/memory; retry later)
 inline robustness::Diagnostic diagnose_worker_exit(WorkerExit e) {
   switch (e) {
     case WorkerExit::kCompleted: return robustness::Diagnostic::kOk;
@@ -58,6 +59,8 @@ inline robustness::Diagnostic diagnose_worker_exit(WorkerExit e) {
       return robustness::Diagnostic::kDeadlineExceeded;
     case WorkerExit::kProtocolError:
       return robustness::Diagnostic::kWorkerFailure;
+    case WorkerExit::kForkFailure:
+      return robustness::Diagnostic::kResourceExhausted;
   }
   return robustness::Diagnostic::kInternalError;
 }
@@ -108,8 +111,9 @@ struct SupervisedReport {
 };
 
 // Runs `task` to a certified answer or a classified terminal failure, every
-// attempt in its own sandboxed worker subprocess. Blocking.
-SupervisedReport supervised_run(WorkerPool& pool,
+// attempt in its own sandboxed worker — cold-forked (WorkerPool) or leased
+// from a warm pool (WarmPool), whichever JobRunner is passed. Blocking.
+SupervisedReport supervised_run(JobRunner& pool,
                                 const robustness::ReductionTask& task,
                                 const SupervisorOptions& options = {});
 

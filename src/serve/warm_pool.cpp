@@ -1,0 +1,350 @@
+#include "serve/warm_pool.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <string>
+#include <utility>
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+#include "serve/worker.h"
+
+namespace pfact::serve {
+
+namespace {
+
+// Reaps the child, blocking until it is gone. Callers guarantee the child
+// is already dead or on an unconditional path to death (EOF on its request
+// pipe, or SIGKILL), so this cannot hang.
+int reap(pid_t pid) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+  return status;
+}
+
+void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
+
+// Process-wide registry of every live WarmPool's parent-side pipe fds.
+// With two pools in one process (a service pool next to a bench pool), a
+// child forked by pool B inherits duplicates of pool A's request-pipe
+// write ends; when A later closes them to retire a worker, that worker
+// never sees EOF and A's reap blocks forever. Every forked child therefore
+// closes ALL registered parent-side fds, not just its own pool's. The
+// mutex is held across pipe-creation + fork so a concurrent spawn in
+// another pool cannot slip unregistered fds into the child.
+par::Mutex g_pool_fds_mu;
+std::vector<int>& pool_fds() {
+  static std::vector<int> fds;
+  return fds;
+}
+
+// Caller holds g_pool_fds_mu (spawn_slot keeps it across the fork).
+void register_pool_fd(int fd) {
+  if (fd >= 0) pool_fds().push_back(fd);
+}
+
+void unregister_pool_fd(int fd) {
+  par::MutexLock lock(g_pool_fds_mu);
+  std::vector<int>& fds = pool_fds();
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i] == fd) {
+      fds[i] = fds.back();
+      fds.pop_back();
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+WarmPool::WarmPool(WarmPoolOptions options) : options_(options) {
+  if (options_.workers == 0) options_.workers = 1;
+  // Same rationale as WorkerPool: a worker dying mid-conversation turns the
+  // request pipe into a broken pipe, and EPIPE — not SIGPIPE — is the
+  // classifiable outcome.
+  ::signal(SIGPIPE, SIG_IGN);
+  par::MutexLock lock(mu_);
+  slots_.resize(options_.workers);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    spawn_slot(i);  // best-effort: a failed slot is respawned at first lease
+  }
+}
+
+WarmPool::~WarmPool() {
+  par::MutexLock lock(mu_);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].alive) retire_slot(i);
+  }
+}
+
+bool WarmPool::spawn_slot(std::size_t idx) {
+  Slot& slot = slots_[idx];
+  // Held across pipe-creation AND fork: the registry snapshot the child
+  // closes must cover every parent-side fd of every pool in the process.
+  par::MutexLock fd_lock(g_pool_fds_mu);
+  int to[2];    // parent writes requests
+  int from[2];  // child writes checkpoints + results
+  if (::pipe(to) != 0) {
+    PFACT_COUNT(kServeForkFailures);
+    return false;
+  }
+  if (::pipe(from) != 0) {
+    ::close(to[0]);
+    ::close(to[1]);
+    PFACT_COUNT(kServeForkFailures);
+    return false;
+  }
+  set_cloexec(to[0]);
+  set_cloexec(to[1]);
+  set_cloexec(from[0]);
+  set_cloexec(from[1]);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(to[0]);
+    ::close(to[1]);
+    ::close(from[0]);
+    ::close(from[1]);
+    PFACT_COUNT(kServeForkFailures);
+    return false;
+  }
+  if (pid == 0) {
+    // Child. Close every registered parent-side pipe fd first — sibling
+    // slots of this pool AND every other live WarmPool in the process: an
+    // inherited duplicate of a request-pipe write end would keep that
+    // pipe's worker from ever seeing its retirement EOF. Then close our
+    // own parent-side ends and enter the job loop.
+    for (int fd : pool_fds()) ::close(fd);
+    ::close(to[1]);
+    ::close(from[0]);
+    ::_exit(worker_loop_main(to[0], from[1]));
+  }
+
+  // Parent.
+  ::close(to[0]);
+  ::close(from[1]);
+  register_pool_fd(to[1]);
+  register_pool_fd(from[0]);
+  slot.pid = pid;
+  slot.to_wr = to[1];
+  slot.from_rd = from[0];
+  slot.jobs_done = 0;
+  slot.alive = true;
+  ++stats_.spawned;
+  PFACT_COUNT(kWorkerSpawns);
+  return true;
+}
+
+void WarmPool::retire_slot(std::size_t idx) {
+  Slot& slot = slots_[idx];
+  if (!slot.alive) return;
+  // Closing the request pipe is the retirement signal: worker_loop_main
+  // reads EOF at the next job boundary and exits 0. A child that is instead
+  // already dead (death path: the caller SIGKILLed it) reaps just the same.
+  if (slot.to_wr >= 0) {
+    unregister_pool_fd(slot.to_wr);
+    ::close(slot.to_wr);
+  }
+  if (slot.from_rd >= 0) {
+    unregister_pool_fd(slot.from_rd);
+    ::close(slot.from_rd);
+  }
+  slot.to_wr = -1;
+  slot.from_rd = -1;
+  reap(slot.pid);
+  slot.pid = -1;
+  slot.alive = false;
+}
+
+WarmPool::Stats WarmPool::stats() const {
+  par::MutexLock lock(mu_);
+  return stats_;
+}
+
+std::size_t WarmPool::live_workers() const {
+  par::MutexLock lock(mu_);
+  std::size_t n = 0;
+  for (const Slot& s : slots_) {
+    if (s.alive) ++n;
+  }
+  return n;
+}
+
+WorkerRun WarmPool::run_task(const TaskRequest& request,
+                             robustness::CheckpointStore* store,
+                             std::chrono::milliseconds watchdog) {
+  PFACT_SPAN("serve.warm-worker");
+  WorkerRun run;
+
+  // Lease a slot: prefer a free live one, resurrect a dead one otherwise,
+  // block until a peer releases one if neither exists.
+  std::size_t idx = 0;
+  pid_t pid = -1;
+  int to_wr = -1;
+  int from_rd = -1;
+  {
+    par::MutexLock lock(mu_);
+    for (;;) {
+      bool found = false;
+      for (std::size_t i = 0; i < slots_.size() && !found; ++i) {
+        if (slots_[i].alive && !slots_[i].busy) {
+          idx = i;
+          found = true;
+        }
+      }
+      for (std::size_t i = 0; i < slots_.size() && !found; ++i) {
+        if (!slots_[i].alive && !slots_[i].busy && spawn_slot(i)) {
+          idx = i;
+          found = true;
+        }
+      }
+      if (found) break;
+      bool any_pending = false;
+      for (const Slot& s : slots_) any_pending |= s.busy;
+      if (!any_pending) {
+        // Every slot is dead and none could be respawned: the machine is
+        // out of processes. Same classified outcome as a cold fork failure.
+        run.exit = WorkerExit::kForkFailure;
+        run.detail = "warm pool: no slot could be (re)spawned";
+        return run;
+      }
+      lock.wait(slot_free_);
+    }
+    Slot& slot = slots_[idx];
+    slot.busy = true;
+    pid = slot.pid;
+    to_wr = slot.to_wr;
+    from_rd = slot.from_rd;
+    ++stats_.jobs;
+  }
+  PFACT_COUNT(kServeWarmJobs);
+
+  // Ship the request. The child is already blocked in read_frame, so there
+  // is no pre-fork deadlock window here; a child that died between jobs
+  // turns this write into EPIPE (SIGPIPE is ignored) and the pump below
+  // sees EOF — waitpid then tells the truth about the death.
+  const WireStatus sent =
+      write_frame(to_wr, FrameType::kRequest, encode_request(request));
+  if (sent != WireStatus::kOk) {
+    run.detail =
+        std::string("request write failed: ") + wire_status_name(sent);
+  }
+
+  auto deadline = watchdog.count() > 0
+                      ? std::chrono::steady_clock::now() + watchdog
+                      : std::chrono::steady_clock::time_point{};
+  bool watchdog_fired = false;
+  bool stream_broke = sent != WireStatus::kOk;
+
+  // The pump. Identical to the cold pool's except for the terminator: a
+  // decoded result frame ends the JOB, not the worker — the child loops
+  // back to read the next request and the slot stays warm.
+  while (!run.has_result && !stream_broke) {
+    FrameType type = FrameType::kResult;
+    std::string payload;
+    const WireStatus st = read_frame(from_rd, type, payload, deadline);
+    if (st == WireStatus::kTimeout) {
+      watchdog_fired = true;
+      ::kill(pid, SIGKILL);
+      PFACT_COUNT(kWorkerWatchdogKills);
+      deadline = std::chrono::steady_clock::time_point{};
+      continue;  // drain frames already in flight, then hit EOF below
+    }
+    if (st == WireStatus::kEof) {
+      stream_broke = true;  // the worker died (it never closes its end)
+      break;
+    }
+    if (st != WireStatus::kOk) {
+      if (run.detail.empty()) {
+        run.detail =
+            std::string("response stream broke: ") + wire_status_name(st);
+      }
+      stream_broke = true;  // desynchronized: this worker cannot be reused
+      break;
+    }
+    if (type == FrameType::kCheckpoint) {
+      std::uint64_t step = 0;
+      std::string blob;
+      if (decode_checkpoint_frame(payload, step, blob) &&
+          robustness::validate_checkpoint_envelope(blob) ==
+              robustness::CheckpointStatus::kOk) {
+        ++run.checkpoints_received;
+        if (store != nullptr) store->put(step, std::move(blob));
+      } else {
+        ++run.checkpoints_rejected;
+        PFACT_COUNT(kCheckpointRejects);
+      }
+    } else if (type == FrameType::kResult) {
+      if (decode_result(payload, run.result)) {
+        run.has_result = true;
+      } else {
+        if (run.detail.empty()) run.detail = "result frame did not decode";
+        stream_broke = true;
+      }
+    } else {
+      if (run.detail.empty()) run.detail = "unexpected frame type from worker";
+      stream_broke = true;
+    }
+  }
+
+  const bool job_completed = run.has_result && !watchdog_fired && !stream_broke;
+
+  par::MutexLock lock(mu_);
+  Slot& slot = slots_[idx];
+  if (job_completed) {
+    run.exit = WorkerExit::kCompleted;
+    run.exit_code = 0;
+    ++slot.jobs_done;
+    ++stats_.completed;
+    // Planned retirement: the job quota, or a job whose request made the
+    // process unsafe to reuse — rlimit sandboxes are cumulative (RLIMIT_CPU
+    // cannot be raised back), and a survived kill plan is an armed trigger
+    // this pool cannot prove disarmed.
+    const bool tainted = request.rlimits.address_space_bytes != 0 ||
+                         request.rlimits.cpu_seconds != 0 ||
+                         request.kill.mode != KillPlan::Mode::kNone;
+    const bool quota_reached = options_.recycle_after != 0 &&
+                               slot.jobs_done >= options_.recycle_after;
+    if (tainted || quota_reached) {
+      retire_slot(idx);
+      ++stats_.recycles;
+      PFACT_COUNT(kServeWorkerRecycles);
+      spawn_slot(idx);  // best-effort: a failure leaves the slot dead and
+                        // the next lease tries again
+    }
+  } else {
+    // Death path. SIGKILL first: a desynchronized-but-alive worker (CRC
+    // mismatch on its stream) would otherwise never exit and reap would
+    // hang; for a worker that is already dead the kill is a no-op on the
+    // zombie. Then reap, classify with the shared table, respawn.
+    ::kill(pid, SIGKILL);
+    if (slot.to_wr >= 0) {
+      unregister_pool_fd(slot.to_wr);
+      ::close(slot.to_wr);
+    }
+    if (slot.from_rd >= 0) {
+      unregister_pool_fd(slot.from_rd);
+      ::close(slot.from_rd);
+    }
+    slot.to_wr = -1;
+    slot.from_rd = -1;
+    const int status = reap(pid);
+    slot.pid = -1;
+    slot.alive = false;
+    classify_wait_status(status, watchdog_fired, watchdog, run);
+    ++stats_.crashed;
+    if (run.exit == WorkerExit::kWatchdog) ++stats_.watchdog_kills;
+    PFACT_COUNT(kWorkerCrashes);
+    spawn_slot(idx);  // the auto-respawn contract; best-effort as above
+  }
+  slot.busy = false;
+  slot_free_.notify_one();
+  return run;
+}
+
+}  // namespace pfact::serve

@@ -1,0 +1,105 @@
+#pragma once
+// WarmPool: a persistent, pre-forked worker pool — the serving layer's
+// answer to the fork+pipe tax the cold WorkerPool pays on every attempt.
+//
+// Each slot is a long-lived sandboxed child running worker_loop_main: the
+// same PFRM conversation as a cold worker, repeated — one request frame in,
+// checkpoint frames plus one result frame out, then the child blocks on the
+// next request. Leasing a warm slot therefore costs two frame writes, not a
+// fork; the ~65 µs/lifetime process bill (EXPERIMENTS.md, PR 5) is paid
+// once per recycle instead of once per attempt.
+//
+// The containment contract is unchanged from WorkerPool — and it has to be,
+// because a warm worker accumulates state a one-shot worker cannot:
+//
+//   * recycling: a slot is retired (request pipe closed -> child sees a
+//     clean EOF -> exit 0 -> reap -> respawn) after `recycle_after` jobs,
+//     and unconditionally after any job that carried an rlimit sandbox or a
+//     kill plan. RLIMIT_CPU is cumulative per process and hard limits can
+//     never be raised, so a sandboxed job would otherwise poison the budget
+//     of every job after it.
+//   * death: any WorkerExit other than clean completion reaps the slot,
+//     classifies it with the same classify_wait_status table as the cold
+//     pool, and respawns a fresh child — the auto-respawn the soak
+//     harness's kill campaigns assert.
+//   * isolation between slots: a freshly forked child closes every OTHER
+//     slot's parent-side pipe ends before entering its loop. Without this,
+//     a sibling holding a duplicate write end would keep a retired slot's
+//     request pipe open and its child would never see the retirement EOF.
+//
+// Thread-safety: run_task may be called from many supervisor/dispatcher
+// threads; slot acquisition blocks on a condition variable until a slot is
+// free (the service's admission queue, not this pool, is where load is
+// shed). Slot bookkeeping is guarded by an annotated mutex; pipe I/O on a
+// leased slot happens outside the lock, with the busy flag as the exclusion
+// mechanism.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <sys/types.h>
+#include <vector>
+
+#include "parallel/annotations.h"
+#include "robustness/checkpoint.h"
+#include "serve/worker_pool.h"
+
+namespace pfact::serve {
+
+struct WarmPoolOptions {
+  std::size_t workers = 2;        // pre-forked slots
+  std::size_t recycle_after = 32; // planned retirement after N jobs; 0 = never
+};
+
+class WarmPool : public JobRunner {
+ public:
+  explicit WarmPool(WarmPoolOptions options = {});
+  ~WarmPool() override;  // retires every slot (EOF) and reaps the children
+
+  WarmPool(const WarmPool&) = delete;
+  WarmPool& operator=(const WarmPool&) = delete;
+
+  // Leases a warm slot (blocking until one is free), ships `request`, pumps
+  // checkpoint/result frames exactly like WorkerPool::run_task, and returns
+  // the slot to the pool — recycled or respawned per the rules above. A
+  // slot that cannot be (re)spawned reports WorkerExit::kForkFailure.
+  WorkerRun run_task(const TaskRequest& request,
+                     robustness::CheckpointStore* store,
+                     std::chrono::milliseconds watchdog =
+                         std::chrono::milliseconds{0}) override;
+
+  struct Stats {
+    std::uint64_t spawned = 0;    // children forked over the pool's lifetime
+    std::uint64_t completed = 0;  // jobs that delivered a result frame
+    std::uint64_t crashed = 0;    // jobs ending in any non-kCompleted class
+    std::uint64_t watchdog_kills = 0;
+    std::uint64_t recycles = 0;   // planned retirements (quota / sandbox)
+    std::uint64_t jobs = 0;       // total jobs dispatched to warm slots
+  };
+  Stats stats() const;
+
+  // Number of currently live (forked, unreaped) warm children.
+  std::size_t live_workers() const;
+
+ private:
+  struct Slot {
+    pid_t pid = -1;
+    int to_wr = -1;    // parent's write end of the slot's request pipe
+    int from_rd = -1;  // parent's read end of the slot's response pipe
+    std::size_t jobs_done = 0;
+    bool busy = false;
+    bool alive = false;
+  };
+
+  bool spawn_slot(std::size_t idx) PFACT_REQUIRES(mu_);
+  void retire_slot(std::size_t idx) PFACT_REQUIRES(mu_);  // EOF + reap
+
+  WarmPoolOptions options_;
+  mutable par::Mutex mu_;
+  std::condition_variable slot_free_;
+  std::vector<Slot> slots_ PFACT_GUARDED_BY(mu_);
+  Stats stats_ PFACT_GUARDED_BY(mu_);
+};
+
+}  // namespace pfact::serve

@@ -179,7 +179,8 @@ bool decode_result(std::string_view payload, robustness::RunReport& out) {
   ByteReader r(payload);
   robustness::RunReport rep;
   const std::uint32_t diag = r.get_u32();
-  if (diag > static_cast<std::uint32_t>(robustness::Diagnostic::kInternalError))
+  // Bound tracks the LAST Diagnostic enumerator (append-only taxonomy).
+  if (diag > static_cast<std::uint32_t>(robustness::Diagnostic::kOverloaded))
     return false;
   rep.diagnostic = static_cast<robustness::Diagnostic>(diag);
   rep.value = r.get_u8() != 0;
@@ -263,12 +264,19 @@ WireStatus read_exact(int fd, char* dst, std::size_t n,
       if (now >= deadline) return WireStatus::kTimeout;
       const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
           deadline - now);
+      // Clamp the poll timeout: a deadline far in the future must not
+      // overflow poll's int argument into a negative (= infinite) wait. The
+      // loop re-derives the remaining budget each pass, so clamping only
+      // bounds one poll, never the total wait.
+      const long long left_ms = static_cast<long long>(left.count()) + 1;
+      constexpr long long kMaxPollMs = 60'000;
       struct pollfd pfd;
       pfd.fd = fd;
       pfd.events = POLLIN;
       pfd.revents = 0;
       const int pr =
-          ::poll(&pfd, 1, static_cast<int>(left.count()) + 1);
+          ::poll(&pfd, 1,
+                 static_cast<int>(left_ms < kMaxPollMs ? left_ms : kMaxPollMs));
       if (pr < 0) {
         if (errno == EINTR) continue;
         return WireStatus::kIoError;

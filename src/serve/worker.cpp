@@ -64,23 +64,10 @@ void apply_rlimits(const WorkerLimits& limits) {
   }
 }
 
-}  // namespace
-
-int worker_main(int request_fd, int response_fd) {
-  // The supervisor may die first; a SIGPIPE on the response pipe must
-  // surface as a write error, not kill the worker with an unclassifiable
-  // signal.
-  ::signal(SIGPIPE, SIG_IGN);
-
-  FrameType type = FrameType::kRequest;
-  std::string payload;
-  if (read_frame(request_fd, type, payload) != WireStatus::kOk ||
-      type != FrameType::kRequest) {
-    return kWorkerExitBadRequestFrame;
-  }
-  TaskRequest req;
-  if (!decode_request(payload, req)) return kWorkerExitBadRequestBody;
-
+// One guarded job: sandbox, (maybe) die on schedule, run, ship the result.
+// Shared by the one-shot worker_main and the warm worker_loop_main; returns
+// the process exit code contribution (0 = result frame delivered).
+int run_one_request(TaskRequest req, int response_fd) {
   apply_rlimits(req.rlimits);
 
   // A kill scheduled "after 0 saves" fires before the reduction starts —
@@ -125,6 +112,45 @@ int worker_main(int request_fd, int response_fd) {
     return kWorkerExitResultWriteFailed;
   }
   return 0;
+}
+
+}  // namespace
+
+int worker_main(int request_fd, int response_fd) {
+  // The supervisor may die first; a SIGPIPE on the response pipe must
+  // surface as a write error, not kill the worker with an unclassifiable
+  // signal.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+  if (read_frame(request_fd, type, payload) != WireStatus::kOk ||
+      type != FrameType::kRequest) {
+    return kWorkerExitBadRequestFrame;
+  }
+  TaskRequest req;
+  if (!decode_request(payload, req)) return kWorkerExitBadRequestBody;
+  return run_one_request(std::move(req), response_fd);
+}
+
+int worker_loop_main(int request_fd, int response_fd) {
+  ::signal(SIGPIPE, SIG_IGN);
+
+  for (;;) {
+    FrameType type = FrameType::kRequest;
+    std::string payload;
+    const WireStatus st = read_frame(request_fd, type, payload);
+    // A clean EOF between jobs is the pool closing the request pipe to
+    // retire this slot: the planned, classifiable way a warm worker ends.
+    if (st == WireStatus::kEof) return 0;
+    if (st != WireStatus::kOk || type != FrameType::kRequest) {
+      return kWorkerExitBadRequestFrame;
+    }
+    TaskRequest req;
+    if (!decode_request(payload, req)) return kWorkerExitBadRequestBody;
+    const int rc = run_one_request(std::move(req), response_fd);
+    if (rc != 0) return rc;
+  }
 }
 
 }  // namespace pfact::serve

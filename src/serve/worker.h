@@ -29,4 +29,13 @@ inline constexpr int kWorkerExitResultWriteFailed = 12;
 // child in WorkerPool — must pass the return value straight to _exit().
 int worker_main(int request_fd, int response_fd);
 
+// The warm-pool variant: loops over request frames on the same pipe pair,
+// one job per frame, each answered by checkpoint frames plus one result
+// frame. A clean EOF on the request pipe — the pool retiring the slot —
+// returns 0; any protocol failure returns the same exit codes worker_main
+// uses. rlimit sandboxes still apply per job, which is why the pool retires
+// a slot after any rlimited job: RLIMIT_CPU is cumulative per process and a
+// hard limit can never be raised back.
+int worker_loop_main(int request_fd, int response_fd);
+
 }  // namespace pfact::serve

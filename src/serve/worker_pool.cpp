@@ -58,6 +58,43 @@ int reap(pid_t pid) {
 
 }  // namespace
 
+void classify_wait_status(int status, bool watchdog_fired,
+                          std::chrono::milliseconds watchdog, WorkerRun& run) {
+  if (watchdog_fired) {
+    run.exit = WorkerExit::kWatchdog;
+    run.term_signal = SIGKILL;
+    run.detail = "watchdog deadline (" + std::to_string(watchdog.count()) +
+                 "ms) expired; worker SIGKILLed";
+  } else if (WIFEXITED(status)) {
+    run.exit_code = WEXITSTATUS(status);
+    if (run.exit_code == 0) {
+      run.exit = run.has_result ? WorkerExit::kCompleted
+                                : WorkerExit::kProtocolError;
+      if (!run.has_result && run.detail.empty()) {
+        run.detail = "worker exited 0 without a result frame";
+      }
+    } else {
+      run.exit = WorkerExit::kNonzeroExit;
+      run.detail = "worker exited with status " +
+                   std::to_string(run.exit_code);
+    }
+  } else if (WIFSIGNALED(status)) {
+    run.term_signal = WTERMSIG(status);
+    if (run.term_signal == SIGXCPU) {
+      run.exit = WorkerExit::kCpuLimit;
+      run.detail = "worker hit RLIMIT_CPU (SIGXCPU)";
+    } else {
+      run.exit = WorkerExit::kSignalled;
+      run.detail = "worker killed by signal " +
+                   std::to_string(run.term_signal) + " (" +
+                   ::strsignal(run.term_signal) + ")";
+    }
+  } else {
+    run.exit = WorkerExit::kProtocolError;
+    run.detail = "unrecognized waitpid status " + std::to_string(status);
+  }
+}
+
 WorkerPool::WorkerPool() {
   // A worker killed between our write() calls turns the request pipe into a
   // broken pipe; the supervisor must see EPIPE, not die of SIGPIPE.
@@ -91,6 +128,10 @@ std::size_t WorkerPool::live_workers() const {
   return live_.size();
 }
 
+void WorkerPool::set_fork_for_testing(std::function<pid_t()> fork_fn) {
+  fork_fn_ = std::move(fork_fn);
+}
+
 WorkerRun WorkerPool::run_task(const TaskRequest& request,
                                robustness::CheckpointStore* store,
                                std::chrono::milliseconds watchdog) {
@@ -100,15 +141,22 @@ WorkerRun WorkerPool::run_task(const TaskRequest& request,
   Pipe to_worker;    // supervisor writes requests
   Pipe from_worker;  // worker writes checkpoints + result
   if (!to_worker.open() || !from_worker.open()) {
-    run.exit = WorkerExit::kProtocolError;
+    // Same resource family as a failed fork: fd exhaustion, and just as
+    // transient — classify, count, let the retry table back off.
+    run.exit = WorkerExit::kForkFailure;
     run.detail = "pipe() failed: cannot launch a worker";
+    PFACT_COUNT(kServeForkFailures);
     return run;
   }
 
-  const pid_t pid = ::fork();
+  const pid_t pid = fork_fn_ ? fork_fn_() : ::fork();
   if (pid < 0) {
-    run.exit = WorkerExit::kProtocolError;
+    // EAGAIN/ENOMEM: the machine is out of processes or memory RIGHT NOW.
+    // kForkFailure maps to kResourceExhausted — transient, retried with
+    // backoff — because no worker ever ran, so nothing was refuted.
+    run.exit = WorkerExit::kForkFailure;
     run.detail = "fork() failed: cannot launch a worker";
+    PFACT_COUNT(kServeForkFailures);
     return run;
   }
   if (pid == 0) {
@@ -200,39 +248,7 @@ WorkerRun WorkerPool::run_task(const TaskRequest& request,
   from_worker.close_rd();
 
   const int status = reap(pid);
-  if (watchdog_fired) {
-    run.exit = WorkerExit::kWatchdog;
-    run.term_signal = SIGKILL;
-    run.detail = "watchdog deadline (" + std::to_string(watchdog.count()) +
-                 "ms) expired; worker SIGKILLed";
-  } else if (WIFEXITED(status)) {
-    run.exit_code = WEXITSTATUS(status);
-    if (run.exit_code == 0) {
-      run.exit = run.has_result ? WorkerExit::kCompleted
-                                : WorkerExit::kProtocolError;
-      if (!run.has_result && run.detail.empty()) {
-        run.detail = "worker exited 0 without a result frame";
-      }
-    } else {
-      run.exit = WorkerExit::kNonzeroExit;
-      run.detail = "worker exited with status " +
-                   std::to_string(run.exit_code);
-    }
-  } else if (WIFSIGNALED(status)) {
-    run.term_signal = WTERMSIG(status);
-    if (run.term_signal == SIGXCPU) {
-      run.exit = WorkerExit::kCpuLimit;
-      run.detail = "worker hit RLIMIT_CPU (SIGXCPU)";
-    } else {
-      run.exit = WorkerExit::kSignalled;
-      run.detail = "worker killed by signal " +
-                   std::to_string(run.term_signal) + " (" +
-                   ::strsignal(run.term_signal) + ")";
-    }
-  } else {
-    run.exit = WorkerExit::kProtocolError;
-    run.detail = "unrecognized waitpid status " + std::to_string(status);
-  }
+  classify_wait_status(status, watchdog_fired, watchdog, run);
 
   if (run.exit != WorkerExit::kCompleted) PFACT_COUNT(kWorkerCrashes);
   finish_worker(pid, run.exit);

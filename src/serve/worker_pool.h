@@ -18,6 +18,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <sys/types.h>
 #include <vector>
@@ -40,6 +41,7 @@ enum class WorkerExit {
   kCpuLimit,       // terminated by SIGXCPU: the RLIMIT_CPU sandbox fired
   kWatchdog,       // SIGKILLed by this pool's own watchdog deadline
   kProtocolError,  // exited 0 but the result frame is missing or corrupt
+  kForkFailure,    // fork()/pipe() failed: no worker ever existed
 };
 
 inline const char* worker_exit_name(WorkerExit e) {
@@ -50,6 +52,7 @@ inline const char* worker_exit_name(WorkerExit e) {
     case WorkerExit::kCpuLimit: return "cpu-limit";
     case WorkerExit::kWatchdog: return "watchdog";
     case WorkerExit::kProtocolError: return "protocol-error";
+    case WorkerExit::kForkFailure: return "fork-failure";
   }
   return "?";
 }
@@ -62,9 +65,19 @@ inline const std::vector<WorkerExit>& all_worker_exits() {
   static const std::vector<WorkerExit> classes = {
       WorkerExit::kCompleted,  WorkerExit::kNonzeroExit,
       WorkerExit::kSignalled,  WorkerExit::kCpuLimit,
-      WorkerExit::kWatchdog,   WorkerExit::kProtocolError};
+      WorkerExit::kWatchdog,   WorkerExit::kProtocolError,
+      WorkerExit::kForkFailure};
   return classes;
 }
+
+// Classifies a reaped waitpid status into run.exit / exit_code /
+// term_signal / detail. Shared by the cold pool below and the warm pool
+// (warm_pool.h) so the two agree on what every death means. `watchdog` is
+// the armed deadline (for the detail string); `watchdog_fired` wins over
+// the raw status because the SIGKILL it delivered is the supervisor's own.
+struct WorkerRun;
+void classify_wait_status(int status, bool watchdog_fired,
+                          std::chrono::milliseconds watchdog, WorkerRun& run);
 
 // Everything one worker lifetime produced.
 struct WorkerRun {
@@ -78,7 +91,26 @@ struct WorkerRun {
   std::string detail;  // human-readable death/protocol description
 };
 
-class WorkerPool {
+// Anything that can execute one TaskRequest in a sandboxed worker and
+// classify how it ended. The supervisor's retry/escalation loop is written
+// against this seam, so the cold one-fork-per-attempt pool and the warm
+// pre-forked pool (warm_pool.h) are interchangeable underneath it.
+class JobRunner {
+ public:
+  virtual ~JobRunner() = default;
+
+  // Runs `request` to a result frame or a classified death. Checkpoint
+  // frames whose PFCK envelope verifies are filed into `store` (nullptr
+  // discards them). `watchdog` > 0 arms a wall-clock deadline: a worker
+  // still alive then is SIGKILLed and reported kWatchdog. Blocking;
+  // thread-safe.
+  virtual WorkerRun run_task(const TaskRequest& request,
+                             robustness::CheckpointStore* store,
+                             std::chrono::milliseconds watchdog =
+                                 std::chrono::milliseconds{0}) = 0;
+};
+
+class WorkerPool : public JobRunner {
  public:
   WorkerPool();
 
@@ -86,14 +118,13 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   // Forks a worker, ships `request`, pumps its response pipe until the
-  // result frame or death, reaps, classifies. Checkpoint frames whose PFCK
-  // envelope verifies are filed into `store` (nullptr discards them).
-  // `watchdog` > 0 arms a wall-clock deadline: a worker still alive then is
-  // SIGKILLed and reported kWatchdog. Blocking; thread-safe.
+  // result frame or death, reaps, classifies. A fork() that fails outright
+  // is kForkFailure — a transient resource-exhaustion diagnostic for the
+  // retry table, not a bare error string.
   WorkerRun run_task(const TaskRequest& request,
                      robustness::CheckpointStore* store,
                      std::chrono::milliseconds watchdog =
-                         std::chrono::milliseconds{0});
+                         std::chrono::milliseconds{0}) override;
 
   // Lifetime totals of this pool (the job table's aggregate view).
   struct Stats {
@@ -108,6 +139,11 @@ class WorkerPool {
   // threads; run_task itself always reaps before returning).
   std::size_t live_workers() const;
 
+  // Test seam: replaces ::fork() so fork exhaustion (pid < 0) is producible
+  // on demand — the real condition needs a pid-starved machine. Not for
+  // production use.
+  void set_fork_for_testing(std::function<pid_t()> fork_fn);
+
  private:
   void register_worker(pid_t pid);
   void finish_worker(pid_t pid, WorkerExit exit);
@@ -115,6 +151,7 @@ class WorkerPool {
   mutable par::Mutex mu_;
   std::vector<pid_t> live_ PFACT_GUARDED_BY(mu_);
   Stats stats_ PFACT_GUARDED_BY(mu_);
+  std::function<pid_t()> fork_fn_;  // set once, before any run_task call
 };
 
 }  // namespace pfact::serve

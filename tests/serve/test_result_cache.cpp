@@ -1,0 +1,281 @@
+// ResultCache property tests: hit/miss/eviction behaviour, rejection of
+// corrupted entries (CRC flip and envelope damage), and the differential
+// sweep — a cached answer must be bit-identical to a freshly factored one
+// for every (task, substrate) pair, or the cache has manufactured truth.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "circuit/builders.h"
+#include "circuit/circuit.h"
+#include "robustness/checkpoint.h"
+#include "robustness/escalation.h"
+#include "robustness/resilient_run.h"
+#include "robustness/retry.h"
+#include "serve/result_cache.h"
+
+namespace pfact::serve {
+namespace {
+
+using robustness::Algorithm;
+using robustness::Diagnostic;
+using robustness::ReductionTask;
+using robustness::Substrate;
+
+ReductionTask gem_xor_task() {
+  ReductionTask t;
+  t.algorithm = Algorithm::kGem;
+  t.instance = circuit::CvpInstance{circuit::xor_circuit(), {true, false}};
+  return t;
+}
+
+// A genuine PFCK blob (from a real checkpointed run) for envelope tests.
+std::string valid_checkpoint_blob() {
+  robustness::CheckpointStore store;
+  robustness::ResilientOptions ro;
+  ro.store = &store;
+  ro.checkpoint_every = 2;
+  robustness::resilient_run(gem_xor_task(), ro);
+  EXPECT_FALSE(store.empty());
+  return store.empty() ? std::string() : *store.latest();
+}
+
+TEST(ResultCache, TaxonomyIsNamedAndMapped) {
+  EXPECT_EQ(all_cache_probes().size(), 4u);
+  for (CacheProbe p : all_cache_probes()) {
+    EXPECT_STRNE(cache_probe_name(p), "?");
+  }
+  // Hits and misses are not failures; both corruption classes land on the
+  // transient kCheckpointCorrupt — drop and re-factor always recovers.
+  EXPECT_EQ(diagnose_cache_probe(CacheProbe::kHit), Diagnostic::kOk);
+  EXPECT_EQ(diagnose_cache_probe(CacheProbe::kMiss), Diagnostic::kOk);
+  EXPECT_EQ(diagnose_cache_probe(CacheProbe::kCorruptEntry),
+            Diagnostic::kCheckpointCorrupt);
+  EXPECT_EQ(diagnose_cache_probe(CacheProbe::kEnvelopeRejected),
+            Diagnostic::kCheckpointCorrupt);
+  EXPECT_EQ(robustness::classify_diagnostic(Diagnostic::kCheckpointCorrupt),
+            robustness::FailureKind::kTransient);
+}
+
+// The content address must separate everything that determines the answer:
+// algorithm, substrate, task shape, circuit, and input assignment.
+TEST(ResultCache, KeySeparatesEveryAnswerDeterminingInput) {
+  const ReductionTask base = gem_xor_task();
+  const std::string key = ResultCache::key_for(base, Substrate::kDouble);
+  EXPECT_EQ(key, ResultCache::key_for(base, Substrate::kDouble));
+
+  EXPECT_NE(key, ResultCache::key_for(base, Substrate::kRational));
+
+  ReductionTask other_alg = base;
+  other_alg.algorithm = Algorithm::kGems;
+  EXPECT_NE(key, ResultCache::key_for(other_alg, Substrate::kDouble));
+
+  ReductionTask other_inputs = base;
+  other_inputs.instance =
+      circuit::CvpInstance{circuit::xor_circuit(), {false, true}};
+  EXPECT_NE(key, ResultCache::key_for(other_inputs, Substrate::kDouble));
+
+  ReductionTask other_circuit = base;
+  other_circuit.instance =
+      circuit::CvpInstance{circuit::majority3_circuit(), {true, false, true}};
+  EXPECT_NE(key, ResultCache::key_for(other_circuit, Substrate::kDouble));
+
+  ReductionTask chain;
+  chain.algorithm = Algorithm::kGep;
+  chain.u = 1;
+  chain.w = 2;
+  chain.depth = 3;
+  ReductionTask chain2 = chain;
+  chain2.depth = 4;
+  EXPECT_NE(ResultCache::key_for(chain, Substrate::kDouble),
+            ResultCache::key_for(chain2, Substrate::kDouble));
+}
+
+TEST(ResultCache, MissThenFillThenHitRoundtripsBitIdentically) {
+  ResultCache cache(8);
+  const std::string key =
+      ResultCache::key_for(gem_xor_task(), Substrate::kDouble);
+
+  CacheEntry out;
+  EXPECT_EQ(cache.lookup(key, out), CacheProbe::kMiss);
+
+  CacheEntry entry;
+  entry.value = true;
+  entry.substrate = Substrate::kSoftFloat53;
+  entry.final_checkpoint = valid_checkpoint_blob();
+  cache.insert(key, entry);
+  EXPECT_EQ(cache.size(), 1u);
+
+  ASSERT_EQ(cache.lookup(key, out), CacheProbe::kHit);
+  EXPECT_EQ(out.value, entry.value);
+  EXPECT_EQ(out.substrate, entry.substrate);
+  EXPECT_EQ(out.final_checkpoint, entry.final_checkpoint);  // byte-for-byte
+
+  const ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.fills, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.corrupt, 0u);
+}
+
+TEST(ResultCache, LeastRecentlyUsedEntryIsEvictedAtCapacity) {
+  ResultCache cache(3);
+  auto key_n = [](int n) {
+    ReductionTask t;
+    t.algorithm = Algorithm::kGep;
+    t.u = 1;
+    t.w = 1;
+    t.depth = static_cast<std::size_t>(n);
+    return ResultCache::key_for(t, Substrate::kDouble);
+  };
+  CacheEntry e;
+  for (int n = 0; n < 3; ++n) cache.insert(key_n(n), e);
+  EXPECT_EQ(cache.size(), 3u);
+
+  // Freshen key 0, then overflow: the eviction victim must be key 1 (the
+  // least recently USED), not key 0 (the least recently INSERTED).
+  CacheEntry out;
+  EXPECT_EQ(cache.lookup(key_n(0), out), CacheProbe::kHit);
+  cache.insert(key_n(3), e);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.lookup(key_n(1), out), CacheProbe::kMiss);
+  EXPECT_EQ(cache.lookup(key_n(0), out), CacheProbe::kHit);
+  EXPECT_EQ(cache.lookup(key_n(3), out), CacheProbe::kHit);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCache, ReinsertReplacesInsteadOfDuplicating) {
+  ResultCache cache(4);
+  const std::string key =
+      ResultCache::key_for(gem_xor_task(), Substrate::kDouble);
+  CacheEntry a;
+  a.value = false;
+  cache.insert(key, a);
+  CacheEntry b;
+  b.value = true;
+  cache.insert(key, b);
+  EXPECT_EQ(cache.size(), 1u);
+  CacheEntry out;
+  ASSERT_EQ(cache.lookup(key, out), CacheProbe::kHit);
+  EXPECT_TRUE(out.value);
+}
+
+// Satellite contract: a CRC-flipped entry is classified kCorruptEntry and
+// dropped — the damage is reported once and never probed (or served) again.
+TEST(ResultCache, CrcFlippedEntryIsRejectedAndDropped) {
+  ResultCache cache(4);
+  const std::string key =
+      ResultCache::key_for(gem_xor_task(), Substrate::kDouble);
+  CacheEntry entry;
+  entry.value = true;
+  entry.final_checkpoint = valid_checkpoint_blob();
+  cache.insert(key, entry);
+  ASSERT_TRUE(cache.corrupt_entry_for_testing(key));
+
+  CacheEntry out;
+  EXPECT_EQ(cache.lookup(key, out), CacheProbe::kCorruptEntry);
+  EXPECT_EQ(cache.size(), 0u);  // dropped, not retried
+  EXPECT_EQ(cache.lookup(key, out), CacheProbe::kMiss);
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+}
+
+// The riding checkpoint blob is vetted with the same PFCK envelope check as
+// a streamed frame: an entry whose blob was damaged BEFORE the fill (so the
+// cache-level CRC still matches) is still refused.
+TEST(ResultCache, DamagedEnvelopeIsRejectedAndDropped) {
+  ResultCache cache(4);
+  const std::string key =
+      ResultCache::key_for(gem_xor_task(), Substrate::kDouble);
+  std::string blob = valid_checkpoint_blob();
+  ASSERT_FALSE(blob.empty());
+  blob[blob.size() / 2] = static_cast<char>(blob[blob.size() / 2] ^ 0x01);
+  CacheEntry entry;
+  entry.value = true;
+  entry.final_checkpoint = blob;
+  cache.insert(key, entry);
+
+  CacheEntry out;
+  EXPECT_EQ(cache.lookup(key, out), CacheProbe::kEnvelopeRejected);
+  EXPECT_EQ(cache.lookup(key, out), CacheProbe::kMiss);
+  EXPECT_EQ(cache.stats().corrupt, 1u);
+}
+
+TEST(ResultCache, ZeroCapacityDisablesTheCache) {
+  ResultCache cache(0);
+  const std::string key =
+      ResultCache::key_for(gem_xor_task(), Substrate::kDouble);
+  CacheEntry entry;
+  entry.value = true;
+  cache.insert(key, entry);
+  EXPECT_EQ(cache.size(), 0u);
+  CacheEntry out;
+  EXPECT_EQ(cache.lookup(key, out), CacheProbe::kMiss);
+}
+
+// The differential sweep: for every (task, substrate) pair, the value that
+// comes back out of the cache must be bit-identical to an independent fresh
+// factorization. The cache may only preserve answers, never drift them.
+TEST(ResultCache, CachedAnswersMatchFreshFactorizationAcrossSubstrates) {
+  std::vector<ReductionTask> tasks;
+  tasks.push_back(gem_xor_task());
+  {
+    ReductionTask t;
+    t.algorithm = Algorithm::kGem;
+    t.instance =
+        circuit::CvpInstance{circuit::majority3_circuit(), {true, false, true}};
+    tasks.push_back(t);
+  }
+  {
+    ReductionTask t;
+    t.algorithm = Algorithm::kGems;
+    t.instance = circuit::CvpInstance{circuit::xor_circuit(), {true, true}};
+    tasks.push_back(t);
+  }
+  {
+    ReductionTask t;
+    t.algorithm = Algorithm::kGep;
+    t.u = 2;
+    t.w = 1;
+    t.depth = 2;
+    tasks.push_back(t);
+  }
+  {
+    ReductionTask t;
+    t.algorithm = Algorithm::kGqr;
+    t.u = -1;
+    t.w = 1;
+    t.depth = 1;
+    tasks.push_back(t);
+  }
+
+  ResultCache cache(64);
+  for (const ReductionTask& task : tasks) {
+    for (Substrate sub : robustness::default_ladder(task.algorithm)) {
+      if (!robustness::substrate_supported(task.algorithm, sub)) continue;
+      const robustness::RunReport fresh =
+          robustness::run_on_substrate(task, sub);
+      ASSERT_EQ(fresh.diagnostic, Diagnostic::kOk)
+          << task.describe() << " on " << robustness::substrate_name(sub);
+      CacheEntry entry;
+      entry.value = fresh.value;
+      entry.substrate = sub;
+      cache.insert(ResultCache::key_for(task, sub), entry);
+
+      CacheEntry out;
+      ASSERT_EQ(cache.lookup(ResultCache::key_for(task, sub), out),
+                CacheProbe::kHit)
+          << task.describe();
+      const robustness::RunReport again =
+          robustness::run_on_substrate(task, sub);
+      EXPECT_EQ(out.value, fresh.value) << task.describe();
+      EXPECT_EQ(out.value, again.value) << task.describe();
+      EXPECT_EQ(out.value, task.expected()) << task.describe();
+      EXPECT_EQ(out.substrate, sub);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pfact::serve

@@ -3,9 +3,13 @@
 // truncation, desynchronization, deadline expiry) instead of half-parsing.
 
 #include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <string>
 #include <thread>
 
@@ -219,6 +223,123 @@ TEST_F(FramePipe, DesynchronizedStreamIsBadMagic) {
   FrameType type = FrameType::kRequest;
   std::string payload;
   EXPECT_EQ(read_frame(rd_, type, payload), WireStatus::kBadMagic);
+}
+
+// --- fault-injected partial I/O -------------------------------------------
+// POSIX pipes may deliver any prefix of a write, and any blocking syscall
+// may return early with EINTR. The frame layer must treat both as normal
+// weather: reassemble dribbled bytes, retry interrupted transfers, and
+// still classify a genuinely dead stream as kTruncated, never as success.
+
+// Captures a fully-encoded wire frame so the tests below can replay it one
+// morsel at a time.
+std::string capture_frame(FrameType type, const std::string& payload) {
+  int fds[2];
+  EXPECT_EQ(::pipe(fds), 0);
+  EXPECT_EQ(write_frame(fds[1], type, payload), WireStatus::kOk);
+  ::close(fds[1]);
+  std::string frame;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fds[0], buf, sizeof(buf))) > 0) {
+    frame.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fds[0]);
+  return frame;
+}
+
+TEST_F(FramePipe, DribbledBytesReassembleIntoOneFrame) {
+  const std::string frame =
+      capture_frame(FrameType::kCheckpoint, encode_checkpoint_frame(3, "abc"));
+  std::thread dribbler([this, &frame] {
+    // Worst-case peer: one to five bytes at a time, with pauses straddling
+    // every boundary the reader cares about (magic, header, payload, crc).
+    std::size_t off = 0;
+    while (off < frame.size()) {
+      const std::size_t n = std::min<std::size_t>(1 + off % 5,
+                                                  frame.size() - off);
+      ASSERT_EQ(::write(wr_, frame.data() + off, n), static_cast<ssize_t>(n));
+      off += n;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    close_wr();
+  });
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+  EXPECT_EQ(read_frame(rd_, type, payload), WireStatus::kOk);
+  dribbler.join();
+  EXPECT_EQ(type, FrameType::kCheckpoint);
+  std::uint64_t step = 0;
+  std::string blob;
+  ASSERT_TRUE(decode_checkpoint_frame(payload, step, blob));
+  EXPECT_EQ(step, 3u);
+  EXPECT_EQ(blob, "abc");
+}
+
+TEST_F(FramePipe, DribbleThenDeathMidFrameIsTruncated) {
+  const std::string frame =
+      capture_frame(FrameType::kResult, std::string(1024, 'r'));
+  std::thread dribbler([this, &frame] {
+    // Deliver a prefix that ends inside the payload, then die.
+    const std::size_t keep = kFrameHeaderBytes + 100;
+    for (std::size_t off = 0; off < keep; off += 7) {
+      const std::size_t n = std::min<std::size_t>(7, keep - off);
+      ASSERT_EQ(::write(wr_, frame.data() + off, n), static_cast<ssize_t>(n));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    close_wr();
+  });
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+  EXPECT_EQ(read_frame(rd_, type, payload), WireStatus::kTruncated);
+  dribbler.join();
+}
+
+volatile std::sig_atomic_t g_usr1_hits = 0;
+void count_usr1(int) { g_usr1_hits = g_usr1_hits + 1; }
+
+// A signal storm interrupts both ends of a transfer big enough that every
+// syscall blocks (the payload is many times the pipe buffer). The handler
+// is installed WITHOUT SA_RESTART, so reads and writes genuinely fail with
+// EINTR — the retry loops in write_frame/read_frame must absorb them.
+TEST_F(FramePipe, EintrStormDoesNotCorruptOrAbortTheTransfer) {
+  struct sigaction sa {};
+  sa.sa_handler = count_usr1;
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  sigemptyset(&sa.sa_mask);
+  struct sigaction old {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+  g_usr1_hits = 0;
+
+  const std::string payload(4u << 20, 'p');  // 4 MiB >> 64 KiB pipe buffer
+  WireStatus wstatus = WireStatus::kIoError;
+  std::atomic<bool> done{false};
+
+  std::thread writer([this, &payload, &wstatus] {
+    wstatus = write_frame(wr_, FrameType::kCheckpoint, payload);
+    close_wr();
+  });
+  std::thread pest([&done, &writer, self = pthread_self()] {
+    for (int i = 0; i < 400 && !done.load(); ++i) {
+      ::pthread_kill(writer.native_handle(), SIGUSR1);
+      ::pthread_kill(self, SIGUSR1);  // the reading (main) thread
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  FrameType type = FrameType::kRequest;
+  std::string got;
+  const WireStatus rstatus = read_frame(rd_, type, got);
+  done.store(true);
+  pest.join();
+  writer.join();
+  ASSERT_EQ(::sigaction(SIGUSR1, &old, nullptr), 0);
+
+  EXPECT_GT(g_usr1_hits, 0);  // the storm really landed
+  EXPECT_EQ(wstatus, WireStatus::kOk);
+  ASSERT_EQ(rstatus, WireStatus::kOk);
+  EXPECT_EQ(type, FrameType::kCheckpoint);
+  EXPECT_EQ(got, payload);  // bit-identical despite every interruption
 }
 
 TEST_F(FramePipe, SilentPeerHitsTheDeadline) {

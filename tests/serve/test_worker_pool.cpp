@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 #include <signal.h>
+#include <unistd.h>
 
 #include <chrono>
 
@@ -13,6 +14,7 @@
 #include "circuit/circuit.h"
 #include "robustness/checkpoint.h"
 #include "robustness/escalation.h"
+#include "serve/supervisor.h"
 #include "serve/worker_pool.h"
 
 namespace pfact::serve {
@@ -119,7 +121,52 @@ TEST(WorkerPool, EveryExitClassHasAPrintableName) {
   for (WorkerExit e : all_worker_exits()) {
     EXPECT_STRNE(worker_exit_name(e), "?");
   }
-  EXPECT_EQ(all_worker_exits().size(), 6u);
+  EXPECT_EQ(all_worker_exits().size(), 7u);
+}
+
+// fork() exhaustion (EAGAIN on a pid-starved machine) is not producible on
+// demand, so the pool's fork seam injects it: the outcome must be the
+// classified kForkFailure — a transient resource-exhaustion diagnostic the
+// retry table backs off on — never a bare error string, and never a
+// phantom worker in the stats.
+TEST(WorkerPool, ForkFailureIsClassifiedAndRetryable) {
+  WorkerPool pool;
+  pool.set_fork_for_testing([] { return static_cast<pid_t>(-1); });
+  const WorkerRun run = pool.run_task(gem_request(), nullptr);
+  EXPECT_EQ(run.exit, WorkerExit::kForkFailure) << run.detail;
+  EXPECT_FALSE(run.has_result);
+  EXPECT_EQ(pool.stats().spawned, 0u);  // no worker ever existed
+  EXPECT_EQ(pool.live_workers(), 0u);
+  EXPECT_EQ(diagnose_worker_exit(run.exit),
+            Diagnostic::kResourceExhausted);
+  EXPECT_EQ(robustness::classify_diagnostic(
+                diagnose_worker_exit(run.exit)),
+            robustness::FailureKind::kTransient);
+}
+
+// The supervisor retries through injected fork failures: two refused forks
+// followed by a healthy one still certify, with both refusals classified
+// in the attempt log.
+TEST(WorkerPool, SupervisorRetriesThroughForkFailures) {
+  WorkerPool pool;
+  int failures_left = 2;
+  pool.set_fork_for_testing([&failures_left]() -> pid_t {
+    if (failures_left > 0) {
+      --failures_left;
+      return -1;
+    }
+    return ::fork();
+  });
+  const TaskRequest req = gem_request();
+  SupervisorOptions options;
+  options.retry.max_attempts = 3;
+  const SupervisedReport rep = supervised_run(pool, req.task, options);
+  ASSERT_TRUE(rep.certified) << rep.to_string();
+  EXPECT_EQ(rep.value, req.task.expected());
+  ASSERT_EQ(rep.attempts.size(), 3u);
+  EXPECT_EQ(rep.attempts[0].diagnostic, Diagnostic::kResourceExhausted);
+  EXPECT_EQ(rep.attempts[1].diagnostic, Diagnostic::kResourceExhausted);
+  EXPECT_EQ(rep.attempts[2].diagnostic, Diagnostic::kOk);
 }
 
 }  // namespace

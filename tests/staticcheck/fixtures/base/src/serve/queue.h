@@ -1,0 +1,41 @@
+#pragma once
+// staticcheck fixture: minimal queue-admission taxonomy (enum + name switch
+// + sweep list + Diagnostic mapping) in the shape pfact_lint parses for
+// PL010.
+
+namespace pfact::serve {
+
+enum class Admission {
+  kAccepted,
+  kShedQueueFull,
+  kShedDeadline,
+};
+
+inline const char* admission_name(Admission a) {
+  switch (a) {
+    case Admission::kAccepted: return "accepted";
+    case Admission::kShedQueueFull: return "shed-queue-full";
+    case Admission::kShedDeadline: return "shed-deadline";
+  }
+  return "?";
+}
+
+inline const std::vector<Admission>& all_admissions() {
+  static const std::vector<Admission> admissions = {
+      Admission::kAccepted, Admission::kShedQueueFull,
+      Admission::kShedDeadline};
+  return admissions;
+}
+
+inline robustness::Diagnostic diagnose_admission(Admission a) {
+  switch (a) {
+    case Admission::kAccepted: return robustness::Diagnostic::kOk;
+    case Admission::kShedQueueFull:
+      return robustness::Diagnostic::kOverloaded;
+    case Admission::kShedDeadline:
+      return robustness::Diagnostic::kDeadlineExceeded;
+  }
+  return robustness::Diagnostic::kInternalError;
+}
+
+}  // namespace pfact::serve

@@ -1,0 +1,39 @@
+#pragma once
+// staticcheck fixture: minimal cache-probe taxonomy (enum + name switch +
+// sweep list + Diagnostic mapping) in the shape pfact_lint parses for
+// PL010.
+
+namespace pfact::serve {
+
+enum class CacheProbe {
+  kHit,
+  kMiss,
+  kCorruptEntry,
+};
+
+inline const char* cache_probe_name(CacheProbe p) {
+  switch (p) {
+    case CacheProbe::kHit: return "hit";
+    case CacheProbe::kMiss: return "miss";
+    case CacheProbe::kCorruptEntry: return "corrupt-entry";
+  }
+  return "?";
+}
+
+inline const std::vector<CacheProbe>& all_cache_probes() {
+  static const std::vector<CacheProbe> probes = {
+      CacheProbe::kHit, CacheProbe::kMiss, CacheProbe::kCorruptEntry};
+  return probes;
+}
+
+inline robustness::Diagnostic diagnose_cache_probe(CacheProbe p) {
+  switch (p) {
+    case CacheProbe::kHit: return robustness::Diagnostic::kOk;
+    case CacheProbe::kMiss: return robustness::Diagnostic::kOk;
+    case CacheProbe::kCorruptEntry:
+      return robustness::Diagnostic::kCheckpointCorrupt;
+  }
+  return robustness::Diagnostic::kInternalError;
+}
+
+}  // namespace pfact::serve

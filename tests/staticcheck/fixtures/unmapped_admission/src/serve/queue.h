@@ -1,0 +1,44 @@
+#pragma once
+// staticcheck fixture: seeded PL010 violation — Admission::kShedShutdown is
+// declared, named, and swept, but diagnose_admission() was never taught
+// about it, so a shutdown shed would reach clients as the kInternalError
+// backstop instead of a classified, retryable kCancelled.
+
+namespace pfact::serve {
+
+enum class Admission {
+  kAccepted,
+  kShedQueueFull,
+  kShedDeadline,
+  kShedShutdown,
+};
+
+inline const char* admission_name(Admission a) {
+  switch (a) {
+    case Admission::kAccepted: return "accepted";
+    case Admission::kShedQueueFull: return "shed-queue-full";
+    case Admission::kShedDeadline: return "shed-deadline";
+    case Admission::kShedShutdown: return "shed-shutdown";
+  }
+  return "?";
+}
+
+inline const std::vector<Admission>& all_admissions() {
+  static const std::vector<Admission> admissions = {
+      Admission::kAccepted, Admission::kShedQueueFull,
+      Admission::kShedDeadline, Admission::kShedShutdown};
+  return admissions;
+}
+
+inline robustness::Diagnostic diagnose_admission(Admission a) {
+  switch (a) {
+    case Admission::kAccepted: return robustness::Diagnostic::kOk;
+    case Admission::kShedQueueFull:
+      return robustness::Diagnostic::kOverloaded;
+    case Admission::kShedDeadline:
+      return robustness::Diagnostic::kDeadlineExceeded;
+  }
+  return robustness::Diagnostic::kInternalError;
+}
+
+}  // namespace pfact::serve

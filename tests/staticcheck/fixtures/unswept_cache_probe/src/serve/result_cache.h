@@ -1,0 +1,44 @@
+#pragma once
+// staticcheck fixture: seeded PL010 violation — CacheProbe::kEnvelopeRejected
+// is declared, named, and diagnosable, but missing from the
+// all_cache_probes() sweep list, so no test or soak campaign could ever
+// certify that the envelope-rejection path is covered.
+
+namespace pfact::serve {
+
+enum class CacheProbe {
+  kHit,
+  kMiss,
+  kCorruptEntry,
+  kEnvelopeRejected,
+};
+
+inline const char* cache_probe_name(CacheProbe p) {
+  switch (p) {
+    case CacheProbe::kHit: return "hit";
+    case CacheProbe::kMiss: return "miss";
+    case CacheProbe::kCorruptEntry: return "corrupt-entry";
+    case CacheProbe::kEnvelopeRejected: return "envelope-rejected";
+  }
+  return "?";
+}
+
+inline const std::vector<CacheProbe>& all_cache_probes() {
+  static const std::vector<CacheProbe> probes = {
+      CacheProbe::kHit, CacheProbe::kMiss, CacheProbe::kCorruptEntry};
+  return probes;
+}
+
+inline robustness::Diagnostic diagnose_cache_probe(CacheProbe p) {
+  switch (p) {
+    case CacheProbe::kHit: return robustness::Diagnostic::kOk;
+    case CacheProbe::kMiss: return robustness::Diagnostic::kOk;
+    case CacheProbe::kCorruptEntry:
+      return robustness::Diagnostic::kCheckpointCorrupt;
+    case CacheProbe::kEnvelopeRejected:
+      return robustness::Diagnostic::kCheckpointCorrupt;
+  }
+  return robustness::Diagnostic::kInternalError;
+}
+
+}  // namespace pfact::serve

@@ -134,6 +134,32 @@ TEST(PfactLint, UnsweptWorkerExitFailsPL009) {
   EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
 }
 
+TEST(PfactLint, UnmappedAdmissionFailsPL010) {
+  const fs::path root = materialize("unmapped_admission");
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 1) << res.output;
+  EXPECT_NE(res.output.find("PL010"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("Admission::kShedShutdown"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("diagnose_admission"), std::string::npos)
+      << res.output;
+  // kShedShutdown IS named and swept in this overlay: one finding only.
+  EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
+}
+
+TEST(PfactLint, UnsweptCacheProbeFailsPL010) {
+  const fs::path root = materialize("unswept_cache_probe");
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 1) << res.output;
+  EXPECT_NE(res.output.find("PL010"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("CacheProbe::kEnvelopeRejected"),
+            std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("all_cache_probes"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
+}
+
 // --update-manifest is the sanctioned way out of PL007/PL008: after a
 // legitimate schema change plus version bump, regenerating the manifest
 // returns the tree to clean.

@@ -37,6 +37,11 @@
 //                                    diagnose_worker_exit() mapping to a
 //                                    Diagnostic, or missing from the
 //                                    all_worker_exits() soak-coverage sweep
+//   PL010 serve-rejection-unmapped   queue Admission or cache CacheProbe
+//                                    enumerator with no name case, no
+//                                    Diagnostic mapping, or missing from
+//                                    its sweep list (all_admissions() /
+//                                    all_cache_probes())
 //
 // Usage:
 //   pfact_lint --root <repo-root> [--manifest <file>] [--update-manifest]
@@ -413,6 +418,77 @@ void check_worker_exits(Lint& lint) {
   }
 }
 
+// PL010: the serving layer's rejection taxonomies — queue Admission and
+// cache CacheProbe — are printable, diagnosable, and swept. Each lives in a
+// single header, but the silent-fallthrough failure PL009 guards against
+// applies just the same: a new shed or probe class compiles cleanly, prints
+// as "?", and falls through to the kInternalError backstop the first time
+// real overload (or a corrupt cache entry) reaches it. The sweep lists are
+// what the service tests and the --serve soak certify coverage against.
+void check_serve_rejections(Lint& lint) {
+  struct Taxonomy {
+    const char* file;
+    const char* enum_name;
+    const char* name_fn;
+    const char* sweep_fn;
+    const char* diag_fn;
+  };
+  static const Taxonomy kTaxonomies[] = {
+      {"src/serve/queue.h", "Admission", "admission_name", "all_admissions",
+       "diagnose_admission"},
+      {"src/serve/result_cache.h", "CacheProbe", "cache_probe_name",
+       "all_cache_probes", "diagnose_cache_probe"},
+  };
+  for (const Taxonomy& t : kTaxonomies) {
+    const std::string text = lint.read(t.file);
+    if (text.empty()) continue;
+    const std::vector<std::string> ids = parse_enum(text, t.enum_name);
+    if (ids.empty()) {
+      lint.report("PL010", "serve-rejection-unmapped",
+                  std::string("enum class ") + t.enum_name + " not found in " +
+                      t.file);
+      continue;
+    }
+    const std::map<std::string, std::string> names =
+        parse_switch_returns(function_body(text, t.name_fn), t.enum_name);
+    const std::map<std::string, std::string> diags =
+        parse_switch_returns(function_body(text, t.diag_fn), t.enum_name);
+
+    std::set<std::string> swept;
+    const std::string sweep_body = function_body(text, t.sweep_fn);
+    const std::regex mention(std::string(t.enum_name) + "::(k[A-Za-z0-9_]+)");
+    for (auto it = std::sregex_iterator(sweep_body.begin(), sweep_body.end(),
+                                        mention);
+         it != std::sregex_iterator(); ++it) {
+      swept.insert((*it)[1].str());
+    }
+    for (const std::string& id : ids) {
+      const std::string qualified = std::string(t.enum_name) + "::" + id;
+      const auto n = names.find(id);
+      if (n == names.end() || !quoted(n->second).has_value()) {
+        lint.report("PL010", "serve-rejection-unmapped",
+                    qualified + " has no name case in " + t.name_fn + "()");
+      }
+      const auto d = diags.find(id);
+      if (d == diags.end() ||
+          d->second.find("Diagnostic::") == std::string::npos) {
+        lint.report("PL010", "serve-rejection-unmapped",
+                    qualified + " is not mapped to a Diagnostic in " +
+                        t.diag_fn + "() (" + t.file +
+                        ") — this rejection would reach clients as the "
+                        "kInternalError backstop instead of a classified, "
+                        "retryable shed");
+      }
+      if (swept.count(id) == 0) {
+        lint.report("PL010", "serve-rejection-unmapped",
+                    qualified + " is missing from the " + t.sweep_fn +
+                        "() sweep list — the service tests and --serve soak "
+                        "could never certify coverage of it");
+      }
+    }
+  }
+}
+
 // --- checkpoint schema: tags, version, manifest -----------------------------
 
 struct CheckpointSchema {
@@ -584,6 +660,7 @@ int main(int argc, char** argv) {
   check_fault_classes(lint);
   check_diagnostics(lint);
   check_worker_exits(lint);
+  check_serve_rejections(lint);
   check_tag_uniqueness(lint, schema);
   check_manifest(lint, schema, manifest_path);
 

@@ -37,12 +37,25 @@
 // with the ground-truth boolean (the successor worker is seeded from the
 // checkpoints the victim streamed over the pipe before dying). The kill-only
 // soak additionally certifies COVERAGE: every WorkerExit class except
-// kProtocolError must be produced and survived at least once (protocol
-// errors need a corrupted-but-exit-0 worker that no supported KillPlan
-// produces; tests/serve covers that path with hand-built frames).
+// kProtocolError and kForkFailure must be produced and survived at least
+// once (protocol errors need a corrupted-but-exit-0 worker that no
+// supported KillPlan produces, and fork exhaustion cannot be staged on
+// demand; tests/serve covers both with hand-built frames and the fork
+// injection seam).
+//
+// With --serve the soak drives the full warm-worker ReductionService
+// instead: concurrent clients push jobs through admission control onto the
+// pre-forked pool, with real kill schedules riding on individual jobs,
+// overload bursts that MUST shed classified kShedQueueFull refusals,
+// deadline-expired jobs that MUST shed as kShedDeadline, and the verified
+// result cache serving repeats. Contracts: zero wrong answers (cached or
+// fresh), every shed classified (never a silent drop), every killed warm
+// worker respawned (the pool ends at full strength), full WorkerExit
+// coverage (same two exclusions as kill-only), and at least one genuine
+// cache hit.
 //
 // Usage: pfact_soak [--campaigns N] [--seed S] [--log FILE]
-//                   [--fail-dir DIR] [--kill-only] [--verbose]
+//                   [--fail-dir DIR] [--kill-only] [--serve] [--verbose]
 //
 // Exit code 0 iff every campaign held the contract. The log file (one line
 // per campaign) and any failing checkpoint blobs (--fail-dir) are the CI
@@ -52,8 +65,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "circuit/builders.h"
@@ -63,6 +78,7 @@
 #include "robustness/fault_injector.h"
 #include "robustness/resilient_run.h"
 #include "robustness/retry.h"
+#include "serve/queue.h"
 #include "serve/supervisor.h"
 #include "serve/worker_pool.h"
 
@@ -77,6 +93,7 @@ struct Options {
   std::string log_path = "soak_log.txt";
   std::string fail_dir;
   bool kill_only = false;
+  bool serve = false;
   bool verbose = false;
 };
 
@@ -318,10 +335,15 @@ int run_kill_campaigns(const Options& opt, std::ofstream& log) {
 
   // Coverage: every death class the pool can report was really produced
   // and survived — except kProtocolError (no KillPlan yields exit-0 with a
-  // corrupt result frame; tests/serve covers it with hand-built frames).
+  // corrupt result frame; tests/serve covers it with hand-built frames)
+  // and kForkFailure (real fork exhaustion cannot be staged on demand;
+  // tests/serve covers it through the pool's fork-injection seam).
   if (ok && opt.campaigns >= std::size(kKillShapes)) {
     for (serve::WorkerExit e : serve::all_worker_exits()) {
-      if (e == serve::WorkerExit::kProtocolError) continue;
+      if (e == serve::WorkerExit::kProtocolError ||
+          e == serve::WorkerExit::kForkFailure) {
+        continue;
+      }
       if (observed.count(e) == 0) {
         ++stats.broken_contracts;
         log << "COVERAGE GAP: WorkerExit " << serve::worker_exit_name(e)
@@ -356,6 +378,332 @@ int run_kill_campaigns(const Options& opt, std::ofstream& log) {
   return 0;
 }
 
+// --- concurrent serve campaigns through the warm-worker service -------------
+
+// A not-currently-cached task, so the result cache cannot short-circuit a
+// campaign that must reach a real worker: kill schedules and dispatcher
+// wedges ride on these. Chain tasks (GEP/GQR) are the supply — (algorithm,
+// u, w, depth) is the cache key — and two bounds keep them honest:
+//
+//   * depth is capped at 20, because checkpoint cost grows fast with depth
+//     (a depth-36 chain streams ~265 snapshots per attempt, which cannot
+//     certify inside a 200ms watchdog and stalls the soak);
+//   * depths start ABOVE the repeat pool's (GEP 3.., GQR 2.. vs. the
+//     pool's GEP depth 2 / GQR depth 1), so a unique task never aliases a
+//     repeat task. That matters because overload bursts re-run the repeat
+//     pool constantly, LRU-freshening its cache entries forever — a unique
+//     task colliding with one would hit the cache and skip its kill;
+//   * ids cycle with period 126 (7 combos x 18 depths). That is NOT
+//     globally unique, but it does not have to be: a unique task's entry
+//     is probed only by its own campaign, and the service cache holds 64
+//     entries while the campaigns push ~9 fresh fills per 7-campaign
+//     block, so the never-refreshed entry has been LRU-evicted long before
+//     the id comes around again (~98 campaigns, ~2x the cache lifetime).
+//
+// GEP u=2,w=2 is deliberately absent from the combo set: that chain is
+// decode-ambiguous (multiple live rows at the value column) from depth 13
+// on — a genuinely invalid instance, not a robustness scenario.
+ReductionTask unique_chain_task(std::uint64_t id) {
+  ReductionTask t;
+  const std::uint64_t slot = id % 126;
+  const std::uint64_t combo = slot % 7;  // 3 GEP + 4 GQR shapes
+  const std::size_t rung = static_cast<std::size_t>(slot / 7);  // 0..17
+  if (combo < 3) {
+    t.algorithm = Algorithm::kGep;
+    t.u = 1 + static_cast<int>(combo & 1);          // GEP inputs: {1,2}
+    t.w = 1 + static_cast<int>((combo >> 1) & 1);
+    t.depth = 3 + rung;  // repeat pool uses GEP depth 2
+  } else {
+    t.algorithm = Algorithm::kGqr;
+    t.u = (combo & 1) ? 1 : -1;                     // GQR inputs: {-1,+1}
+    t.w = ((combo >> 1) & 1) ? 1 : -1;
+    t.depth = 2 + rung;  // repeat pool uses GQR depth 1
+  }
+  return t;
+}
+
+int run_serve_campaigns(const Options& opt, std::ofstream& log) {
+  const std::vector<ReductionTask> repeat_tasks = build_task_pool();
+
+  serve::ServiceOptions so;
+  so.dispatchers = 2;
+  so.queue_depth = 4;  // small on purpose: overload bursts must shed
+  so.cache_capacity = 64;
+  so.pool.workers = 2;
+  so.pool.recycle_after = 8;  // quota retirements happen during the soak
+  so.supervisor.retry.max_attempts = 3;
+  so.supervisor.retry.base_delay = std::chrono::milliseconds{1};
+  so.supervisor.checkpoint_every = 2;
+  serve::ReductionService service(so);
+
+  SoakStats stats;
+  std::set<serve::WorkerExit> observed;
+  std::uint64_t unique_id = 0;
+  bool ok = true;
+
+  auto fail = [&](std::size_t campaign, const char* what,
+                  const std::string& body) {
+    ++stats.broken_contracts;
+    log << "campaign " << campaign << " " << what << "\n" << body << "\n";
+    if (!opt.fail_dir.empty()) {
+      std::ofstream dump(opt.fail_dir + "/serve_campaign" +
+                             std::to_string(campaign) + ".txt",
+                         std::ios::trunc);
+      dump << what << "\n" << body << "\n";
+    }
+    ok = false;
+  };
+
+  // Checks one admitted-and-dispatched response against the zero-wrong-
+  // answer contract; returns false after recording the failure.
+  auto check_served = [&](std::size_t campaign, const ReductionTask& task,
+                          const serve::ServiceResponse& resp) {
+    stats.attempts += resp.report.attempts.size();
+    if (!resp.report.certified || resp.report.value != task.expected()) {
+      if (resp.report.certified) ++stats.wrong_answers;
+      fail(campaign,
+           resp.report.certified ? "WRONG ANSWER" : "NOT CERTIFIED",
+           resp.report.to_string());
+      return false;
+    }
+    ++stats.certified;
+    if (!resp.from_cache) observed.insert(resp.report.last_worker_exit);
+    return true;
+  };
+
+  for (std::size_t campaign = 0; campaign < opt.campaigns && ok; ++campaign) {
+    Stream rng{opt.seed, campaign};
+    const std::size_t shape = campaign % 7;
+
+    if (shape < std::size(kKillShapes)) {
+      // Real-kill job through the full service path: admission -> bounded
+      // queue -> warm worker -> supervised retry/resume. The task is unique
+      // per campaign, so the kill always reaches a live worker.
+      const KillShape& ks = kKillShapes[shape];
+      const ReductionTask task = unique_chain_task(unique_id++);
+      serve::JobOptions job;
+      const std::uint64_t after_saves = rng.pick(2);
+      job.kill_for_attempt = [&ks, after_saves](std::size_t attempt) {
+        serve::KillPlan kill;
+        if (attempt == 1) {
+          kill.mode = ks.mode;
+          kill.after_saves = after_saves;
+        }
+        return kill;
+      };
+      if (ks.watchdog) job.watchdog = std::chrono::milliseconds{200};
+      if (ks.cpu_rlimit) job.rlimits.cpu_seconds = 1;
+      const serve::ServiceResponse resp = service.run(task, job);
+      if (resp.admission != serve::Admission::kAccepted) {
+        fail(campaign, "LONE JOB SHED: an idle service must admit",
+             resp.report.to_string());
+        break;
+      }
+      if (!check_served(campaign, task, resp)) break;
+      // The worker's death was classified exactly as the taxonomy promises.
+      if (resp.report.attempts.empty() ||
+          resp.report.attempts.front().diagnostic != ks.expect_diag) {
+        fail(campaign, "KILL MISCLASSIFIED", resp.report.to_string());
+        break;
+      }
+      observed.insert(ks.expect_exit);
+      log << "campaign " << campaign << " serve-" << ks.name
+          << " certified attempts=" << resp.report.attempts.size() << "\n";
+      if (opt.verbose) {
+        std::printf("campaign %zu serve-%s: certified (%zu attempts)\n",
+                    campaign, ks.name, resp.report.attempts.size());
+      }
+    } else if (shape == std::size(kKillShapes)) {
+      // Overload burst: pin both dispatchers on fresh (uncached) jobs, then
+      // pour in more submissions than the queue bound can hold from
+      // concurrent client threads while nothing drains. The overflow MUST
+      // be refused as classified kShedQueueFull — never queued unboundedly,
+      // never silently dropped — and every admitted job must still certify.
+      const ReductionTask pin_a = unique_chain_task(unique_id++);
+      const ReductionTask pin_b = unique_chain_task(unique_id++);
+      auto pa = service.submit(pin_a);
+      auto pb = service.submit(pin_b);
+
+      constexpr std::size_t kBurst = 10;
+      std::vector<ReductionTask> burst_tasks;
+      for (std::size_t j = 0; j < kBurst; ++j) {
+        // Cycled by campaign so later bursts repeat earlier bursts' tasks —
+        // that repetition is what the cache-hit contract feeds on.
+        burst_tasks.push_back(
+            repeat_tasks[(campaign + j) % repeat_tasks.size()]);
+      }
+      std::vector<std::shared_ptr<serve::ReductionService::Pending>> burst(
+          kBurst);
+      {
+        std::vector<std::thread> clients;
+        for (std::size_t c = 0; c < 5; ++c) {
+          clients.emplace_back([&, c] {
+            for (std::size_t j = c * 2; j < c * 2 + 2; ++j) {
+              burst[j] = service.submit(burst_tasks[j]);
+            }
+          });
+        }
+        for (std::thread& t : clients) t.join();
+      }
+
+      std::size_t shed_here = 0;
+      for (std::size_t j = 0; j < kBurst && ok; ++j) {
+        const serve::ServiceResponse& resp = burst[j]->wait();
+        if (resp.admission == serve::Admission::kAccepted) {
+          if (!check_served(campaign, burst_tasks[j], resp)) break;
+        } else if (resp.admission == serve::Admission::kShedQueueFull) {
+          ++shed_here;
+          // A shed is only acceptable CLASSIFIED: the transient
+          // kOverloaded diagnostic a client backoff loop can act on.
+          if (resp.report.final_report.diagnostic !=
+                  Diagnostic::kOverloaded ||
+              classify_diagnostic(resp.report.final_report.diagnostic) !=
+                  FailureKind::kTransient ||
+              resp.report.certified) {
+            fail(campaign, "UNCLASSIFIED SHED", resp.report.to_string());
+            break;
+          }
+        } else {
+          fail(campaign, "UNEXPECTED ADMISSION CLASS",
+               std::string(serve::admission_name(resp.admission)));
+          break;
+        }
+      }
+      if (ok && !check_served(campaign, pin_a, pa->wait())) break;
+      if (ok && !check_served(campaign, pin_b, pb->wait())) break;
+      if (ok && shed_here == 0) {
+        fail(campaign, "OVERLOAD NEVER SHED",
+             "burst exceeded queue_depth with both dispatchers pinned, yet "
+             "no submission was refused");
+        break;
+      }
+      if (ok) {
+        log << "campaign " << campaign << " serve-overload shed=" << shed_here
+            << "/" << kBurst << "\n";
+        if (opt.verbose) {
+          std::printf("campaign %zu serve-overload: %zu/%zu shed\n", campaign,
+                      shed_here, kBurst);
+        }
+      }
+    } else {
+      // Deadline expiry: wedge both dispatchers on watchdog-bounded spins,
+      // then queue a job whose deadline is already hopeless. FIFO order
+      // guarantees the wedges are picked up first, so by the time a
+      // dispatcher frees up (>= 200ms later) the 1ms deadline has long
+      // passed: the job must be shed as kShedDeadline without ever
+      // touching a worker.
+      serve::JobOptions wedge;
+      wedge.kill_for_attempt = [](std::size_t attempt) {
+        serve::KillPlan kill;
+        if (attempt == 1) kill.mode = serve::KillPlan::Mode::kSpin;
+        return kill;
+      };
+      wedge.watchdog = std::chrono::milliseconds{200};
+      const ReductionTask wedge_a = unique_chain_task(unique_id++);
+      const ReductionTask wedge_b = unique_chain_task(unique_id++);
+      auto wa = service.submit(wedge_a, wedge);
+      auto wb = service.submit(wedge_b, wedge);
+
+      serve::JobOptions doomed;
+      doomed.deadline = std::chrono::milliseconds{1};
+      const ReductionTask late_task =
+          repeat_tasks[rng.pick(repeat_tasks.size())];
+      auto late = service.submit(late_task, doomed);
+
+      const serve::ServiceResponse& lr = late->wait();
+      if (lr.admission != serve::Admission::kShedDeadline ||
+          lr.report.final_report.diagnostic !=
+              Diagnostic::kDeadlineExceeded ||
+          lr.report.certified) {
+        fail(campaign, "DEADLINE NOT SHED",
+             std::string("admission=") +
+                 serve::admission_name(lr.admission) + "\n" +
+                 lr.report.to_string());
+        break;
+      }
+      // The wedges themselves recover: watchdog kills attempt 1, attempt 2
+      // certifies — which also feeds kWatchdog into the coverage set.
+      if (!check_served(campaign, wedge_a, wa->wait())) break;
+      if (!check_served(campaign, wedge_b, wb->wait())) break;
+      observed.insert(serve::WorkerExit::kWatchdog);
+      log << "campaign " << campaign << " serve-deadline shed ok\n";
+      if (opt.verbose) {
+        std::printf("campaign %zu serve-deadline: shed as %s\n", campaign,
+                    serve::admission_name(lr.admission));
+      }
+    }
+  }
+
+  // Coverage: every real worker-death class was produced and survived
+  // through the service path — same two exclusions as the kill-only soak
+  // (kProtocolError needs hand-built frames, kForkFailure needs the fork
+  // injection seam; tests/serve covers both).
+  if (ok && opt.campaigns >= 7) {
+    for (serve::WorkerExit e : serve::all_worker_exits()) {
+      if (e == serve::WorkerExit::kProtocolError ||
+          e == serve::WorkerExit::kForkFailure) {
+        continue;
+      }
+      if (observed.count(e) == 0) {
+        ++stats.broken_contracts;
+        log << "COVERAGE GAP: WorkerExit " << serve::worker_exit_name(e)
+            << " never observed through the service\n";
+        ok = false;
+      }
+    }
+  }
+  // Auto-respawn: every killed, recycled, or retired warm worker was
+  // replaced — the pool ends the soak at full strength.
+  if (ok && service.pool().live_workers() != so.pool.workers) {
+    ++stats.broken_contracts;
+    log << "RESPAWN GAP: " << service.pool().live_workers() << " of "
+        << so.pool.workers << " warm workers alive at end of soak\n";
+    ok = false;
+  }
+  const serve::ReductionService::Stats sstats = service.stats();
+  if (ok && opt.campaigns >= 14 && sstats.served_from_cache == 0) {
+    ++stats.broken_contracts;
+    log << "CACHE NEVER HIT: repeated tasks were re-factored every time\n";
+    ok = false;
+  }
+
+  const serve::WarmPool::Stats ps = service.pool().stats();
+  log << "summary certified=" << stats.certified
+      << " attempts=" << stats.attempts << " submitted=" << sstats.submitted
+      << " accepted=" << sstats.accepted
+      << " shed-queue-full=" << sstats.shed_queue_full
+      << " shed-deadline=" << sstats.shed_deadline
+      << " cache-hits=" << sstats.served_from_cache
+      << " workers-spawned=" << ps.spawned << " workers-crashed="
+      << ps.crashed << " recycles=" << ps.recycles
+      << " watchdog-kills=" << ps.watchdog_kills
+      << " wrong-answers=" << stats.wrong_answers
+      << " broken-contracts=" << stats.broken_contracts << "\n";
+  std::printf(
+      "pfact_soak --serve: %zu certified, %zu attempts, "
+      "%llu submitted, %llu shed (queue-full %llu, deadline %llu), "
+      "%llu cache hits, %llu workers spawned, %llu crashed, "
+      "%llu recycles, %zu wrong answers, %zu broken contracts\n",
+      stats.certified, stats.attempts,
+      static_cast<unsigned long long>(sstats.submitted),
+      static_cast<unsigned long long>(sstats.shed_queue_full +
+                                      sstats.shed_deadline +
+                                      sstats.shed_shutdown),
+      static_cast<unsigned long long>(sstats.shed_queue_full),
+      static_cast<unsigned long long>(sstats.shed_deadline),
+      static_cast<unsigned long long>(sstats.served_from_cache),
+      static_cast<unsigned long long>(ps.spawned),
+      static_cast<unsigned long long>(ps.crashed),
+      static_cast<unsigned long long>(ps.recycles), stats.wrong_answers,
+      stats.broken_contracts);
+  if (!ok || stats.wrong_answers != 0 || stats.broken_contracts != 0) {
+    std::printf("pfact_soak: FAILED (see %s)\n", opt.log_path.c_str());
+    return 1;
+  }
+  std::printf("pfact_soak: all serve campaigns held the contract\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -379,12 +727,14 @@ int main(int argc, char** argv) {
       opt.fail_dir = value();
     } else if (arg == "--kill-only") {
       opt.kill_only = true;
+    } else if (arg == "--serve") {
+      opt.serve = true;
     } else if (arg == "--verbose") {
       opt.verbose = true;
     } else {
       std::fprintf(stderr,
                    "usage: pfact_soak [--campaigns N] [--seed S] [--log FILE] "
-                   "[--fail-dir DIR] [--kill-only] [--verbose]\n");
+                   "[--fail-dir DIR] [--kill-only] [--serve] [--verbose]\n");
       return 2;
     }
   }
@@ -395,8 +745,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   log << "pfact_soak seed=" << opt.seed << " campaigns=" << opt.campaigns
-      << (opt.kill_only ? " kill-only" : "") << "\n";
+      << (opt.kill_only ? " kill-only" : "") << (opt.serve ? " serve" : "")
+      << "\n";
 
+  if (opt.serve) return run_serve_campaigns(opt, log);
   if (opt.kill_only) return run_kill_campaigns(opt, log);
 
   const std::vector<ReductionTask> pool = build_task_pool();
