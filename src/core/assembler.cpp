@@ -175,93 +175,138 @@ AssemblyPlan plan_assembly(const circuit::Circuit& c) {
   return plan;
 }
 
-GemReduction build_gem_reduction(const circuit::CvpInstance& inst) {
-  // Normalize fanout, counting the output node's external use.
-  circuit::CvpInstance norm = inst;
-  auto uses = norm.circuit.fanouts();
-  uses[norm.circuit.num_nodes() - 1] += 1;
+namespace {
+
+// Normalizes fanout, counting the output node's external use.
+circuit::CvpInstance normalize_fanout(const circuit::CvpInstance& inst) {
+  auto uses = inst.circuit.fanouts();
+  uses[inst.circuit.num_nodes() - 1] += 1;
   for (std::size_t u : uses) {
-    if (u > 2) {
-      norm = circuit::with_fanout_two(inst);
-      break;
-    }
+    if (u > 2) return circuit::with_fanout_two(inst);
   }
+  return inst;
+}
 
-  GemReduction red;
-  red.plan = plan_assembly(norm.circuit);
-  const AssemblyPlan& plan = red.plan;
+struct Positions {
+  std::vector<std::size_t> slot_pos;
+  std::vector<std::vector<std::size_t>> aux_pos;  // per block
+  std::size_t nu = 0;                             // order of A_C
+};
 
-  // --- position assignment -------------------------------------------------
-  // Walking blocks in layer order: each block's in-slot rows come first
-  // (this is where the previous layer's carriers land), then its aux rows.
-  // Dead slots and finally the output slot take the trailing positions, so
-  // the circuit output ends at A_C(nu, nu) as in the paper's Section 2.
+// Position assignment, walking blocks in layer order: each block's in-slot
+// rows come first (this is where the previous layer's carriers land), then
+// its aux rows. Dead slots and finally the output slot take the trailing
+// positions, so the circuit output ends at A_C(nu, nu) as in the paper's
+// Section 2.
+Positions assign_positions(const AssemblyPlan& plan) {
   constexpr std::size_t kUnset = static_cast<std::size_t>(-1);
-  red.slot_pos.assign(plan.num_slots, kUnset);
-  std::vector<std::vector<std::size_t>> aux_pos(plan.blocks.size());
+  Positions pos;
+  pos.slot_pos.assign(plan.num_slots, kUnset);
+  pos.aux_pos.resize(plan.blocks.size());
   std::size_t next = 0;
   for (std::size_t b = 0; b < plan.blocks.size(); ++b) {
     const BlockInstance& blk = plan.blocks[b];
     for (std::size_t s : blk.in_slots) {
-      red.slot_pos[s] = next++;
+      pos.slot_pos[s] = next++;
     }
     for (std::size_t i = 0; i < aux_rows(blk.type); ++i) {
-      aux_pos[b].push_back(next++);
+      pos.aux_pos[b].push_back(next++);
     }
   }
   for (std::size_t s : plan.dead_slots) {
-    if (red.slot_pos[s] == kUnset) red.slot_pos[s] = next++;
+    if (pos.slot_pos[s] == kUnset) pos.slot_pos[s] = next++;
   }
-  red.slot_pos[plan.output_slot] = next++;
-  const std::size_t nu = next;
-  red.output_pos = nu - 1;
+  pos.slot_pos[plan.output_slot] = next++;
+  pos.nu = next;
+  return pos;
+}
 
-  // --- entry planting -------------------------------------------------------
-  Matrix<double> a(nu, nu);
+// Entry planting behind a sink: emit(row, col, value) is called once per
+// gadget entry, in plan order, with duplicates at shared positions left for
+// the sink to accumulate. The dense builder sums them in place; the sparse
+// builder's TripletBuilder coalesces in the same (emission) order, so the
+// two matrices agree bit for bit.
+template <class Emit>
+void plant_entries(const AssemblyPlan& plan, const circuit::CvpInstance& norm,
+                   const Positions& pos, Emit&& emit) {
   auto plant = [&](std::size_t b, const GadgetEntry* entries,
                    std::size_t count, const std::vector<std::size_t>& local) {
     (void)b;
     for (std::size_t i = 0; i < count; ++i) {
       const GadgetEntry& e = entries[i];
-      a(local[e.row], local[e.col]) += e.value;
+      emit(local[e.row], local[e.col], e.value);
     }
   };
   for (std::size_t b = 0; b < plan.blocks.size(); ++b) {
     const BlockInstance& blk = plan.blocks[b];
     switch (blk.type) {
       case BlockType::kInput: {
-        std::size_t p = red.slot_pos[blk.out_slots[0]];
-        a(p, p) = norm.inputs[b] ? 1.0 : 0.0;  // layer-0 blocks are in input
-                                               // order, so index b == input b
+        std::size_t p = pos.slot_pos[blk.out_slots[0]];
+        // Layer-0 blocks are in input order, so index b == input b. A fresh
+        // position, so emitting (possibly a zero the sink may drop) equals
+        // the historical direct assignment.
+        emit(p, p, norm.inputs[b] ? 1.0 : 0.0);
         break;
       }
       case BlockType::kPass: {
         std::vector<std::size_t> local = {
-            red.slot_pos[blk.in_slots[0]], aux_pos[b][0], aux_pos[b][1],
-            red.slot_pos[blk.out_slots[0]]};
+            pos.slot_pos[blk.in_slots[0]], pos.aux_pos[b][0],
+            pos.aux_pos[b][1], pos.slot_pos[blk.out_slots[0]]};
         plant(b, kPassEntries, std::size(kPassEntries), local);
         break;
       }
       case BlockType::kDup: {
         std::vector<std::size_t> local = {
-            red.slot_pos[blk.in_slots[0]], aux_pos[b][0], aux_pos[b][1],
-            aux_pos[b][2],                 aux_pos[b][3],
-            red.slot_pos[blk.out_slots[0]],
-            red.slot_pos[blk.out_slots[1]]};
+            pos.slot_pos[blk.in_slots[0]], pos.aux_pos[b][0],
+            pos.aux_pos[b][1],             pos.aux_pos[b][2],
+            pos.aux_pos[b][3],
+            pos.slot_pos[blk.out_slots[0]],
+            pos.slot_pos[blk.out_slots[1]]};
         plant(b, kDupEntries, std::size(kDupEntries), local);
         break;
       }
       case BlockType::kNand: {
         std::vector<std::size_t> local = {
-            red.slot_pos[blk.in_slots[0]], red.slot_pos[blk.in_slots[1]],
-            aux_pos[b][0], aux_pos[b][1],
-            red.slot_pos[blk.out_slots[0]]};
+            pos.slot_pos[blk.in_slots[0]], pos.slot_pos[blk.in_slots[1]],
+            pos.aux_pos[b][0], pos.aux_pos[b][1],
+            pos.slot_pos[blk.out_slots[0]]};
         plant(b, kNandEntries, std::size(kNandEntries), local);
         break;
       }
     }
   }
+}
+
+}  // namespace
+
+GemReduction build_gem_reduction(const circuit::CvpInstance& inst) {
+  circuit::CvpInstance norm = normalize_fanout(inst);
+  GemReduction red;
+  red.plan = plan_assembly(norm.circuit);
+  Positions pos = assign_positions(red.plan);
+  red.output_pos = pos.nu - 1;
+
+  Matrix<double> a(pos.nu, pos.nu);
+  plant_entries(red.plan, norm, pos,
+                [&](std::size_t r, std::size_t c, double v) { a(r, c) += v; });
   red.matrix = std::move(a);
+  red.slot_pos = std::move(pos.slot_pos);
+  return red;
+}
+
+SparseGemReduction build_gem_reduction_sparse(
+    const circuit::CvpInstance& inst) {
+  circuit::CvpInstance norm = normalize_fanout(inst);
+  SparseGemReduction red;
+  red.plan = plan_assembly(norm.circuit);
+  Positions pos = assign_positions(red.plan);
+  red.output_pos = pos.nu - 1;
+
+  sparse::TripletBuilder<double> b(pos.nu, pos.nu);
+  plant_entries(red.plan, norm, pos,
+                [&](std::size_t r, std::size_t c, double v) { b.add(r, c, v); });
+  red.matrix = b.build();
+  red.slot_pos = std::move(pos.slot_pos);
   return red;
 }
 

@@ -23,6 +23,7 @@
 #include "circuit/circuit.h"
 #include "core/gem_gadgets.h"
 #include "matrix/matrix.h"
+#include "matrix/sparse.h"
 
 namespace pfact::core {
 
@@ -65,5 +66,20 @@ struct GemReduction {
 // Builds A_C for the instance. Applies the fanout-2 normalization
 // automatically when needed (including the output node's external use).
 GemReduction build_gem_reduction(const circuit::CvpInstance& inst);
+
+// The same reduction with the matrix in CSR form. A_C is block-banded with
+// O(1) entries per row, so this is the only way large circuits fit: the
+// builder plants gadget entries straight into a TripletBuilder (no dense
+// intermediate is ever allocated) and the planting order is shared with the
+// dense builder, so coalescing sums duplicates in the identical order and
+// `matrix.to_dense() == build_gem_reduction(inst).matrix` bit for bit.
+struct SparseGemReduction {
+  sparse::CsrMatrix<double> matrix;
+  std::size_t output_pos = 0;  // always matrix.rows() - 1
+  AssemblyPlan plan;
+  std::vector<std::size_t> slot_pos;  // position of each slot's diagonal
+};
+
+SparseGemReduction build_gem_reduction_sparse(const circuit::CvpInstance& inst);
 
 }  // namespace pfact::core

@@ -15,8 +15,11 @@
 // nonsingular matrices in NC while GEM stays inherently sequential.)
 
 #include <cstddef>
+#include <utility>
+#include <vector>
 
 #include "matrix/matrix.h"
+#include "matrix/sparse.h"
 
 namespace pfact::core {
 
@@ -30,6 +33,37 @@ Matrix<T> border_nonsingular(const Matrix<T>& a) {
     out(n + i, n - 1 - i) = T(1);        // bottom-left E
   }
   return out;
+}
+
+// CSR overload: same embedding without a dense intermediate. Row i of the
+// top half is row i of A plus the lone antidiagonal 1 at column 2n-1-i
+// (always to the right of A's columns, so it appends in sorted order); row
+// n+i of the bottom half has the single entry at column n-1-i.
+template <class T>
+sparse::CsrMatrix<T> border_nonsingular(const sparse::CsrMatrix<T>& a) {
+  const std::size_t n = a.rows();
+  std::vector<std::size_t> row_ptr(2 * n + 1, 0);
+  std::vector<std::size_t> col_idx;
+  std::vector<T> values;
+  col_idx.reserve(a.nnz() + 2 * n);
+  values.reserve(a.nnz() + 2 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t p = a.row_ptr()[i]; p < a.row_ptr()[i + 1]; ++p) {
+      col_idx.push_back(a.col_idx()[p]);
+      values.push_back(a.values()[p]);
+    }
+    col_idx.push_back(n + (n - 1 - i));  // top-right E
+    values.push_back(T(1));
+    row_ptr[i + 1] = col_idx.size();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    col_idx.push_back(n - 1 - i);        // bottom-left E
+    values.push_back(T(1));
+    row_ptr[n + i + 1] = col_idx.size();
+  }
+  return sparse::CsrMatrix<T>::from_parts(2 * n, 2 * n, std::move(row_ptr),
+                                          std::move(col_idx),
+                                          std::move(values));
 }
 
 }  // namespace pfact::core

@@ -16,8 +16,59 @@
 #include "core/assembler.h"
 #include "core/bordering.h"
 #include "factor/gaussian.h"
+#include "matrix/sparse.h"
+#include "matrix/storage.h"
 
 namespace pfact::core {
+
+namespace detail {
+
+// Builds the reduction in the requested storage backend. The sparse
+// specialization never materializes a dense matrix — that is the entire
+// point of the backend (ISSUE: 10-100x more gates at equal memory).
+template <class T, class Storage>
+struct ReductionOps;
+
+template <class T>
+struct ReductionOps<T, Matrix<T>> {
+  static Matrix<T> build(const circuit::CvpInstance& inst,
+                         std::size_t* output_pos, std::size_t* nu) {
+    GemReduction red = build_gem_reduction(inst);
+    *output_pos = red.output_pos;
+    *nu = red.matrix.rows();
+    return red.matrix.template cast<T>();
+  }
+  static Matrix<T> build_bordered(const circuit::CvpInstance& inst,
+                                  std::size_t* output_pos, std::size_t* nu) {
+    GemReduction red = build_gem_reduction(inst);
+    *output_pos = red.output_pos;
+    *nu = red.matrix.rows();
+    return border_nonsingular(red.matrix.template cast<T>());
+  }
+};
+
+template <class T>
+struct ReductionOps<T, sparse::SparseMatrix<T>> {
+  static sparse::SparseMatrix<T> build(const circuit::CvpInstance& inst,
+                                       std::size_t* output_pos,
+                                       std::size_t* nu) {
+    SparseGemReduction red = build_gem_reduction_sparse(inst);
+    *output_pos = red.output_pos;
+    *nu = red.matrix.rows();
+    return sparse::SparseMatrix<T>(red.matrix.template cast<T>());
+  }
+  static sparse::SparseMatrix<T> build_bordered(
+      const circuit::CvpInstance& inst, std::size_t* output_pos,
+      std::size_t* nu) {
+    SparseGemReduction red = build_gem_reduction_sparse(inst);
+    *output_pos = red.output_pos;
+    *nu = red.matrix.rows();
+    return sparse::SparseMatrix<T>(
+        border_nonsingular(red.matrix.template cast<T>()));
+  }
+};
+
+}  // namespace detail
 
 struct SimulationResult {
   bool value = false;   // decoded circuit output
@@ -31,16 +82,17 @@ struct SimulationResult {
 // Theorem 3.1: runs GEM (kMinimalSwap) or GEMS (kMinimalShift) on A_C and
 // reads the encoding of C(x) off the bottom-right entry. The scalar field T
 // must represent small integers exactly (double, Rational, SoftFloat<P>=24+).
-template <class T>
+template <class T, class Storage = Matrix<T>>
 SimulationResult simulate_gem(const circuit::CvpInstance& inst,
                               factor::PivotStrategy strategy,
                               const factor::EliminationChecks& checks = {}) {
-  GemReduction red = build_gem_reduction(inst);
-  Matrix<T> a = red.matrix.template cast<T>();
+  std::size_t output_pos = 0;
+  std::size_t nu = 0;
+  Storage a = detail::ReductionOps<T, Storage>::build(inst, &output_pos, &nu);
   factor::eliminate_steps(a, strategy, a.rows(), nullptr, checks);
   SimulationResult res;
   res.order = a.rows();
-  const T& out = a(red.output_pos, red.output_pos);
+  const T& out = a.get(output_pos, output_pos);
   res.decoded_entry = to_double(out);
   if (out == T(1)) {
     res.value = true;
@@ -57,23 +109,24 @@ SimulationResult simulate_gem(const circuit::CvpInstance& inst,
 // (nu, nu) of the embedded A_C; when the circuit output is False the pivot
 // for that column comes from the bordering half (the column is zero within
 // A_C), which the decode recognizes via the pivot trace.
-template <class T>
+template <class T, class Storage = Matrix<T>>
 SimulationResult simulate_gem_nonsingular(
     const circuit::CvpInstance& inst,
     const factor::EliminationChecks& checks = {}) {
-  GemReduction red = build_gem_reduction(inst);
-  Matrix<T> a = border_nonsingular(red.matrix.template cast<T>());
+  std::size_t output_pos = 0;
+  std::size_t nu = 0;
+  Storage a =
+      detail::ReductionOps<T, Storage>::build_bordered(inst, &output_pos, &nu);
   Permutation perm(a.rows());
   factor::PivotTrace trace = factor::eliminate_steps(
       a, factor::PivotStrategy::kMinimalSwap, a.rows(), &perm, checks);
   SimulationResult res;
   res.order = a.rows();
-  const std::size_t nu = red.matrix.rows();
-  const T& out = a(red.output_pos, red.output_pos);
+  const T& out = a.get(output_pos, output_pos);
   res.decoded_entry = to_double(out);
   // Find the pivot event for the output column.
   for (const auto& e : trace.events()) {
-    if (e.column != red.output_pos) continue;
+    if (e.column != output_pos) continue;
     if (e.action == factor::PivotAction::kSkip) break;  // cannot happen in
                                                         // a nonsingular run
     if (e.pivot_row >= nu) {

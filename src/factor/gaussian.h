@@ -27,6 +27,7 @@
 #include "factor/guard.h"
 #include "factor/pivot_trace.h"
 #include "matrix/matrix.h"
+#include "matrix/storage.h"
 #include "numeric/field.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
@@ -65,33 +66,47 @@ struct LuResult {
 namespace detail {
 
 // Selects the pivot position in column k among rows k..rows-1 of `a`.
-// Returns rows() when the column is (machine) zero at and below the diagonal.
-template <class T>
-std::size_t select_pivot(const Matrix<T>& a, std::size_t k,
+// Returns rows() when the column is (machine) zero at and below the
+// diagonal. Storage-generic: the scan reads through get(), so dense and
+// sparse backends run the identical contest over the identical values.
+template <MatrixStorage Storage>
+std::size_t select_pivot(const Storage& a, std::size_t k,
                          PivotStrategy strategy) {
   const std::size_t n = a.rows();
+  // Column-bounded backends prove rows >= scan_end hold exact zeros in
+  // column k, so clipping the contest there skips only rows the dense scan
+  // would `continue` past: the winner (and every comparison that decides
+  // it) is unchanged. Only the pivot-scan-rows counter sees the saving.
+  std::size_t scan_end = n;
+  if constexpr (ColBoundedStorage<Storage>) {
+    scan_end = std::min(n, a.col_scan_bound(k));
+  }
   switch (strategy) {
     case PivotStrategy::kNone:
       PFACT_COUNT(kPivotScanRows);
-      return is_zero(a(k, k)) ? n : k;
+      return is_zero(a.get(k, k)) ? n : k;
     case PivotStrategy::kPartial: {
-      PFACT_COUNT_N(kPivotScanRows, n - k);  // the contest scans the column
+      if (scan_end > k) {  // the contest scans the column
+        PFACT_COUNT_N(kPivotScanRows, scan_end - k);
+      }
       std::size_t best = n;
-      for (std::size_t i = k; i < n; ++i) {
-        if (is_zero(a(i, k))) continue;
-        if (best == n || field_abs(a(i, k)) > field_abs(a(best, k))) best = i;
+      for (std::size_t i = k; i < scan_end; ++i) {
+        if (is_zero(a.get(i, k))) continue;
+        if (best == n ||
+            field_abs(a.get(i, k)) > field_abs(a.get(best, k)))
+          best = i;
       }
       return best;
     }
     case PivotStrategy::kMinimalSwap:
     case PivotStrategy::kMinimalShift: {
-      for (std::size_t i = k; i < n; ++i) {
-        if (!is_zero(a(i, k))) {
+      for (std::size_t i = k; i < scan_end; ++i) {
+        if (!is_zero(a.get(i, k))) {
           PFACT_COUNT_N(kPivotScanRows, i - k + 1);
           return i;
         }
       }
-      PFACT_COUNT_N(kPivotScanRows, n - k);
+      if (scan_end > k) PFACT_COUNT_N(kPivotScanRows, scan_end - k);
       return n;
     }
   }
@@ -145,11 +160,12 @@ struct EliminationChecks {
 // killed exactly at a boundary has already persisted that boundary's
 // state. The matrix/perm arguments reflect steps [0, k) completed; the
 // trace argument holds only the events since start_step (a resuming
-// caller prepends its restored prefix).
-template <class T>
+// caller prepends its restored prefix). Templated on the storage backend
+// (Matrix<T> or sparse::SparseMatrix<T>) like the engine itself.
+template <class Storage>
 struct CheckpointHook {
   std::size_t every = 0;
-  std::function<void(std::size_t next_step, const Matrix<T>& a,
+  std::function<void(std::size_t next_step, const Storage& a,
                      const Permutation* perm, const PivotTrace& trace)>
       save;
 };
@@ -160,11 +176,12 @@ struct CheckpointHook {
 // must have size a.rows(). Multipliers are NOT stored (the subdiagonal is
 // zeroed), matching the paper's description of "the algorithm applied to the
 // block". Returns the pivot trace.
-template <class T>
-PivotTrace eliminate_steps(Matrix<T>& a, PivotStrategy strategy,
+template <MatrixStorage Storage>
+PivotTrace eliminate_steps(Storage& a, PivotStrategy strategy,
                            std::size_t steps, Permutation* perm = nullptr,
                            const EliminationChecks& checks = {},
-                           const CheckpointHook<T>* ckpt = nullptr) {
+                           const CheckpointHook<Storage>* ckpt = nullptr) {
+  using T = typename Storage::value_type;
   PivotTrace trace;
   const std::size_t n = a.rows();
   const std::size_t limit = std::min({steps, n, a.cols()});
@@ -208,29 +225,36 @@ PivotTrace eliminate_steps(Matrix<T>& a, PivotStrategy strategy,
     }
     detail::count_pivot_event(e);
     trace.record(e);
-    if (checks.reduction_mode && a(k, k) != T(1) && a(k, k) != T(-1)) {
+    if (checks.reduction_mode && a.get(k, k) != T(1) &&
+        a.get(k, k) != T(-1)) {
       throw GuardAbort(GuardAbort::Kind::kInvariant, k,
                        "reduction-mode pivot at column " + std::to_string(k) +
                            " is not an exact +/-1 (got " +
-                           scalar_to_string(a(k, k)) + ")");
+                           scalar_to_string(a.get(k, k)) + ")");
     }
     std::size_t updated = 0;
-    for (std::size_t i = k + 1; i < n; ++i) {
-      if (is_zero(a(i, k))) continue;
-      T f = a(i, k) / a(k, k);
+    std::size_t elems = 0;
+    // Same clipping as select_pivot: rows past the column bound are
+    // structurally zero in column k, and the dense loop would skip them
+    // via the is_zero continue below. On block-banded A_C this turns the
+    // below-pivot sweep from O(n) per step into O(band).
+    std::size_t update_end = n;
+    if constexpr (ColBoundedStorage<Storage>) {
+      update_end = std::min(n, a.col_scan_bound(k));
+    }
+    for (std::size_t i = k + 1; i < update_end; ++i) {
+      if (is_zero(a.get(i, k))) continue;
+      T f = a.get(i, k) / a.get(k, k);
       if (!field_finite(f)) {
         throw GuardAbort(GuardAbort::Kind::kInvariant, k,
                          "non-finite multiplier at row " + std::to_string(i) +
                              ", column " + std::to_string(k));
       }
-      a(i, k) = T(0);
+      elems += a.row_axpy(i, k, f);
       ++updated;
-      for (std::size_t j = k + 1; j < a.cols(); ++j) {
-        a(i, j) -= f * a(k, j);
-      }
     }
     PFACT_COUNT_N(kRowUpdates, updated);
-    PFACT_COUNT_N(kRowUpdateElems, updated * (a.cols() - k - 1));
+    PFACT_COUNT_N(kRowUpdateElems, elems);
   }
   return trace;
 }

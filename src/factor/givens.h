@@ -24,6 +24,7 @@
 
 #include "factor/guard.h"
 #include "matrix/matrix.h"
+#include "matrix/storage.h"
 #include "numeric/field.h"
 #include "obs/counters.h"
 #include "obs/trace.h"
@@ -112,16 +113,40 @@ bool apply_givens(Matrix<T>& a, Matrix<T>* q, std::size_t p, std::size_t j,
   return true;
 }
 
+// Storage-generic natural-order rotation: computes c/s from the diagonal
+// and target entries, then rotates the row pair through the backend's
+// rotate_rows — the identical expression sequence as the dense
+// apply_givens loop, so dense and sparse runs agree bit for bit.
+template <RotatableStorage Storage>
+bool apply_givens_rows(Storage& a, std::size_t i, std::size_t j) {
+  using T = typename Storage::value_type;
+  if (is_zero(a.get(j, i))) return false;
+  T r = field_sqrt(a.get(i, i) * a.get(i, i) + a.get(j, i) * a.get(j, i));
+  if (!field_finite(r) || is_zero(r)) {
+    throw GuardAbort(GuardAbort::Kind::kInvariant, i,
+                     "degenerate Givens rotation at (" + std::to_string(j) +
+                         ", " + std::to_string(i) + "): |r| is " +
+                         (is_zero(r) ? "zero" : "non-finite"));
+  }
+  PFACT_COUNT(kGivensRotations);
+  T c = a.get(i, i) / r;
+  T s = a.get(j, i) / r;
+  a.rotate_rows(i, j, c, s);
+  a.set(j, i, T(0));  // exact by construction; avoids residual roundoff dust
+  return true;
+}
+
 }  // namespace detail
 
 // Periodic snapshot hook for checkpoint/resume, the rotation-position
 // analogue of factor::CheckpointHook: `save` fires at each position p with
 // p % every == 0 (p > start_pos), before the position's guard tick, with
-// the matrix reflecting rotations [0, p) applied.
-template <class T>
+// the matrix reflecting rotations [0, p) applied. Templated on the storage
+// backend like the engine.
+template <class Storage>
 struct GivensCheckpointHook {
   std::size_t every = 0;
-  std::function<void(std::size_t next_pos, const Matrix<T>& a)> save;
+  std::function<void(std::size_t next_pos, const Storage& a)> save;
 };
 
 // Runs the first `steps` rotation positions of natural-order GQR in place
@@ -129,11 +154,11 @@ struct GivensCheckpointHook {
 // steps of GQR" in the block contracts, where blocks are dense below the
 // diagonal wherever it matters). `start_pos` resumes mid-run: the matrix
 // is assumed to already hold the state after positions [0, start_pos).
-template <class T>
-std::size_t givens_steps(Matrix<T>& a, std::size_t steps,
+template <RotatableStorage Storage>
+std::size_t givens_steps(Storage& a, std::size_t steps,
                          const StepGuard* guard = nullptr,
                          std::size_t start_pos = 0,
-                         const GivensCheckpointHook<T>* ckpt = nullptr) {
+                         const GivensCheckpointHook<Storage>* ckpt = nullptr) {
   std::size_t pos = 0;
   std::size_t applied = 0;
   const std::size_t kmax = std::min(a.rows(), a.cols());
@@ -149,7 +174,7 @@ std::size_t givens_steps(Matrix<T>& a, std::size_t steps,
         ckpt->save(pos, a);
       }
       if (guard != nullptr) guard->tick(pos);
-      if (detail::apply_givens<T>(a, nullptr, i, j)) ++applied;
+      if (detail::apply_givens_rows(a, i, j)) ++applied;
       ++pos;
     }
   }

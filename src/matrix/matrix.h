@@ -20,6 +20,8 @@ namespace pfact {
 template <class T>
 class Matrix {
  public:
+  using value_type = T;
+
   Matrix() = default;
   Matrix(std::size_t rows, std::size_t cols)
       : rows_(rows), cols_(cols), data_(rows * cols, T(0)) {}
@@ -63,6 +65,35 @@ class Matrix {
   const T& at(std::size_t i, std::size_t j) const {
     check(i, j);
     return (*this)(i, j);
+  }
+
+  // Storage-concept accessors (matrix/storage.h): the elimination engines
+  // are generic over dense and sparse backends and read/write exclusively
+  // through these.
+  const T& get(std::size_t i, std::size_t j) const { return (*this)(i, j); }
+  void set(std::size_t i, std::size_t j, const T& v) { (*this)(i, j) = v; }
+
+  // Elimination row update: a(i, k) = 0; a(i, j) -= f * a(k, j) for j > k.
+  // The loop is the former eliminate_steps inner loop verbatim — sparse
+  // backends must reproduce this field-operation order bit for bit. Returns
+  // the scalar multiply-subtract count for the row-update-elems counter.
+  std::size_t row_axpy(std::size_t i, std::size_t k, const T& f) {
+    (*this)(i, k) = T(0);
+    for (std::size_t j = k + 1; j < cols_; ++j) {
+      (*this)(i, j) -= f * (*this)(k, j);
+    }
+    return cols_ - k - 1;
+  }
+
+  // Givens rotation of rows i and j across every column (the former
+  // apply_givens update loop verbatim).
+  void rotate_rows(std::size_t i, std::size_t j, const T& c, const T& s) {
+    for (std::size_t t = 0; t < cols_; ++t) {
+      const T top = (*this)(i, t);
+      const T bot = (*this)(j, t);
+      (*this)(i, t) = c * top + s * bot;
+      (*this)(j, t) = c * bot - s * top;
+    }
   }
 
   void swap_rows(std::size_t a, std::size_t b) {

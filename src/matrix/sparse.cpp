@@ -1,0 +1,36 @@
+#include "matrix/sparse.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pfact::sparse {
+
+std::string csr_invariant_violation(std::size_t rows, std::size_t cols,
+                                    const std::vector<std::size_t>& row_ptr,
+                                    const std::vector<std::size_t>& col_idx) {
+  if (row_ptr.size() != rows + 1)
+    return "row_ptr size " + std::to_string(row_ptr.size()) +
+           " != rows + 1 = " + std::to_string(rows + 1);
+  if (row_ptr.front() != 0)
+    return "row_ptr[0] = " + std::to_string(row_ptr.front()) + " != 0";
+  for (std::size_t i = 0; i < rows; ++i) {
+    if (row_ptr[i] > row_ptr[i + 1])
+      return "row_ptr decreases at row " + std::to_string(i);
+  }
+  if (row_ptr.back() != col_idx.size())
+    return "row_ptr[rows] = " + std::to_string(row_ptr.back()) +
+           " != nnz = " + std::to_string(col_idx.size());
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t p = row_ptr[i]; p < row_ptr[i + 1]; ++p) {
+      if (col_idx[p] >= cols)
+        return "column " + std::to_string(col_idx[p]) + " out of range in row " +
+               std::to_string(i);
+      if (p > row_ptr[i] && col_idx[p - 1] >= col_idx[p])
+        return "columns not strictly increasing in row " + std::to_string(i);
+    }
+  }
+  return "";
+}
+
+}  // namespace pfact::sparse

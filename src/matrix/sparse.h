@@ -1,0 +1,530 @@
+#pragma once
+// Sparse matrix backend: triplet builder -> immutable CSR -> mutable
+// elimination workspace.
+//
+// The NANDCVP reduction matrices A_C are block-banded with O(1) entries per
+// row, yet the dense backend stores and eliminates n^2 scalars — capping
+// circuit size and dominating checkpoint bytes. This backend stores only
+// the nonzeros:
+//
+//   TripletBuilder<T>  — unordered (row, col, value) accumulation with
+//                        duplicate coalescing, the form gadget planting
+//                        naturally produces (entries sum per position).
+//   CsrMatrix<T>       — immutable compressed sparse rows with the full
+//                        invariant set (monotone row pointers, per-row
+//                        strictly increasing in-range columns, no stored
+//                        zeros); the interchange/checkpoint format.
+//   SparseMatrix<T>    — per-row sorted entry lists, the mutable workspace
+//                        implementing the MatrixStorage concept
+//                        (matrix/storage.h) the elimination engines are
+//                        generic over.
+//
+// Bit-equality contract: every arithmetic expression here mirrors the dense
+// engine's operation order exactly (absent entries participate as explicit
+// field zeros where the dense loop would touch a stored zero), so a sparse
+// run decodes the same booleans and emits event-for-event identical pivot
+// traces. Entries whose computed value is an exact field zero are dropped
+// rather than stored — is_zero() semantics make that invisible to pivot
+// scans, and the differential harness (tests/diff/, tests/matrix/) holds
+// the two backends to it across the whole substrate ladder.
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "matrix/matrix.h"
+#include "matrix/storage.h"
+#include "numeric/field.h"
+#include "obs/counters.h"
+
+namespace pfact::sparse {
+
+// Structural CSR validation shared by CsrMatrix::from_parts and the
+// checkpoint codec; returns an empty string when the invariants hold, else
+// a description of the first violation. Values are checked separately
+// (stored zeros are a *value* invariant and need the field's is_zero).
+std::string csr_invariant_violation(std::size_t rows, std::size_t cols,
+                                    const std::vector<std::size_t>& row_ptr,
+                                    const std::vector<std::size_t>& col_idx);
+
+template <class T>
+class SparseMatrix;
+
+// Immutable CSR: row_ptr_ has rows()+1 monotone offsets into col_idx_/
+// values_, each row's columns strictly increasing and in range, no entry
+// holding an exact field zero.
+template <class T>
+class CsrMatrix {
+ public:
+  using value_type = T;
+
+  CsrMatrix() : row_ptr_(1, 0) {}
+  CsrMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+
+  // Adopts pre-built CSR arrays after validating every invariant; throws
+  // std::invalid_argument naming the violated one. This is the only door
+  // into a CsrMatrix that does not construct the arrays itself, so a
+  // CsrMatrix that exists is canonical by construction.
+  static CsrMatrix from_parts(std::size_t rows, std::size_t cols,
+                              std::vector<std::size_t> row_ptr,
+                              std::vector<std::size_t> col_idx,
+                              std::vector<T> values) {
+    const std::string why = csr_invariant_violation(rows, cols, row_ptr,
+                                                    col_idx);
+    if (!why.empty()) throw std::invalid_argument("CsrMatrix: " + why);
+    if (values.size() != col_idx.size())
+      throw std::invalid_argument("CsrMatrix: values/col_idx size mismatch");
+    for (const T& v : values)
+      if (is_zero(v))
+        throw std::invalid_argument("CsrMatrix: stored exact zero");
+    CsrMatrix out;
+    out.rows_ = rows;
+    out.cols_ = cols;
+    out.row_ptr_ = std::move(row_ptr);
+    out.col_idx_ = std::move(col_idx);
+    out.values_ = std::move(values);
+    return out;
+  }
+
+  static CsrMatrix from_dense(const Matrix<T>& a) {
+    CsrMatrix out(a.rows(), a.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      for (std::size_t j = 0; j < a.cols(); ++j) {
+        if (is_zero(a(i, j))) continue;
+        out.col_idx_.push_back(j);
+        out.values_.push_back(a(i, j));
+      }
+      out.row_ptr_[i + 1] = out.col_idx_.size();
+    }
+    return out;
+  }
+
+  Matrix<T> to_dense() const {
+    Matrix<T> out(rows_, cols_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t p = row_ptr_[i]; p < row_ptr_[i + 1]; ++p)
+        out(i, col_idx_[p]) = values_[p];
+    return out;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  // Stored value at (i, j), or an exact field zero (binary search in row i).
+  const T& at(std::size_t i, std::size_t j) const {
+    if (i >= rows_ || j >= cols_)
+      throw std::out_of_range("CsrMatrix: index out of range");
+    const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(
+                                              row_ptr_[i]);
+    const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(
+                                            row_ptr_[i + 1]);
+    const auto it = std::lower_bound(begin, end, j);
+    if (it != end && *it == j)
+      return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+    static const T kZero(0);
+    return kZero;
+  }
+
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<T>& values() const { return values_; }
+
+  template <class U>
+  CsrMatrix<U> cast() const {
+    CsrMatrix<U> out(rows_, cols_);
+    out.row_ptr_ = row_ptr_;
+    out.col_idx_ = col_idx_;
+    out.values_.reserve(values_.size());
+    for (const T& v : values_) out.values_.push_back(U(v));
+    return out;
+  }
+
+  friend bool operator==(const CsrMatrix& a, const CsrMatrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+           a.row_ptr_ == b.row_ptr_ && a.col_idx_ == b.col_idx_ &&
+           a.values_ == b.values_;
+  }
+
+ private:
+  template <class U>
+  friend class CsrMatrix;
+  template <class U>
+  friend class TripletBuilder;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<T> values_;
+};
+
+// Accumulates (row, col, value) triplets in any order, with duplicates; the
+// gadget planting in core/assembler.cpp emits exactly this shape (block
+// overlaps sum at shared positions). build() sorts, coalesces duplicates by
+// field addition in emission order, drops exact-zero results, and returns
+// the canonical CSR.
+template <class T>
+class TripletBuilder {
+ public:
+  TripletBuilder(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t pending() const { return triplets_.size(); }
+
+  void add(std::size_t row, std::size_t col, const T& value) {
+    if (row >= rows_ || col >= cols_)
+      throw std::out_of_range("TripletBuilder: index out of range");
+    triplets_.push_back(Triplet{row, col, value});
+  }
+
+  CsrMatrix<T> build() const {
+    std::vector<Triplet> sorted = triplets_;
+    // Stable: duplicates coalesce in emission order, so the sums reproduce
+    // the dense `a(i, j) += v` accumulation bit for bit.
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Triplet& a, const Triplet& b) {
+                       return a.row != b.row ? a.row < b.row : a.col < b.col;
+                     });
+    CsrMatrix<T> out(rows_, cols_);
+    std::size_t coalesced = 0;
+    std::size_t i = 0;
+    std::size_t row = 0;
+    while (i < sorted.size()) {
+      T sum = sorted[i].value;
+      std::size_t j = i + 1;
+      while (j < sorted.size() && sorted[j].row == sorted[i].row &&
+             sorted[j].col == sorted[i].col) {
+        sum += sorted[j].value;
+        ++coalesced;
+        ++j;
+      }
+      while (row < sorted[i].row) out.row_ptr_[++row] = out.col_idx_.size();
+      if (!is_zero(sum)) {
+        out.col_idx_.push_back(sorted[i].col);
+        out.values_.push_back(sum);
+      } else {
+        PFACT_COUNT(kSparseZeroDrops);
+      }
+      i = j;
+    }
+    while (row < rows_) out.row_ptr_[++row] = out.col_idx_.size();
+    PFACT_COUNT(kSparseBuilds);
+    PFACT_COUNT_N(kSparseTripletsCoalesced, coalesced);
+    for (std::size_t r = 0; r < rows_; ++r)
+      PFACT_HISTO(kSparseRowNnz, out.row_ptr_[r + 1] - out.row_ptr_[r]);
+    return out;
+  }
+
+ private:
+  struct Triplet {
+    std::size_t row;
+    std::size_t col;
+    T value;
+  };
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Triplet> triplets_;
+};
+
+// Mutable sparse workspace: one sorted (col, value) list per row. Row
+// interchanges and GEMS circular shifts move whole row lists (O(rows moved)
+// pointer swaps, never O(cols)); the elimination row update merges two
+// sorted lists. Implements MatrixStorage + RotatableStorage.
+template <class T>
+class SparseMatrix {
+ public:
+  using value_type = T;
+
+  struct Entry {
+    std::size_t col;
+    T value;
+
+    friend bool operator==(const Entry& a, const Entry& b) {
+      return a.col == b.col && a.value == b.value;
+    }
+  };
+
+  SparseMatrix() = default;
+  SparseMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows), col_bound_(cols, 0) {}
+
+  explicit SparseMatrix(const CsrMatrix<T>& csr)
+      : rows_(csr.rows()),
+        cols_(csr.cols()),
+        data_(csr.rows()),
+        col_bound_(csr.cols(), 0) {
+    for (std::size_t i = 0; i < rows_; ++i) {
+      const std::size_t b = csr.row_ptr()[i];
+      const std::size_t e = csr.row_ptr()[i + 1];
+      data_[i].reserve(e - b);
+      for (std::size_t p = b; p < e; ++p) {
+        data_[i].push_back(Entry{csr.col_idx()[p], csr.values()[p]});
+        bump_bound(csr.col_idx()[p], i);
+      }
+    }
+  }
+
+  static SparseMatrix from_dense(const Matrix<T>& a) {
+    return SparseMatrix(CsrMatrix<T>::from_dense(a));
+  }
+
+  CsrMatrix<T> to_csr() const {
+    CsrMatrix<T> out(rows_, cols_);
+    std::vector<std::size_t> row_ptr(rows_ + 1, 0);
+    std::vector<std::size_t> col_idx;
+    std::vector<T> values;
+    col_idx.reserve(nnz());
+    values.reserve(nnz());
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (const Entry& e : data_[i]) {
+        col_idx.push_back(e.col);
+        values.push_back(e.value);
+      }
+      row_ptr[i + 1] = col_idx.size();
+    }
+    return CsrMatrix<T>::from_parts(rows_, cols_, std::move(row_ptr),
+                                    std::move(col_idx), std::move(values));
+  }
+
+  Matrix<T> to_dense() const {
+    Matrix<T> out(rows_, cols_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (const Entry& e : data_[i]) out(i, e.col) = e.value;
+    return out;
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const {
+    std::size_t n = 0;
+    for (const auto& row : data_) n += row.size();
+    return n;
+  }
+  std::size_t row_nnz(std::size_t i) const { return data_[i].size(); }
+
+  const T& get(std::size_t i, std::size_t j) const {
+    const auto& row = data_[i];
+    const auto it = find_col(row, j);
+    if (it != row.end() && it->col == j) return it->value;
+    static const T kZero(0);
+    return kZero;
+  }
+
+  void set(std::size_t i, std::size_t j, const T& v) {
+    auto& row = data_[i];
+    const auto it = find_col_mut(row, j);
+    if (it != row.end() && it->col == j) {
+      if (is_zero(v)) {
+        row.erase(it);
+      } else {
+        it->value = v;
+      }
+    } else if (!is_zero(v)) {
+      row.insert(it, Entry{j, v});
+      bump_bound(j, i);
+    }
+  }
+
+  void swap_rows(std::size_t a, std::size_t b) {
+    if (a == b) return;
+    data_[a].swap(data_[b]);
+    const std::size_t down = std::max(a, b);
+    for (const Entry& e : data_[down]) bump_bound(e.col, down);
+  }
+
+  // Moves row `from` to position `to` (to <= from), shifting the rows in
+  // between down by one — the GEMS circular-shift primitive, as a rotation
+  // of the row lists.
+  void cycle_row_up(std::size_t to, std::size_t from) {
+    if (from <= to) return;
+    std::rotate(data_.begin() + static_cast<std::ptrdiff_t>(to),
+                data_.begin() + static_cast<std::ptrdiff_t>(from),
+                data_.begin() + static_cast<std::ptrdiff_t>(from) + 1);
+    // Rows to..from-1 moved down one position; re-ratchet their columns.
+    for (std::size_t r = to + 1; r <= from; ++r)
+      for (const Entry& e : data_[r]) bump_bound(e.col, r);
+  }
+
+  // Elimination row update: a(i, k) = 0; a(i, j) -= f * a(k, j) for j > k.
+  // Merged walk over the two sorted rows; where row i has no entry the
+  // dense loop computes `0 - f * a(k, j)` on a stored zero, so the merge
+  // uses the identical expression for fill-ins. Exact-zero results are
+  // dropped (counted), created entries are counted as fill-in. Returns the
+  // scalar multiply-subtract count (one per source entry right of k).
+  std::size_t row_axpy(std::size_t i, std::size_t k, const T& f) {
+    const std::vector<Entry>& src = data_[k];
+    const std::vector<Entry>& dst = data_[i];
+    std::vector<Entry> out;
+    out.reserve(dst.size() + src.size());
+
+    auto di = dst.begin();
+    // Columns <= k of row i pass through, except column k itself which the
+    // update zeroes.
+    while (di != dst.end() && di->col <= k) {
+      if (di->col != k) out.push_back(*di);
+      ++di;
+    }
+    auto si = find_col(src, k);
+    while (si != src.end() && si->col <= k) ++si;
+
+    std::size_t fill = 0;
+    std::size_t ops = 0;
+    while (di != dst.end() || si != src.end()) {
+      if (si == src.end() || (di != dst.end() && di->col < si->col)) {
+        out.push_back(*di);
+        ++di;
+      } else if (di == dst.end() || si->col < di->col) {
+        const T v = T(0) - f * si->value;
+        ++ops;
+        if (is_zero(v)) {
+          PFACT_COUNT(kSparseZeroDrops);
+        } else {
+          out.push_back(Entry{si->col, v});
+          ++fill;
+        }
+        ++si;
+      } else {
+        const T v = di->value - f * si->value;
+        ++ops;
+        if (is_zero(v)) {
+          PFACT_COUNT(kSparseZeroDrops);
+        } else {
+          out.push_back(Entry{di->col, v});
+        }
+        ++di;
+        ++si;
+      }
+    }
+    PFACT_COUNT_N(kSparseFillIns, fill);
+    data_[i] = std::move(out);
+    for (const Entry& e : data_[i]) bump_bound(e.col, i);
+    return ops;
+  }
+
+  // Givens rotation of rows i and j: at every column in either row,
+  //   top' = c*top + s*bot,  bot' = c*bot - s*top
+  // with absent entries participating as explicit field zeros — the same
+  // expressions the dense rotation evaluates on stored zeros.
+  void rotate_rows(std::size_t i, std::size_t j, const T& c, const T& s) {
+    const std::vector<Entry>& ri = data_[i];
+    const std::vector<Entry>& rj = data_[j];
+    std::vector<Entry> out_i;
+    std::vector<Entry> out_j;
+    out_i.reserve(ri.size() + rj.size());
+    out_j.reserve(ri.size() + rj.size());
+    auto ii = ri.begin();
+    auto ji = rj.begin();
+    while (ii != ri.end() || ji != rj.end()) {
+      std::size_t col;
+      T top(0);
+      T bot(0);
+      if (ji == rj.end() || (ii != ri.end() && ii->col < ji->col)) {
+        col = ii->col;
+        top = ii->value;
+        ++ii;
+      } else if (ii == ri.end() || ji->col < ii->col) {
+        col = ji->col;
+        bot = ji->value;
+        ++ji;
+      } else {
+        col = ii->col;
+        top = ii->value;
+        bot = ji->value;
+        ++ii;
+        ++ji;
+      }
+      const T nt = c * top + s * bot;
+      const T nb = c * bot - s * top;
+      if (!is_zero(nt)) {
+        out_i.push_back(Entry{col, nt});
+      } else {
+        PFACT_COUNT(kSparseZeroDrops);
+      }
+      if (!is_zero(nb)) {
+        out_j.push_back(Entry{col, nb});
+      } else {
+        PFACT_COUNT(kSparseZeroDrops);
+      }
+    }
+    data_[i] = std::move(out_i);
+    data_[j] = std::move(out_j);
+    for (const Entry& e : data_[i]) bump_bound(e.col, i);
+    for (const Entry& e : data_[j]) bump_bound(e.col, j);
+  }
+
+  // Exclusive upper bound on the rows that may hold a stored entry in
+  // column c (rows at or beyond the bound are structurally zero there). A
+  // conservative high-water mark: structural growth and downward row moves
+  // ratchet it up, erasures never shrink it — so clipping a column scan to
+  // the bound skips only rows both backends would treat as exact-zero
+  // no-ops. This is what makes below-pivot scans O(band) instead of O(n)
+  // on the paper's block-banded reductions (ColBoundedStorage in
+  // matrix/storage.h).
+  std::size_t col_scan_bound(std::size_t c) const { return col_bound_[c]; }
+
+  template <class U>
+  SparseMatrix<U> cast() const {
+    SparseMatrix<U> out(rows_, cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      out.data_[i].reserve(data_[i].size());
+      for (const Entry& e : data_[i])
+        out.data_[i].push_back(
+            typename SparseMatrix<U>::Entry{e.col, U(e.value)});
+    }
+    out.col_bound_ = col_bound_;
+    return out;
+  }
+
+  const std::vector<Entry>& row(std::size_t i) const { return data_[i]; }
+
+  friend bool operator==(const SparseMatrix& a, const SparseMatrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  template <class U>
+  friend class SparseMatrix;
+
+  static typename std::vector<Entry>::const_iterator find_col(
+      const std::vector<Entry>& row, std::size_t j) {
+    return std::lower_bound(row.begin(), row.end(), j,
+                            [](const Entry& e, std::size_t col) {
+                              return e.col < col;
+                            });
+  }
+  static typename std::vector<Entry>::iterator find_col_mut(
+      std::vector<Entry>& row, std::size_t j) {
+    return std::lower_bound(row.begin(), row.end(), j,
+                            [](const Entry& e, std::size_t col) {
+                              return e.col < col;
+                            });
+  }
+
+  void bump_bound(std::size_t c, std::size_t r) {
+    if (col_bound_[c] < r + 1) col_bound_[c] = r + 1;
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::vector<Entry>> data_;
+  // Per-column exclusive row bound (see col_scan_bound). A cache over
+  // data_: deliberately excluded from operator== and never serialized.
+  std::vector<std::size_t> col_bound_;
+};
+
+}  // namespace pfact::sparse
+
+namespace pfact {
+
+template <class T>
+struct is_sparse_storage<sparse::SparseMatrix<T>> : std::true_type {};
+
+}  // namespace pfact

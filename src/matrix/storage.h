@@ -1,0 +1,74 @@
+#pragma once
+// The storage-backend concept shared by the elimination engines.
+//
+// The paper's reduction matrices A_C are block-banded and overwhelmingly
+// zero, so the factorization drivers are generic over *how* a matrix is
+// stored: dense row-major (`Matrix<T>`) or compressed sparse rows
+// (`sparse::SparseMatrix<T>`). A storage backend exposes the exact row
+// operations Gaussian elimination and Givens QR are built from — nothing
+// else — so an engine instantiated over either backend executes the same
+// field-operation sequence and produces bit-equal pivot decisions
+// (tests/diff/test_differential_sparse.cpp is the proof harness).
+//
+// Contract notes beyond the syntactic requirements:
+//   * get(i, j) returns the stored value, or an exact field zero for an
+//     absent sparse entry. References returned by get() may be invalidated
+//     by any mutating call.
+//   * row_axpy(i, k, f) performs the elimination row update
+//       a(i, k) = 0;  a(i, j) -= f * a(k, j)  for all j > k
+//     with the same field-operation order as the dense loop, so results
+//     agree bit for bit across backends. It returns the number of scalar
+//     multiply-subtract operations actually executed (dense: cols-k-1;
+//     sparse: source-row entries right of k), which feeds the
+//     row-update-elems counter.
+//   * set(i, j, 0) erases a sparse entry; backends never surface a stored
+//     explicit zero through get() that is_zero() would not accept.
+
+#include <concepts>
+#include <cstddef>
+
+namespace pfact {
+
+template <class S>
+concept MatrixStorage = requires(S& m, const S& c, std::size_t i,
+                                 const typename S::value_type& v) {
+  typename S::value_type;
+  { c.rows() } -> std::convertible_to<std::size_t>;
+  { c.cols() } -> std::convertible_to<std::size_t>;
+  {
+    c.get(i, i)
+  } -> std::convertible_to<const typename S::value_type&>;
+  m.set(i, i, v);
+  m.swap_rows(i, i);
+  m.cycle_row_up(i, i);
+  { m.row_axpy(i, i, v) } -> std::convertible_to<std::size_t>;
+};
+
+// Givens QR additionally rotates row pairs in place.
+template <class S>
+concept RotatableStorage =
+    MatrixStorage<S> && requires(S& m, std::size_t i,
+                                 const typename S::value_type& v) {
+      m.rotate_rows(i, i, v, v);
+    };
+
+// Optional capability: the backend can name, per column, an exclusive upper
+// bound on the rows that may hold a stored entry there (rows at or beyond
+// the bound are structurally zero). The elimination engines clip their
+// column scans to the bound — the visited nonzero rows, and therefore every
+// field operation, are unchanged; only guaranteed-zero tail rows are
+// skipped. Dense storage has no useful bound and does not model this.
+template <class S>
+concept ColBoundedStorage = requires(const S& c, std::size_t i) {
+  { c.col_scan_bound(i) } -> std::convertible_to<std::size_t>;
+};
+
+// Identifies the serialization family (and the checkpoint field-tag
+// namespace) a storage type belongs to; specialized alongside each backend.
+template <class S>
+struct is_sparse_storage : std::false_type {};
+
+template <class S>
+inline constexpr bool is_sparse_storage_v = is_sparse_storage<S>::value;
+
+}  // namespace pfact

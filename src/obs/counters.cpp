@@ -61,6 +61,13 @@ const char* counter_name(Counter c) {
     case Counter::kServeCacheFills: return "serve-cache-fills";
     case Counter::kServeCacheEvictions: return "serve-cache-evictions";
     case Counter::kServeCacheCorrupt: return "serve-cache-corrupt";
+    case Counter::kSparseBuilds: return "sparse-builds";
+    case Counter::kSparseTripletsCoalesced:
+      return "sparse-triplets-coalesced";
+    case Counter::kSparseFillIns: return "sparse-fill-ins";
+    case Counter::kSparseZeroDrops: return "sparse-zero-drops";
+    case Counter::kDenseStorageBytes: return "dense-storage-bytes";
+    case Counter::kSparseStorageBytes: return "sparse-storage-bytes";
     case Counter::kCount_: break;
   }
   return "?";
@@ -72,6 +79,7 @@ const char* histogram_name(Histogram h) {
     case Histogram::kBigIntLimbs: return "bigint-limbs";
     case Histogram::kSpanDurationUs: return "span-duration-us";
     case Histogram::kQueueDepth: return "queue-depth";
+    case Histogram::kSparseRowNnz: return "sparse-row-nnz";
     case Histogram::kCount_: break;
   }
   return "?";

@@ -113,6 +113,14 @@ enum class Counter : std::size_t {
   kServeCacheEvictions,   // entries displaced by capacity bounds
   kServeCacheCorrupt,     // entries rejected on read (CRC/envelope)
 
+  // --- matrix/: sparse backend ----------------------------------------------
+  kSparseBuilds,             // triplet builds finalized into a CSR
+  kSparseTripletsCoalesced,  // duplicate triplets merged during build
+  kSparseFillIns,            // entries created by elimination row updates
+  kSparseZeroDrops,          // computed exact zeros dropped, not stored
+  kDenseStorageBytes,        // bytes of dense matrix storage benchmarked
+  kSparseStorageBytes,       // bytes of sparse CSR storage benchmarked
+
   kCount_,  // sentinel: number of counters
 };
 
@@ -129,6 +137,7 @@ enum class Histogram : std::size_t {
   kBigIntLimbs,         // limb count of allocated magnitudes
   kSpanDurationUs,      // span wall time, microseconds
   kQueueDepth,          // service queue depth observed at each admission
+  kSparseRowNnz,        // per-row nonzero counts of built CSR matrices
   kCount_,
 };
 

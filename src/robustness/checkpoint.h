@@ -37,6 +37,8 @@
 
 #include "factor/pivot_trace.h"
 #include "matrix/matrix.h"
+#include "matrix/sparse.h"
+#include "matrix/storage.h"
 #include "numeric/field.h"
 #include "numeric/rational.h"
 #include "numeric/softfloat.h"
@@ -49,7 +51,8 @@ namespace pfact::robustness {
 std::uint32_t crc32(const void* data, std::size_t len);
 
 inline constexpr std::uint32_t kCheckpointMagic = 0x4B434650;  // "PFCK"
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+// v2: sparse storage checkpoints (sparse-* field tags; CSR entry section).
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 inline constexpr std::size_t kCheckpointHeaderBytes = 4 + 4 + 8 + 4;
 
 enum class CheckpointStatus {
@@ -184,6 +187,43 @@ inline const char* field_tag<numeric::Float53>() { return "softfloat53"; }
 template <>
 inline const char* field_tag<numeric::Float24>() { return "softfloat24"; }
 
+// Tag for the sparse-CSR serialization of the same scalar field. Every
+// sparse tag is its dense field's tag with the "sparse-" prefix — pfact_lint
+// PL011 enforces both that naming law and the sweep below, and the tags are
+// part of the schema ratchet (tools/pfact_lint_manifest.txt) like the dense
+// ones. A sparse blob never decodes into a dense resume (or vice versa):
+// the tag mismatch is kMalformed, same as a scalar-field mismatch.
+template <class T>
+const char* sparse_field_tag() = delete;
+template <>
+inline const char* sparse_field_tag<double>() { return "sparse-double"; }
+template <>
+inline const char* sparse_field_tag<long double>() {
+  return "sparse-long-double";
+}
+template <>
+inline const char* sparse_field_tag<numeric::Rational>() {
+  return "sparse-rational";
+}
+template <>
+inline const char* sparse_field_tag<numeric::Float53>() {
+  return "sparse-softfloat53";
+}
+template <>
+inline const char* sparse_field_tag<numeric::Float24>() {
+  return "sparse-softfloat24";
+}
+
+// Every sparse_field_tag specialization, for sweep-style codec tests (the
+// corruption matrix runs over each) — PL011 fails the build when a
+// specialization is missing from this list.
+inline std::vector<const char*> all_sparse_field_tags() {
+  return {sparse_field_tag<double>(), sparse_field_tag<long double>(),
+          sparse_field_tag<numeric::Rational>(),
+          sparse_field_tag<numeric::Float53>(),
+          sparse_field_tag<numeric::Float24>()};
+}
+
 namespace detail {
 
 // Lossless scalar serialization per field. Encodings are chosen so that
@@ -259,6 +299,116 @@ struct ScalarCodec<numeric::Rational> {
   }
 };
 
+// Per-storage-backend serialization of the matrix entry section (and the
+// tag naming the backend+field pair). The dense codec's byte stream is the
+// historical v1 layout verbatim; the sparse codec serializes the CSR form
+// (nnz, row pointers, then column/value pairs) and re-validates every CSR
+// invariant on decode, so a blob that parses is canonical by construction.
+template <class Storage>
+struct StorageCodec;
+
+template <class T>
+struct StorageCodec<Matrix<T>> {
+  static const char* tag() { return field_tag<T>(); }
+
+  static std::size_t entry_size_hint(const Matrix<T>& m) {
+    return m.rows() * m.cols() * (sizeof(T) + 2);
+  }
+
+  static void encode_entries(ByteWriter& w, const Matrix<T>& m) {
+    const std::size_t entries = m.rows() * m.cols();
+    if constexpr (std::is_same_v<T, double> &&
+                  std::endian::native == std::endian::little) {
+      // Raw little-endian doubles are byte-identical to the per-entry
+      // u64-bit-pattern encoding; one append instead of n^2 codec calls
+      // keeps snapshot cost from dominating the factorization loop.
+      if (entries != 0) w.put_bytes(&m(0, 0), entries * sizeof(double));
+    } else {
+      for (std::size_t i = 0; i < m.rows(); ++i)
+        for (std::size_t j = 0; j < m.cols(); ++j)
+          ScalarCodec<T>::encode(w, m(i, j));
+    }
+  }
+
+  static bool decode_entries(ByteReader& r, std::uint64_t rows,
+                             std::uint64_t cols, std::size_t body_size,
+                             Matrix<T>& m) {
+    if (rows * cols > body_size) return false;  // cheap bound: >=1 byte/entry
+    m = Matrix<T>(rows, cols);
+    if constexpr (std::is_same_v<T, double> &&
+                  std::endian::native == std::endian::little) {
+      if (rows != 0 && cols != 0 &&
+          !r.get_bytes(&m(0, 0), rows * cols * sizeof(double)))
+        return false;
+    } else {
+      for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j)
+          ScalarCodec<T>::decode(r, m(i, j));
+    }
+    return r.ok();
+  }
+};
+
+template <class T>
+struct StorageCodec<sparse::SparseMatrix<T>> {
+  static const char* tag() { return sparse_field_tag<T>(); }
+
+  static std::size_t entry_size_hint(const sparse::SparseMatrix<T>& m) {
+    return (m.rows() + 1) * 8 + m.nnz() * (sizeof(T) + 10);
+  }
+
+  // Entry section: nnz u64, row_ptr (rows+1 u64), then nnz (col u64,
+  // scalar) pairs in row-major order — the CSR arrays verbatim.
+  static void encode_entries(ByteWriter& w,
+                             const sparse::SparseMatrix<T>& m) {
+    w.put_u64(m.nnz());
+    std::uint64_t off = 0;
+    w.put_u64(off);
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      off += m.row_nnz(i);
+      w.put_u64(off);
+    }
+    for (std::size_t i = 0; i < m.rows(); ++i) {
+      for (const auto& e : m.row(i)) {
+        w.put_u64(e.col);
+        ScalarCodec<T>::encode(w, e.value);
+      }
+    }
+  }
+
+  static bool decode_entries(ByteReader& r, std::uint64_t rows,
+                             std::uint64_t cols, std::size_t body_size,
+                             sparse::SparseMatrix<T>& m) {
+    const std::uint64_t nnz = r.get_u64();
+    // Bounds before any allocation: row_ptr needs 8(rows+1) bytes and each
+    // entry at least 9 (col u64 + >=1 value byte).
+    if (!r.ok() || nnz > body_size / 9 || rows > body_size / 8)
+      return false;
+    std::vector<std::size_t> row_ptr(rows + 1);
+    for (std::uint64_t i = 0; i <= rows; ++i) row_ptr[i] = r.get_u64();
+    if (!r.ok() || row_ptr.back() != nnz) return false;
+    std::vector<std::size_t> col_idx(nnz);
+    std::vector<T> values(nnz);
+    for (std::uint64_t p = 0; p < nnz; ++p) {
+      col_idx[p] = r.get_u64();
+      ScalarCodec<T>::decode(r, values[p]);
+    }
+    if (!r.ok()) return false;
+    // Full CSR invariant re-validation: monotone row pointers, per-row
+    // strictly increasing in-range columns, no stored exact zeros. A
+    // CRC-valid blob that violates any of these is malformed, not resumed.
+    if (!sparse::csr_invariant_violation(rows, cols, row_ptr, col_idx)
+             .empty())
+      return false;
+    for (const T& v : values)
+      if (is_zero(v)) return false;
+    m = sparse::SparseMatrix<T>(sparse::CsrMatrix<T>::from_parts(
+        rows, cols, std::move(row_ptr), std::move(col_idx),
+        std::move(values)));
+    return true;
+  }
+};
+
 }  // namespace detail
 
 // A resumable snapshot: "steps [0, next_step) of `algorithm` have been
@@ -266,59 +416,53 @@ struct ScalarCodec<numeric::Rational> {
 // completed steps (for a resumed run, the saved prefix concatenated with
 // the events since), so a checkpoint is self-contained: resuming from it
 // reproduces both the decode and the complete trace of an uninterrupted
-// run.
-template <class T>
-struct FactorCheckpoint {
+// run. Generic over the storage backend; FactorCheckpoint<T> is the dense
+// spelling every pre-sparse call site uses.
+template <class Storage>
+struct StorageCheckpoint {
   std::string algorithm;       // "GEM" / "GEMS" / "GEM/nonsingular" / ...
   std::uint32_t strategy = 0;  // PivotStrategy ordinal (0 for GQR)
   std::uint64_t next_step = 0; // first guard step NOT yet executed
-  Matrix<T> matrix;
+  Storage matrix;
   bool has_perm = false;
   Permutation perm;
   factor::PivotTrace trace;
 };
+
+template <class T>
+using FactorCheckpoint = StorageCheckpoint<Matrix<T>>;
 
 // Serializes a snapshot directly from the caller's live state — no copy of
 // the matrix into a FactorCheckpoint first, and header + payload share one
 // buffer (the length/CRC fields are patched in afterwards). This is the
 // save-every-k hot path; encode_checkpoint(c) below is the convenience
 // wrapper over an already-materialized struct.
-template <class T>
+template <class Storage>
 std::string encode_checkpoint_parts(std::string_view algorithm,
                                     std::uint32_t strategy,
                                     std::uint64_t next_step,
-                                    const Matrix<T>& matrix,
+                                    const Storage& matrix,
                                     const Permutation* perm,
                                     const factor::PivotTrace& trace) {
+  using Codec = detail::StorageCodec<Storage>;
   detail::ByteWriter w;
   // Capacity hint only (Rational entries are variable-width): sized for the
   // fixed-width fields so snapshotting inside a factorization loop does not
   // reallocate per entry.
   w.reserve(kCheckpointHeaderBytes + 128 + algorithm.size() +
-            matrix.rows() * matrix.cols() * (sizeof(T) + 2) +
+            Codec::entry_size_hint(matrix) +
             (perm != nullptr ? perm->size() * 8 : 0) + trace.size() * 28);
   w.put_u32(kCheckpointMagic);
   w.put_u32(kCheckpointVersion);
   w.put_u64(0);  // payload length, patched below
   w.put_u32(0);  // payload CRC, patched below
   w.put_string(algorithm);
-  w.put_string(field_tag<T>());
+  w.put_string(Codec::tag());
   w.put_u32(strategy);
   w.put_u64(next_step);
   w.put_u64(matrix.rows());
   w.put_u64(matrix.cols());
-  const std::size_t entries = matrix.rows() * matrix.cols();
-  if constexpr (std::is_same_v<T, double> &&
-                std::endian::native == std::endian::little) {
-    // Raw little-endian doubles are byte-identical to the per-entry
-    // u64-bit-pattern encoding; one append instead of n^2 codec calls keeps
-    // snapshot cost from dominating the factorization loop.
-    if (entries != 0) w.put_bytes(&matrix(0, 0), entries * sizeof(double));
-  } else {
-    for (std::size_t i = 0; i < matrix.rows(); ++i)
-      for (std::size_t j = 0; j < matrix.cols(); ++j)
-        detail::ScalarCodec<T>::encode(w, matrix(i, j));
-  }
+  Codec::encode_entries(w, matrix);
   w.put_u8(perm != nullptr ? 1 : 0);
   if (perm != nullptr) {
     w.put_u64(perm->size());
@@ -338,8 +482,8 @@ std::string encode_checkpoint_parts(std::string_view algorithm,
   return w.take();
 }
 
-template <class T>
-std::string encode_checkpoint(const FactorCheckpoint<T>& c) {
+template <class Storage>
+std::string encode_checkpoint(const StorageCheckpoint<Storage>& c) {
   return encode_checkpoint_parts(c.algorithm, c.strategy, c.next_step,
                                  c.matrix, c.has_perm ? &c.perm : nullptr,
                                  c.trace);
@@ -355,10 +499,10 @@ CheckpointStatus validate_checkpoint_envelope(std::string_view blob);
 // Validates and parses `blob` into `out`. Any failure leaves `out`
 // unspecified and names the rejection reason; kOk is returned only when
 // the header verifies, the CRC matches, and the payload parses completely
-// in the field T.
-template <class T>
-CheckpointStatus decode_checkpoint(std::string_view blob,
-                                   FactorCheckpoint<T>& out) {
+// in the blob's storage backend and field.
+template <class Storage>
+CheckpointStatus decode_storage_checkpoint(std::string_view blob,
+                                           StorageCheckpoint<Storage>& out) {
   if (blob.size() < kCheckpointHeaderBytes) return CheckpointStatus::kTruncated;
   detail::ByteReader header(blob.substr(0, kCheckpointHeaderBytes));
   const std::uint32_t magic = header.get_u32();
@@ -374,29 +518,20 @@ CheckpointStatus decode_checkpoint(std::string_view blob,
     return CheckpointStatus::kCrcMismatch;
 
   detail::ByteReader r(body);
-  FactorCheckpoint<T> c;
+  StorageCheckpoint<Storage> c;
   c.algorithm = r.get_string();
   const std::string tag = r.get_string();
-  if (!r.ok() || tag != field_tag<T>()) return CheckpointStatus::kMalformed;
+  if (!r.ok() || tag != detail::StorageCodec<Storage>::tag())
+    return CheckpointStatus::kMalformed;
   c.strategy = r.get_u32();
   c.next_step = r.get_u64();
   const std::uint64_t rows = r.get_u64();
   const std::uint64_t cols = r.get_u64();
-  if (!r.ok() || rows * cols > body.size())  // cheap bound: >=1 byte/entry
-    return CheckpointStatus::kMalformed;
+  if (!r.ok()) return CheckpointStatus::kMalformed;
   try {
-    c.matrix = Matrix<T>(rows, cols);
-    if constexpr (std::is_same_v<T, double> &&
-                  std::endian::native == std::endian::little) {
-      if (rows != 0 && cols != 0 &&
-          !r.get_bytes(&c.matrix(0, 0), rows * cols * sizeof(double)))
-        return CheckpointStatus::kMalformed;
-    } else {
-      for (std::size_t i = 0; i < rows; ++i)
-        for (std::size_t j = 0; j < cols; ++j)
-          detail::ScalarCodec<T>::decode(r, c.matrix(i, j));
-    }
-    if (!r.ok()) return CheckpointStatus::kMalformed;
+    if (!detail::StorageCodec<Storage>::decode_entries(r, rows, cols,
+                                                       body.size(), c.matrix))
+      return CheckpointStatus::kMalformed;
     c.has_perm = r.get_u8() != 0;
     if (c.has_perm) {
       const std::uint64_t n = r.get_u64();
@@ -426,6 +561,13 @@ CheckpointStatus decode_checkpoint(std::string_view blob,
   if (!r.ok() || !r.exhausted()) return CheckpointStatus::kMalformed;
   out = std::move(c);
   return CheckpointStatus::kOk;
+}
+
+// Dense spelling (the historical API): decode into a FactorCheckpoint<T>.
+template <class T>
+CheckpointStatus decode_checkpoint(std::string_view blob,
+                                   FactorCheckpoint<T>& out) {
+  return decode_storage_checkpoint<Matrix<T>>(blob, out);
 }
 
 // In-memory checkpoint sequence of one run attempt, keyed by next_step.

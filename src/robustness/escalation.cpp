@@ -25,6 +25,14 @@ const char* algorithm_name(Algorithm a) {
   return "?";
 }
 
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kDense: return "dense";
+    case Backend::kSparse: return "sparse";
+  }
+  return "?";
+}
+
 bool ReductionTask::expected() const {
   switch (algorithm) {
     case Algorithm::kGem:
@@ -53,6 +61,9 @@ std::string ReductionTask::describe() const {
            " depth=" + std::to_string(depth);
       break;
   }
+  if (backend != Backend::kDense) {
+    s += std::string(" backend=") + backend_name(backend);
+  }
   return s;
 }
 
@@ -72,27 +83,28 @@ std::vector<Substrate> default_ladder(Algorithm a) {
 
 namespace {
 
-// GEM/GEMS/GEP over a concrete field. GQR is handled separately: its
-// kDouble rung runs over long double (the gadget master precision) and the
-// Rational instantiation must never be formed (no field_sqrt).
-template <class T>
+// GEM/GEMS/GEP over a concrete field and storage backend. GQR is handled
+// separately: its kDouble rung runs over long double (the gadget master
+// precision) and the Rational instantiation must never be formed (no
+// field_sqrt).
+template <class T, class Storage>
 RunReport run_field(const ReductionTask& task, const GuardLimits& limits,
                     const FaultPlan& fault, const CheckpointConfig& ckpt) {
   switch (task.algorithm) {
     case Algorithm::kGem:
-      return guarded_simulate_gem<T>(task.instance,
-                                     factor::PivotStrategy::kMinimalSwap,
-                                     limits, fault, ckpt);
+      return guarded_simulate_gem<T, Storage>(
+          task.instance, factor::PivotStrategy::kMinimalSwap, limits, fault,
+          ckpt);
     case Algorithm::kGems:
-      return guarded_simulate_gem<T>(task.instance,
-                                     factor::PivotStrategy::kMinimalShift,
-                                     limits, fault, ckpt);
+      return guarded_simulate_gem<T, Storage>(
+          task.instance, factor::PivotStrategy::kMinimalShift, limits, fault,
+          ckpt);
     case Algorithm::kGemNonsingular:
-      return guarded_simulate_gem_nonsingular<T>(task.instance, limits, fault,
-                                                 ckpt);
+      return guarded_simulate_gem_nonsingular<T, Storage>(task.instance,
+                                                          limits, fault, ckpt);
     case Algorithm::kGep:
-      return guarded_run_gep_chain_t<T>(task.u, task.w, task.depth, limits,
-                                        fault, ckpt);
+      return guarded_run_gep_chain_t<T, Storage>(task.u, task.w, task.depth,
+                                                 limits, fault, ckpt);
     case Algorithm::kGqr:
       break;  // handled by the caller
   }
@@ -100,6 +112,43 @@ RunReport run_field(const ReductionTask& task, const GuardLimits& limits,
   rep.algorithm = algorithm_name(task.algorithm);
   rep.diagnostic = Diagnostic::kInternalError;
   rep.detail = "unreachable dispatch";
+  return rep;
+}
+
+// Resolves the task's Backend to a concrete storage type for the field T.
+template <class T>
+RunReport run_field_backend(const ReductionTask& task,
+                            const GuardLimits& limits, const FaultPlan& fault,
+                            const CheckpointConfig& ckpt) {
+  switch (task.backend) {
+    case Backend::kDense:
+      return run_field<T, Matrix<T>>(task, limits, fault, ckpt);
+    case Backend::kSparse:
+      return run_field<T, sparse::SparseMatrix<T>>(task, limits, fault, ckpt);
+  }
+  RunReport rep;
+  rep.algorithm = algorithm_name(task.algorithm);
+  rep.diagnostic = Diagnostic::kInternalError;
+  rep.detail = "unknown backend";
+  return rep;
+}
+
+template <class T>
+RunReport run_gqr_backend(const ReductionTask& task, const GuardLimits& limits,
+                          const FaultPlan& fault,
+                          const CheckpointConfig& ckpt) {
+  switch (task.backend) {
+    case Backend::kDense:
+      return guarded_run_gqr_chain<T, Matrix<T>>(task.u, task.w, task.depth,
+                                                 limits, fault, ckpt);
+    case Backend::kSparse:
+      return guarded_run_gqr_chain<T, sparse::SparseMatrix<T>>(
+          task.u, task.w, task.depth, limits, fault, ckpt);
+  }
+  RunReport rep;
+  rep.algorithm = algorithm_name(task.algorithm);
+  rep.diagnostic = Diagnostic::kInternalError;
+  rep.detail = "unknown backend";
   return rep;
 }
 
@@ -120,22 +169,20 @@ RunReport run_on_substrate(const ReductionTask& task, Substrate s,
   if (task.algorithm == Algorithm::kGqr) {
     switch (s) {
       case Substrate::kDouble:
-        return guarded_run_gqr_chain<long double>(task.u, task.w, task.depth,
-                                                  limits, fault, ckpt);
+        return run_gqr_backend<long double>(task, limits, fault, ckpt);
       case Substrate::kSoftFloat53:
-        return guarded_run_gqr_chain<numeric::Float53>(
-            task.u, task.w, task.depth, limits, fault, ckpt);
+        return run_gqr_backend<numeric::Float53>(task, limits, fault, ckpt);
       case Substrate::kRational:
         break;  // rejected above
     }
   }
   switch (s) {
     case Substrate::kDouble:
-      return run_field<double>(task, limits, fault, ckpt);
+      return run_field_backend<double>(task, limits, fault, ckpt);
     case Substrate::kSoftFloat53:
-      return run_field<numeric::Float53>(task, limits, fault, ckpt);
+      return run_field_backend<numeric::Float53>(task, limits, fault, ckpt);
     case Substrate::kRational:
-      return run_field<numeric::Rational>(task, limits, fault, ckpt);
+      return run_field_backend<numeric::Rational>(task, limits, fault, ckpt);
   }
   RunReport rep;
   rep.algorithm = algorithm_name(task.algorithm);

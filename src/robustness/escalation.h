@@ -59,6 +59,20 @@ enum class Algorithm {
 
 const char* algorithm_name(Algorithm a);
 
+// WHICH storage backend holds the reduction matrix while it runs
+// (matrix/storage.h). The two backends are bit-equal by contract: same
+// decoded boolean, event-for-event identical pivot trace, same diagnostics
+// — the sparse backend just stores only the nonzeros, so block-banded A_C
+// reductions 10-100x beyond the dense gate-count ceiling fit in the same
+// memory. Orthogonal to the substrate ladder: every (Substrate, Backend)
+// pair that the algorithm supports is runnable.
+enum class Backend {
+  kDense,
+  kSparse,
+};
+
+const char* backend_name(Backend b);
+
 // One unit of resilient work: everything needed to (re-)launch the same
 // reduction on any rung of the ladder.
 struct ReductionTask {
@@ -70,6 +84,8 @@ struct ReductionTask {
   int u = 1;
   int w = 1;
   std::size_t depth = 0;  // chain length for GEP/GQR
+  // Storage backend the run executes on (answers are backend-invariant).
+  Backend backend = Backend::kDense;
 
   // Ground truth, for the soak harness's zero-wrong-answers assertion.
   bool expected() const;

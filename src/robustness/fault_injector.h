@@ -91,18 +91,23 @@ class FaultInjector {
   // What the injector actually did, for the RunReport (empty if nothing).
   const std::string& injection_log() const { return log_; }
 
-  // Matrix-level faults (kBitFlip / kEpsilonNudge / kPivotTie). Returns
-  // true iff an entry was changed.
-  template <class T>
-  bool corrupt_matrix(Matrix<T>& a) {
+  // Matrix-level faults (kBitFlip / kEpsilonNudge / kPivotTie). Generic
+  // over the storage backend (matrix/storage.h): the candidate scan
+  // enumerates nonzeros in row-major order through get(), so the same
+  // (fault, seed, instance) triple corrupts the same logical entry on the
+  // dense and sparse backends. Returns true iff an entry was changed.
+  template <class Storage>
+  bool corrupt_matrix(Storage& a) {
+    using T = typename Storage::value_type;
     switch (plan_.fault) {
       case FaultClass::kBitFlip: {
         std::vector<std::pair<std::size_t, std::size_t>> nz = nonzeros(a);
         if (nz.empty()) return false;
         auto [i, j] = nz[plan_.seed % nz.size()];
         log_ = "bit-flip: zeroed (" + std::to_string(i) + "," +
-               std::to_string(j) + ") which held " + scalar_to_string(a(i, j));
-        a(i, j) = T(0);
+               std::to_string(j) + ") which held " +
+               scalar_to_string(a.get(i, j));
+        a.set(i, j, T(0));
         PFACT_COUNT(kFaultsInjected);
         return true;
       }
@@ -110,7 +115,7 @@ class FaultInjector {
         std::vector<std::pair<std::size_t, std::size_t>> nz = nonzeros(a);
         if (nz.empty()) return false;
         auto [i, j] = nz[plan_.seed % nz.size()];
-        a(i, j) += T(kNudgeMagnitude);
+        a.set(i, j, a.get(i, j) + T(kNudgeMagnitude));
         log_ = "epsilon-nudge: added 2^-10 at (" + std::to_string(i) + "," +
                std::to_string(j) + ")";
         PFACT_COUNT(kFaultsInjected);
@@ -132,18 +137,18 @@ class FaultInjector {
         const std::size_t kmax = std::min(n, a.cols());
         for (std::size_t k = 0; k + 1 < kmax; ++k) {
           for (std::size_t i = k + 1; i < n; ++i) {
-            if (!is_zero(a(i, k)) && i < a.cols()) sites.emplace_back(k, i);
+            if (!is_zero(a.get(i, k)) && i < a.cols()) sites.emplace_back(k, i);
           }
         }
         if (sites.empty()) return false;
         auto [k, c] = sites[plan_.seed % sites.size()];
         std::size_t best = n;
         for (std::size_t i = k; i < n; ++i) {
-          if (is_zero(a(i, k))) continue;
-          if (best == n || field_abs(a(i, k)) > field_abs(a(best, k)))
+          if (is_zero(a.get(i, k))) continue;
+          if (best == n || field_abs(a.get(i, k)) > field_abs(a.get(best, k)))
             best = i;
         }
-        a(k, c) = a(best, k);
+        a.set(k, c, a.get(best, k));
         log_ = "pivot-tie: planted magnitude of (" + std::to_string(best) +
                "," + std::to_string(k) + ") at (" + std::to_string(k) + "," +
                std::to_string(c) + ") to contest column " + std::to_string(c);
@@ -215,13 +220,13 @@ class FaultInjector {
   }
 
  private:
-  template <class T>
+  template <class Storage>
   static std::vector<std::pair<std::size_t, std::size_t>> nonzeros(
-      const Matrix<T>& a) {
+      const Storage& a) {
     std::vector<std::pair<std::size_t, std::size_t>> nz;
     for (std::size_t i = 0; i < a.rows(); ++i)
       for (std::size_t j = 0; j < a.cols(); ++j)
-        if (!is_zero(a(i, j))) nz.emplace_back(i, j);
+        if (!is_zero(a.get(i, j))) nz.emplace_back(i, j);
     return nz;
   }
 

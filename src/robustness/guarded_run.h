@@ -41,6 +41,8 @@
 #include "factor/guard.h"
 #include "factor/pivot_trace.h"
 #include "matrix/matrix.h"
+#include "matrix/sparse.h"
+#include "matrix/storage.h"
 #include "numeric/field.h"
 #include "numeric/rational.h"
 #include "numeric/softfloat.h"
@@ -148,18 +150,18 @@ inline factor::PivotTrace concat_traces(const factor::PivotTrace& a,
 // Returns false (with rep set to kCheckpointCorrupt) when a blob exists
 // but does not verify; an absent blob is not an error — the run simply
 // starts from scratch.
-template <class T>
+template <class Storage>
 bool restore_checkpoint(const CheckpointConfig& ckpt,
                         const std::string& algorithm, bool expect_perm,
-                        RunReport& rep, Matrix<T>& a, Permutation* perm,
+                        RunReport& rep, Storage& a, Permutation* perm,
                         factor::PivotTrace& base_trace,
                         std::size_t& start_step) {
   start_step = 0;
   if (!ckpt.resume || ckpt.store == nullptr) return true;
   const std::optional<std::string> blob = ckpt.store->latest();
   if (!blob.has_value()) return true;
-  FactorCheckpoint<T> c;
-  const CheckpointStatus status = decode_checkpoint<T>(*blob, c);
+  StorageCheckpoint<Storage> c;
+  const CheckpointStatus status = decode_storage_checkpoint<Storage>(*blob, c);
   if (status != CheckpointStatus::kOk) {
     PFACT_COUNT(kCheckpointRejects);
     rep.diagnostic = Diagnostic::kCheckpointCorrupt;
@@ -191,16 +193,16 @@ bool restore_checkpoint(const CheckpointConfig& ckpt,
 // Builds the engine-side save hook: serializes {matrix, perm, prefix+local
 // trace}, lets the injector tear the blob (kTornWrite), and files it in
 // the store.
-template <class T>
-factor::CheckpointHook<T> make_elimination_hook(
+template <class Storage>
+factor::CheckpointHook<Storage> make_elimination_hook(
     const CheckpointConfig& ckpt, FaultInjector& inj, RunReport& rep,
     const std::string& algorithm, factor::PivotStrategy strategy,
     const factor::PivotTrace* base_trace) {
-  factor::CheckpointHook<T> hook;
+  factor::CheckpointHook<Storage> hook;
   if (!ckpt.saving()) return hook;
   hook.every = ckpt.every;
   hook.save = [&ckpt, &inj, &rep, algorithm, strategy, base_trace](
-                  std::size_t next_step, const Matrix<T>& a,
+                  std::size_t next_step, const Storage& a,
                   const Permutation* perm, const factor::PivotTrace& local) {
     std::string blob = encode_checkpoint_parts(
         algorithm, static_cast<std::uint32_t>(strategy), next_step, a, perm,
@@ -212,6 +214,44 @@ factor::CheckpointHook<T> make_elimination_hook(
     ckpt.store->put(next_step, std::move(blob));
   };
   return hook;
+}
+
+// Builds the (optionally bordered) GEM reduction in the requested storage
+// backend, refusing instances over the order cap (kBadInput) before the
+// scalar cast. The sparse path plants straight into CSR and never
+// materializes a dense matrix — that is what lets circuits 10-100x beyond
+// the dense gate-count ceiling run at equal memory.
+template <class T, class Storage>
+bool build_reduction(const circuit::CvpInstance& run, bool bordered,
+                     const GuardLimits& limits, RunReport& rep, Storage& a,
+                     std::size_t& output_pos, std::size_t& nu) {
+  const auto refuse = [&](std::size_t order) {
+    if (order <= limits.max_order) return false;
+    rep.diagnostic = Diagnostic::kBadInput;
+    rep.detail = bordered ? "bordered order exceeds the cap"
+                          : "reduction order " + std::to_string(order) +
+                                " exceeds the cap " +
+                                std::to_string(limits.max_order);
+    return true;
+  };
+  if constexpr (is_sparse_storage_v<Storage>) {
+    core::SparseGemReduction red = core::build_gem_reduction_sparse(run);
+    if (refuse(bordered ? 2 * red.matrix.rows() : red.matrix.rows()))
+      return false;
+    output_pos = red.output_pos;
+    nu = red.matrix.rows();
+    const sparse::CsrMatrix<T> cast = red.matrix.template cast<T>();
+    a = bordered ? Storage(core::border_nonsingular(cast)) : Storage(cast);
+  } else {
+    core::GemReduction red = core::build_gem_reduction(run);
+    if (refuse(bordered ? 2 * red.matrix.rows() : red.matrix.rows()))
+      return false;
+    output_pos = red.output_pos;
+    nu = red.matrix.rows();
+    a = bordered ? core::border_nonsingular(red.matrix.template cast<T>())
+                 : red.matrix.template cast<T>();
+  }
+  return true;
 }
 
 // Probes that the arithmetic substrate rounds to nearest-even — for
@@ -239,7 +279,7 @@ bool rounding_environment_ok() {
 // ---------------------------------------------------------------------------
 // Theorem 3.1 (GEM / GEMS): guarded form of core::simulate_gem.
 // ---------------------------------------------------------------------------
-template <class T>
+template <class T, class Storage = Matrix<T>>
 RunReport guarded_simulate_gem(const circuit::CvpInstance& inst,
                                factor::PivotStrategy strategy,
                                const GuardLimits& limits = {},
@@ -268,14 +308,13 @@ RunReport guarded_simulate_gem(const circuit::CvpInstance& inst,
   }
   factor::StepGuard guard = detail::make_guard(limits);
   try {
-    core::GemReduction red = core::build_gem_reduction(run);
-    if (red.matrix.rows() > limits.max_order) {
-      rep.diagnostic = Diagnostic::kBadInput;
-      rep.detail = "reduction order " + std::to_string(red.matrix.rows()) +
-                   " exceeds the cap " + std::to_string(limits.max_order);
+    Storage a;
+    std::size_t output_pos = 0;
+    std::size_t nu = 0;
+    if (!detail::build_reduction<T>(run, /*bordered=*/false, limits, rep, a,
+                                    output_pos, nu)) {
       return rep;
     }
-    Matrix<T> a = red.matrix.template cast<T>();
     if (inj.corrupt_matrix(a)) rep.injection = inj.injection_log();
     rep.order = a.rows();
     factor::PivotTrace base_trace;
@@ -286,7 +325,7 @@ RunReport guarded_simulate_gem(const circuit::CvpInstance& inst,
                                     nullptr, base_trace, checks.start_step)) {
       return rep;
     }
-    factor::CheckpointHook<T> hook = detail::make_elimination_hook<T>(
+    factor::CheckpointHook<Storage> hook = detail::make_elimination_hook<Storage>(
         ckpt, inj, rep, rep.algorithm, strategy, &base_trace);
     factor::PivotTrace trace = factor::eliminate_steps(
         a, strategy, a.rows(), nullptr, checks, hook.every ? &hook : nullptr);
@@ -294,7 +333,7 @@ RunReport guarded_simulate_gem(const circuit::CvpInstance& inst,
     rep.trace = trace;
     rep.steps_used = guard.ticks_used();
     rep.pivot_excerpt = detail::trace_excerpt(trace);
-    const T& out = a(red.output_pos, red.output_pos);
+    const T& out = a.get(output_pos, output_pos);
     rep.decoded_entry = to_double(out);
     bool decoded;
     if (out == T(1)) {
@@ -303,7 +342,7 @@ RunReport guarded_simulate_gem(const circuit::CvpInstance& inst,
       decoded = false;
     } else {
       rep.diagnostic = Diagnostic::kDecodeNotBoolean;
-      rep.offending_row = rep.offending_col = red.output_pos;
+      rep.offending_row = rep.offending_col = output_pos;
       rep.detail = "output entry decodes to " + scalar_to_string(out) +
                    ", not an exact encoded boolean";
       return rep;
@@ -311,7 +350,7 @@ RunReport guarded_simulate_gem(const circuit::CvpInstance& inst,
     const bool reference = run.expected();  // O(gates) certificate
     if (decoded != reference) {
       rep.diagnostic = Diagnostic::kCrossCheckMismatch;
-      rep.offending_row = rep.offending_col = red.output_pos;
+      rep.offending_row = rep.offending_col = output_pos;
       rep.detail = std::string("decode says ") +
                    (decoded ? "true" : "false") +
                    " but direct evaluation says " +
@@ -331,7 +370,7 @@ RunReport guarded_simulate_gem(const circuit::CvpInstance& inst,
 // Corollary 3.2 (GEM on nonsingular inputs): guarded form of
 // core::simulate_gem_nonsingular.
 // ---------------------------------------------------------------------------
-template <class T>
+template <class T, class Storage = Matrix<T>>
 RunReport guarded_simulate_gem_nonsingular(const circuit::CvpInstance& inst,
                                            const GuardLimits& limits = {},
                                            const FaultPlan& fault = {},
@@ -357,13 +396,13 @@ RunReport guarded_simulate_gem_nonsingular(const circuit::CvpInstance& inst,
   }
   factor::StepGuard guard = detail::make_guard(limits);
   try {
-    core::GemReduction red = core::build_gem_reduction(run);
-    if (2 * red.matrix.rows() > limits.max_order) {
-      rep.diagnostic = Diagnostic::kBadInput;
-      rep.detail = "bordered order exceeds the cap";
+    Storage a;
+    std::size_t output_pos = 0;
+    std::size_t nu = 0;
+    if (!detail::build_reduction<T>(run, /*bordered=*/true, limits, rep, a,
+                                    output_pos, nu)) {
       return rep;
     }
-    Matrix<T> a = core::border_nonsingular(red.matrix.template cast<T>());
     if (inj.corrupt_matrix(a)) rep.injection = inj.injection_log();
     rep.order = a.rows();
     Permutation perm(a.rows());
@@ -375,7 +414,7 @@ RunReport guarded_simulate_gem_nonsingular(const circuit::CvpInstance& inst,
                                     base_trace, checks.start_step)) {
       return rep;
     }
-    factor::CheckpointHook<T> hook = detail::make_elimination_hook<T>(
+    factor::CheckpointHook<Storage> hook = detail::make_elimination_hook<Storage>(
         ckpt, inj, rep, rep.algorithm, factor::PivotStrategy::kMinimalSwap,
         &base_trace);
     factor::PivotTrace trace = factor::eliminate_steps(
@@ -385,8 +424,7 @@ RunReport guarded_simulate_gem_nonsingular(const circuit::CvpInstance& inst,
     rep.trace = trace;
     rep.steps_used = guard.ticks_used();
     rep.pivot_excerpt = detail::trace_excerpt(trace);
-    const std::size_t nu = red.matrix.rows();
-    const T& out = a(red.output_pos, red.output_pos);
+    const T& out = a.get(output_pos, output_pos);
     rep.decoded_entry = to_double(out);
     // A nonsingular run must pivot every column: any skip is an anomaly.
     const factor::PivotEvent* output_event = nullptr;
@@ -399,11 +437,11 @@ RunReport guarded_simulate_gem_nonsingular(const circuit::CvpInstance& inst,
                      " had no pivot in a nonsingular run";
         return rep;
       }
-      if (e.column == red.output_pos) output_event = &e;
+      if (e.column == output_pos) output_event = &e;
     }
     if (output_event == nullptr) {
       rep.diagnostic = Diagnostic::kPivotAnomaly;
-      rep.offending_col = red.output_pos;
+      rep.offending_col = output_pos;
       rep.detail = "no pivot event recorded for the output column";
       return rep;
     }
@@ -414,7 +452,7 @@ RunReport guarded_simulate_gem_nonsingular(const circuit::CvpInstance& inst,
       decoded = true;
     } else {
       rep.diagnostic = Diagnostic::kDecodeNotBoolean;
-      rep.offending_row = rep.offending_col = red.output_pos;
+      rep.offending_row = rep.offending_col = output_pos;
       rep.detail = "own-side pivot but output entry decodes to " +
                    scalar_to_string(out) + ", not 1";
       return rep;
@@ -422,7 +460,7 @@ RunReport guarded_simulate_gem_nonsingular(const circuit::CvpInstance& inst,
     const bool reference = run.expected();
     if (decoded != reference) {
       rep.diagnostic = Diagnostic::kCrossCheckMismatch;
-      rep.offending_row = rep.offending_col = red.output_pos;
+      rep.offending_row = rep.offending_col = output_pos;
       rep.detail = std::string("decode says ") +
                    (decoded ? "true" : "false") +
                    " but direct evaluation says " +
@@ -445,7 +483,7 @@ RunReport guarded_simulate_gem_nonsingular(const circuit::CvpInstance& inst,
 // SoftFloat or exact rationals: the gadget constants are lifted losslessly
 // (dyadic doubles, Rational via from_double) exactly as run_gep_chain_t.
 // ---------------------------------------------------------------------------
-template <class T>
+template <class T, class Storage = Matrix<T>>
 RunReport guarded_run_gep_chain_t(int u, int w, std::size_t depth,
                                   const GuardLimits& limits = {},
                                   const FaultPlan& fault = {},
@@ -478,13 +516,15 @@ RunReport guarded_run_gep_chain_t(int u, int w, std::size_t depth,
       rep.detail = "chain order exceeds the cap";
       return rep;
     }
-    Matrix<T> m(chain.matrix.rows(), chain.matrix.cols());
+    Storage m(chain.matrix.rows(), chain.matrix.cols());
     for (std::size_t i = 0; i < m.rows(); ++i) {
       for (std::size_t j = 0; j < m.cols(); ++j) {
+        if (is_zero(chain.matrix(i, j))) continue;  // both backends start
+                                                    // all-zero
         if constexpr (std::is_same_v<T, numeric::Rational>) {
-          m(i, j) = numeric::Rational::from_double(chain.matrix(i, j));
+          m.set(i, j, numeric::Rational::from_double(chain.matrix(i, j)));
         } else {
-          m(i, j) = T(chain.matrix(i, j));
+          m.set(i, j, T(chain.matrix(i, j)));
         }
       }
     }
@@ -500,7 +540,7 @@ RunReport guarded_run_gep_chain_t(int u, int w, std::size_t depth,
                                     base_trace, checks.start_step)) {
       return rep;
     }
-    factor::CheckpointHook<T> hook = detail::make_elimination_hook<T>(
+    factor::CheckpointHook<Storage> hook = detail::make_elimination_hook<Storage>(
         ckpt, inj, rep, rep.algorithm, factor::PivotStrategy::kPartial,
         &base_trace);
     factor::PivotTrace trace = factor::eliminate_steps(
@@ -525,7 +565,7 @@ RunReport guarded_run_gep_chain_t(int u, int w, std::size_t depth,
     // Decode: exactly one live row at/below the value column.
     int found = -1;
     for (std::size_t i = chain.value_col; i < m.rows(); ++i) {
-      if (std::fabs(to_double(m(i, chain.value_col))) > 0.2) {
+      if (std::fabs(to_double(m.get(i, chain.value_col))) > 0.2) {
         if (found >= 0) {
           rep.diagnostic = Diagnostic::kDecodeAmbiguous;
           rep.offending_row = i;
@@ -543,7 +583,7 @@ RunReport guarded_run_gep_chain_t(int u, int w, std::size_t depth,
       return rep;
     }
     const double v =
-        to_double(m(static_cast<std::size_t>(found), chain.value_col));
+        to_double(m.get(static_cast<std::size_t>(found), chain.value_col));
     rep.decoded_entry = v;
     int enc = 0;
     if (std::fabs(v - 1.0) <= limits.decode_tolerance) {
@@ -590,7 +630,7 @@ RunReport guarded_run_gep_chain(int u, int w, std::size_t depth,
 // Theorem 4.1 (GQR): guarded run of the GQR NAND-through-PASS chain over a
 // float-like field T; a, b are encoded in {-1, +1}.
 // ---------------------------------------------------------------------------
-template <class T>
+template <class T, class Storage = Matrix<T>>
 RunReport guarded_run_gqr_chain(int a, int b, std::size_t depth,
                                 const GuardLimits& limits = {},
                                 const FaultPlan& fault = {},
@@ -623,7 +663,13 @@ RunReport guarded_run_gqr_chain(int a, int b, std::size_t depth,
       rep.detail = "chain order exceeds the cap";
       return rep;
     }
-    Matrix<T> m = chain.matrix.template cast<T>();
+    Storage m;
+    if constexpr (is_sparse_storage_v<Storage>) {
+      m = Storage(
+          sparse::CsrMatrix<T>::from_dense(chain.matrix.template cast<T>()));
+    } else {
+      m = chain.matrix.template cast<T>();
+    }
     if (inj.corrupt_matrix(m)) rep.injection = inj.injection_log();
     rep.order = m.rows();
     factor::PivotTrace base_trace;  // GQR records no pivot events
@@ -632,11 +678,11 @@ RunReport guarded_run_gqr_chain(int a, int b, std::size_t depth,
                                     nullptr, base_trace, start_pos)) {
       return rep;
     }
-    factor::GivensCheckpointHook<T> hook;
+    factor::GivensCheckpointHook<Storage> hook;
     if (ckpt.saving()) {
       hook.every = ckpt.every;
       hook.save = [&ckpt, &inj, &rep](std::size_t next_pos,
-                                      const Matrix<T>& snap) {
+                                      const Storage& snap) {
         std::string blob = encode_checkpoint_parts(
             "GQR", 0, next_pos, snap, nullptr, factor::PivotTrace{});
         if (inj.corrupt_blob(blob)) rep.injection = inj.injection_log();
@@ -649,7 +695,7 @@ RunReport guarded_run_gqr_chain(int a, int b, std::size_t depth,
     factor::givens_steps(m, m.rows() * m.rows(), &guard, start_pos,
                          hook.every ? &hook : nullptr);
     rep.steps_used = guard.ticks_used();
-    const double v = to_double(m(chain.value_pos, chain.value_pos));
+    const double v = to_double(m.get(chain.value_pos, chain.value_pos));
     rep.decoded_entry = v;
     bool decoded;
     if (v > 1.0 - limits.decode_tolerance &&

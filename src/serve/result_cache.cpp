@@ -56,6 +56,12 @@ std::string ResultCache::key_for(const robustness::ReductionTask& task,
   key += '\n';
   key += robustness::substrate_name(substrate);
   key += '\n';
+  // The backend is part of the identity even though answers are
+  // backend-invariant: a cached entry carries the run's final checkpoint
+  // blob, whose entry section is backend-specific (dense vs sparse-* field
+  // tags), so a dense hit must never be replayed into a sparse resume.
+  key += robustness::backend_name(task.backend);
+  key += '\n';
   key += std::to_string(task.u) + ' ' + std::to_string(task.w) + ' ' +
          std::to_string(task.depth);
   key += '\n';

@@ -32,6 +32,13 @@ bool to_substrate(std::uint32_t v, robustness::Substrate& out) {
   return true;
 }
 
+bool to_backend(std::uint32_t v, robustness::Backend& out) {
+  if (v > static_cast<std::uint32_t>(robustness::Backend::kSparse))
+    return false;
+  out = static_cast<robustness::Backend>(v);
+  return true;
+}
+
 bool to_fault(std::uint32_t v, robustness::FaultClass& out) {
   if (v > static_cast<std::uint32_t>(robustness::FaultClass::kTornWrite))
     return false;
@@ -86,6 +93,7 @@ std::string encode_request(const TaskRequest& req) {
   w.put_i32(req.task.u);
   w.put_i32(req.task.w);
   w.put_u64(req.task.depth);
+  w.put_u32(static_cast<std::uint32_t>(req.task.backend));
   w.put_u32(static_cast<std::uint32_t>(req.substrate));
   w.put_u64(req.limits.max_steps);
   w.put_u64(static_cast<std::uint64_t>(req.limits.timeout.count()));
@@ -124,6 +132,7 @@ bool decode_request(std::string_view payload, TaskRequest& out) {
   req.task.u = r.get_i32();
   req.task.w = r.get_i32();
   req.task.depth = static_cast<std::size_t>(r.get_u64());
+  if (!to_backend(r.get_u32(), req.task.backend)) return false;
   if (!to_substrate(r.get_u32(), req.substrate)) return false;
   req.limits.max_steps = static_cast<std::size_t>(r.get_u64());
   req.limits.timeout = std::chrono::milliseconds(

@@ -1,0 +1,417 @@
+// Sparse backend unit + property suite (ctest label `matrix`).
+//
+// Three layers under test, each against its dense oracle:
+//
+//   TripletBuilder  — randomized duplicate/unsorted triplet streams must
+//                     coalesce to the canonical CSR a naive dense `+=`
+//                     accumulation produces, bit for bit;
+//   CsrMatrix       — from_parts is the only gate past the invariants
+//                     (monotone row pointers, strictly increasing in-range
+//                     columns, no stored zeros), and dense round-trips are
+//                     the identity;
+//   SparseMatrix    — every MatrixStorage/RotatableStorage operation the
+//                     elimination engines call (get/set/swap_rows/
+//                     cycle_row_up/row_axpy/rotate_rows) must produce the
+//                     bit-identical matrix the dense Matrix<T> op produces.
+//
+// All randomness is a deterministic xorshift: every platform draws the same
+// cases, so a failure names a reproducible seed.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/matrix.h"
+#include "matrix/sparse.h"
+#include "matrix/storage.h"
+#include "numeric/rational.h"
+#include "numeric/softfloat.h"
+
+namespace pfact::sparse {
+namespace {
+
+using numeric::Float53;
+using numeric::Rational;
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+// Small signed integer values (including 0): the reduction matrices' entry
+// distribution, and exactly representable in every field under test.
+double draw_value(std::uint64_t seed) {
+  return static_cast<double>(static_cast<std::int64_t>(mix(seed) % 9) - 4);
+}
+
+Matrix<double> random_dense(std::size_t rows, std::size_t cols,
+                            std::uint64_t seed, std::uint64_t density_pct) {
+  Matrix<double> a(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i)
+    for (std::size_t j = 0; j < cols; ++j) {
+      const std::uint64_t s = seed * 1000003 + i * 131 + j;
+      if (mix(s) % 100 < density_pct) a(i, j) = draw_value(s + 7);
+    }
+  return a;
+}
+
+void expect_same_dense(const Matrix<double>& got, const Matrix<double>& want,
+                       const std::string& what) {
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (std::size_t i = 0; i < want.rows(); ++i)
+    for (std::size_t j = 0; j < want.cols(); ++j)
+      ASSERT_EQ(got(i, j), want(i, j))
+          << what << " at (" << i << "," << j << ")";
+}
+
+// --------------------------------------------------------------------------
+// TripletBuilder: randomized streams vs the dense += oracle.
+// --------------------------------------------------------------------------
+
+TEST(TripletBuilder, RandomDuplicateStreamsMatchDenseAccumulation) {
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const std::size_t rows = 1 + mix(seed) % 8;
+    const std::size_t cols = 1 + mix(seed + 1) % 8;
+    const std::size_t n = mix(seed + 2) % 40;  // duplicates all but certain
+    TripletBuilder<double> b(rows, cols);
+    Matrix<double> dense(rows, cols);
+    for (std::size_t t = 0; t < n; ++t) {
+      const std::uint64_t s = seed * 7919 + t;
+      const std::size_t i = mix(s) % rows;
+      const std::size_t j = mix(s + 1) % cols;
+      const double v = draw_value(s + 2);
+      b.add(i, j, v);
+      dense(i, j) += v;
+    }
+    EXPECT_EQ(b.pending(), n);
+    const CsrMatrix<double> csr = b.build();
+    expect_same_dense(csr.to_dense(), dense, "seed=" + std::to_string(seed));
+    // Canonical by construction: rebuilding from the emitted dense form
+    // gives the identical CSR arrays (no stored zeros survived, columns
+    // sorted, row pointers tight).
+    EXPECT_TRUE(csr == CsrMatrix<double>::from_dense(dense))
+        << "seed=" << seed;
+  }
+}
+
+TEST(TripletBuilder, DuplicatesCoalesceInEmissionOrder) {
+  // Floating-point addition is not associative: (a + b) + c can differ from
+  // a + (b + c). The builder must sum duplicates in emission order — the
+  // dense `+=` order — not in any reshuffled order.
+  const double a = 0.1;
+  const double b = 0.2;
+  const double c = 0.3;
+  TripletBuilder<double> builder(1, 1);
+  builder.add(0, 0, a);
+  builder.add(0, 0, b);
+  builder.add(0, 0, c);
+  const double emission_order = (a + b) + c;
+  ASSERT_NE(emission_order, a + (b + c));  // the case actually discriminates
+  const CsrMatrix<double> csr = builder.build();
+  ASSERT_EQ(csr.nnz(), 1u);
+  EXPECT_EQ(csr.at(0, 0), emission_order);
+}
+
+TEST(TripletBuilder, ZeroSumsAreDroppedNotStored) {
+  TripletBuilder<double> b(3, 3);
+  b.add(1, 1, 2.5);
+  b.add(1, 1, -2.5);  // exact cancellation
+  b.add(2, 0, 0.0);   // explicit zero triplet
+  b.add(0, 2, 1.0);
+  const CsrMatrix<double> csr = b.build();
+  EXPECT_EQ(csr.nnz(), 1u);
+  EXPECT_EQ(csr.at(0, 2), 1.0);
+  EXPECT_EQ(csr.at(1, 1), 0.0);
+  // And the result still passes the no-stored-zero gate on re-adoption.
+  EXPECT_NO_THROW(CsrMatrix<double>::from_parts(
+      3, 3, csr.row_ptr(), csr.col_idx(), csr.values()));
+}
+
+TEST(TripletBuilder, OutOfRangeAddThrows) {
+  TripletBuilder<double> b(2, 3);
+  EXPECT_THROW(b.add(2, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(b.add(0, 3, 1.0), std::out_of_range);
+  EXPECT_EQ(b.pending(), 0u);
+}
+
+TEST(TripletBuilder, EmptyBuilderYieldsAllZeroMatrix) {
+  const CsrMatrix<double> csr = TripletBuilder<double>(4, 5).build();
+  EXPECT_EQ(csr.rows(), 4u);
+  EXPECT_EQ(csr.cols(), 5u);
+  EXPECT_EQ(csr.nnz(), 0u);
+  ASSERT_EQ(csr.row_ptr().size(), 5u);
+  for (const std::size_t p : csr.row_ptr()) EXPECT_EQ(p, 0u);
+}
+
+// --------------------------------------------------------------------------
+// CsrMatrix: round-trips, edge shapes, invariant rejections.
+// --------------------------------------------------------------------------
+
+TEST(CsrMatrix, DenseRoundTripIsIdentity) {
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    const std::size_t rows = mix(seed) % 7;       // includes 0x? shapes
+    const std::size_t cols = mix(seed + 1) % 7;
+    const std::uint64_t density = mix(seed + 2) % 101;  // 0..100%
+    const Matrix<double> dense = random_dense(rows, cols, seed, density);
+    const CsrMatrix<double> csr = CsrMatrix<double>::from_dense(dense);
+    expect_same_dense(csr.to_dense(), dense, "seed=" + std::to_string(seed));
+    ASSERT_TRUE(csr_invariant_violation(rows, cols, csr.row_ptr(),
+                                        csr.col_idx())
+                    .empty())
+        << "seed=" << seed;
+  }
+}
+
+TEST(CsrMatrix, EmptyRowsAndAllZeroMatricesAreWellFormed) {
+  Matrix<double> dense(4, 3);
+  dense(1, 0) = 2.0;  // rows 0, 2, 3 stay empty
+  const CsrMatrix<double> csr = CsrMatrix<double>::from_dense(dense);
+  EXPECT_EQ(csr.nnz(), 1u);
+  EXPECT_EQ(csr.row_ptr(), (std::vector<std::size_t>{0, 0, 1, 1, 1}));
+  expect_same_dense(csr.to_dense(), dense, "empty rows");
+
+  const CsrMatrix<double> zero =
+      CsrMatrix<double>::from_dense(Matrix<double>(3, 3));
+  EXPECT_EQ(zero.nnz(), 0u);
+  expect_same_dense(zero.to_dense(), Matrix<double>(3, 3), "all zero");
+
+  const CsrMatrix<double> degenerate;  // 0x0
+  EXPECT_EQ(degenerate.rows(), 0u);
+  EXPECT_EQ(degenerate.nnz(), 0u);
+}
+
+TEST(CsrMatrix, AtReadsStoredAndAbsentEntries) {
+  Matrix<double> dense(2, 4);
+  dense(0, 1) = 3.0;
+  dense(0, 3) = -1.0;
+  const CsrMatrix<double> csr = CsrMatrix<double>::from_dense(dense);
+  EXPECT_EQ(csr.at(0, 1), 3.0);
+  EXPECT_EQ(csr.at(0, 3), -1.0);
+  EXPECT_EQ(csr.at(0, 0), 0.0);
+  EXPECT_EQ(csr.at(1, 2), 0.0);
+  EXPECT_THROW(csr.at(2, 0), std::out_of_range);
+  EXPECT_THROW(csr.at(0, 4), std::out_of_range);
+}
+
+TEST(CsrMatrix, FromPartsNamesEveryViolatedInvariant) {
+  const auto expect_rejected = [](std::size_t rows, std::size_t cols,
+                                  std::vector<std::size_t> row_ptr,
+                                  std::vector<std::size_t> col_idx,
+                                  std::vector<double> values,
+                                  const std::string& what) {
+    EXPECT_THROW(CsrMatrix<double>::from_parts(rows, cols, std::move(row_ptr),
+                                               std::move(col_idx),
+                                               std::move(values)),
+                 std::invalid_argument)
+        << what;
+  };
+  // A valid 2x3 with entries (0,0)=1, (0,2)=2, (1,1)=3 as the base case.
+  EXPECT_NO_THROW(
+      CsrMatrix<double>::from_parts(2, 3, {0, 2, 3}, {0, 2, 1}, {1, 2, 3}));
+  expect_rejected(2, 3, {0, 2}, {0, 2, 1}, {1, 2, 3}, "row_ptr wrong length");
+  expect_rejected(2, 3, {1, 2, 3}, {0, 2, 1}, {1, 2, 3},
+                  "row_ptr must start at 0");
+  expect_rejected(2, 3, {0, 3, 2}, {0, 2, 1}, {1, 2, 3},
+                  "row_ptr not monotone");
+  expect_rejected(2, 3, {0, 2, 4}, {0, 2, 1}, {1, 2, 3},
+                  "row_ptr overruns col_idx");
+  expect_rejected(2, 3, {0, 2, 3}, {2, 0, 1}, {1, 2, 3},
+                  "columns not increasing within a row");
+  expect_rejected(2, 3, {0, 2, 3}, {0, 0, 1}, {1, 2, 3},
+                  "duplicate column within a row");
+  expect_rejected(2, 3, {0, 2, 3}, {0, 3, 1}, {1, 2, 3},
+                  "column out of range");
+  expect_rejected(2, 3, {0, 2, 3}, {0, 2, 1}, {1, 2}, "values size mismatch");
+  expect_rejected(2, 3, {0, 2, 3}, {0, 2, 1}, {1, 0, 3}, "stored exact zero");
+}
+
+TEST(CsrMatrix, CastPreservesStructureAcrossFields) {
+  Matrix<double> dense(3, 3);
+  dense(0, 0) = 1.0;
+  dense(1, 2) = -2.0;
+  dense(2, 1) = 3.0;
+  const CsrMatrix<double> csr = CsrMatrix<double>::from_dense(dense);
+  const CsrMatrix<Rational> q = csr.cast<Rational>();
+  ASSERT_EQ(q.row_ptr(), csr.row_ptr());
+  ASSERT_EQ(q.col_idx(), csr.col_idx());
+  EXPECT_TRUE(q.at(1, 2) == Rational(-2));
+  const CsrMatrix<Float53> f = csr.cast<Float53>();
+  EXPECT_TRUE(f.at(2, 1) == Float53(3.0));
+}
+
+// --------------------------------------------------------------------------
+// SparseMatrix: storage-concept conformance and dense-op equivalence.
+// --------------------------------------------------------------------------
+
+static_assert(is_sparse_storage_v<sparse::SparseMatrix<double>>);
+static_assert(!is_sparse_storage_v<Matrix<double>>);
+
+TEST(SparseMatrix, RoundTripsThroughCsrAndDense) {
+  for (std::uint64_t seed = 100; seed < 116; ++seed) {
+    const Matrix<double> dense = random_dense(5, 6, seed, 40);
+    const SparseMatrix<double> s = SparseMatrix<double>::from_dense(dense);
+    expect_same_dense(s.to_dense(), dense, "seed=" + std::to_string(seed));
+    EXPECT_TRUE(s.to_csr() == CsrMatrix<double>::from_dense(dense))
+        << "seed=" << seed;
+    EXPECT_TRUE(SparseMatrix<double>(s.to_csr()) == s) << "seed=" << seed;
+    EXPECT_EQ(s.nnz(), s.to_csr().nnz());
+  }
+}
+
+TEST(SparseMatrix, GetAndSetMirrorDenseIncludingZeroErasure) {
+  SparseMatrix<double> s(3, 3);
+  EXPECT_EQ(s.get(1, 1), 0.0);
+  s.set(1, 1, 2.0);
+  s.set(1, 0, -1.0);
+  EXPECT_EQ(s.get(1, 1), 2.0);
+  EXPECT_EQ(s.row_nnz(1), 2u);
+  s.set(1, 1, 0.0);  // writing zero erases the entry, not stores it
+  EXPECT_EQ(s.get(1, 1), 0.0);
+  EXPECT_EQ(s.row_nnz(1), 1u);
+  s.set(2, 2, 0.0);  // writing zero over an absent entry stays absent
+  EXPECT_EQ(s.nnz(), 1u);
+  EXPECT_NO_THROW(s.to_csr());  // still canonical
+}
+
+// One randomized op-for-op replay: apply the same operation sequence to a
+// dense Matrix and a SparseMatrix and require bit-identical states after
+// every step. This is the exact call surface eliminate_steps/givens_steps
+// use through the storage concept.
+TEST(SparseMatrix, OperationSequencesMatchDenseBitForBit) {
+  for (std::uint64_t seed = 1; seed <= 48; ++seed) {
+    const std::size_t n = 2 + mix(seed) % 6;
+    Matrix<double> dense = random_dense(n, n, seed, 55);
+    SparseMatrix<double> s = SparseMatrix<double>::from_dense(dense);
+    for (std::size_t step = 0; step < 12; ++step) {
+      const std::uint64_t r = seed * 104729 + step * 31;
+      const std::size_t i = mix(r) % n;
+      const std::size_t j = mix(r + 1) % n;
+      switch (mix(r + 2) % 5) {
+        case 0: {
+          dense.swap_rows(i, j);
+          s.swap_rows(i, j);
+          break;
+        }
+        case 1: {
+          const std::size_t to = i <= j ? i : j;
+          const std::size_t from = i <= j ? j : i;
+          dense.cycle_row_up(to, from);
+          s.cycle_row_up(to, from);
+          break;
+        }
+        case 2: {
+          if (i == j) break;  // row_axpy(i, k) with i != k, as the engines do
+          const double f = draw_value(r + 3);
+          dense.row_axpy(i, j, f);
+          s.row_axpy(i, j, f);
+          break;
+        }
+        case 3: {
+          if (i == j) break;
+          // Plausible rotation coefficients; bit-equality must hold for ANY
+          // c, s — the engines compute them identically on both backends.
+          const double c = 0.6;
+          const double sn = 0.8;
+          dense.rotate_rows(i, j, c, sn);
+          s.rotate_rows(i, j, c, sn);
+          break;
+        }
+        default: {
+          const double v = draw_value(r + 4);
+          dense.set(i, j, v);
+          s.set(i, j, v);
+          break;
+        }
+      }
+      expect_same_dense(s.to_dense(), dense,
+                        "seed=" + std::to_string(seed) + " step=" +
+                            std::to_string(step));
+      // get() must agree entry-for-entry too (absent == stored dense zero).
+      for (std::size_t a = 0; a < n; ++a)
+        for (std::size_t b = 0; b < n; ++b)
+          ASSERT_EQ(s.get(a, b), dense.get(a, b))
+              << "seed=" << seed << " step=" << step;
+    }
+    EXPECT_NO_THROW(s.to_csr());  // canonical after arbitrary op sequences
+  }
+}
+
+TEST(SparseMatrix, RowAxpyReportsTheRealMultiplyCount) {
+  // The counter contract differs by design: the dense op reports its full
+  // inner-loop trip count (cols - k - 1) while the sparse op reports one
+  // multiply-subtract per SOURCE entry right of column k — the work it
+  // actually did. The gap between the two is the backend's measured win,
+  // and on a fully dense source row the two counts coincide.
+  const std::size_t n = 6;
+  for (std::uint64_t seed = 200; seed < 208; ++seed) {
+    Matrix<double> dense = random_dense(n, n, seed, 30);
+    SparseMatrix<double> s = SparseMatrix<double>::from_dense(dense);
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+      const std::size_t i = (k + 1) % n;
+      std::size_t src_right_of_k = 0;
+      for (const auto& e : s.row(k))
+        if (e.col > k) ++src_right_of_k;
+      const double f = 2.0;
+      const std::size_t dense_ops = dense.row_axpy(i, k, f);
+      EXPECT_EQ(s.row_axpy(i, k, f), src_right_of_k)
+          << "seed=" << seed << " k=" << k;
+      EXPECT_LE(src_right_of_k, dense_ops);
+    }
+  }
+
+  // Fully dense row: the sparse count equals the dense trip count.
+  Matrix<double> full(2, 5);
+  for (std::size_t j = 0; j < 5; ++j) {
+    full(0, j) = 1.0 + static_cast<double>(j);
+    full(1, j) = 2.0 + static_cast<double>(j);
+  }
+  SparseMatrix<double> sf = SparseMatrix<double>::from_dense(full);
+  EXPECT_EQ(sf.row_axpy(1, 0, 3.0), full.row_axpy(1, 0, 3.0));
+}
+
+TEST(SparseMatrix, RowAxpyCancellationDropsTheEntry) {
+  // dst and f*src cancel exactly at a shared column: the dense result holds
+  // a stored 0.0, the sparse result must hold NO entry — invisible to both
+  // get() and the canonical CSR gate.
+  Matrix<double> dense(2, 3);
+  dense(0, 0) = 1.0;
+  dense(0, 1) = 2.0;
+  dense(1, 0) = 3.0;
+  dense(1, 1) = 4.0;
+  SparseMatrix<double> s = SparseMatrix<double>::from_dense(dense);
+  dense.row_axpy(1, 0, 2.0);  // row1 col1: 4 - 2*2 = 0
+  s.row_axpy(1, 0, 2.0);
+  EXPECT_EQ(dense(1, 1), 0.0);
+  EXPECT_EQ(s.get(1, 1), 0.0);
+  EXPECT_EQ(s.row_nnz(1), 0u);
+  expect_same_dense(s.to_dense(), dense, "cancellation");
+}
+
+TEST(SparseMatrix, ExactFieldOpsMatchDenseOverRationals) {
+  // Same replay over the exact field: no rounding anywhere, so equality is
+  // a statement about operation ORDER only.
+  for (std::uint64_t seed = 50; seed < 58; ++seed) {
+    const std::size_t n = 4;
+    Matrix<double> dd = random_dense(n, n, seed, 60);
+    Matrix<Rational> dense = dd.cast<Rational>();
+    SparseMatrix<Rational> s =
+        SparseMatrix<double>::from_dense(dd).cast<Rational>();
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+      const Rational f(static_cast<std::int64_t>(mix(seed + k) % 5) - 2);
+      dense.row_axpy(k + 1, k, f);
+      s.row_axpy(k + 1, k, f);
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        ASSERT_TRUE(s.get(i, j) == dense(i, j))
+            << "seed=" << seed << " at (" << i << "," << j << ")";
+  }
+}
+
+}  // namespace
+}  // namespace pfact::sparse

@@ -1,7 +1,8 @@
 #pragma once
-// staticcheck fixture: minimal checkpoint schema (version constant + field
-// tags + the sparse tag namespace and its sweep list) in the shape
-// pfact_lint parses.
+// Seeded violation for PL011: sparse_field_tag<int> is named lawfully and
+// swept, but there is NO dense field_tag<int> counterpart — a sparse blob
+// of this field could never be cross-checked or resumed on the dense
+// backend.
 
 namespace pfact::robustness {
 
@@ -14,17 +15,18 @@ inline const char* field_tag<double>() { return "double"; }
 template <>
 inline const char* field_tag<float>() { return "single"; }
 
-// Sparse-CSR blob tags: derived namespace — "sparse-" + the dense tag of
-// the same scalar, swept below so the codec corruption tests cover each.
 template <class T>
 const char* sparse_field_tag() = delete;
 template <>
 inline const char* sparse_field_tag<double>() { return "sparse-double"; }
 template <>
 inline const char* sparse_field_tag<float>() { return "sparse-single"; }
+template <>
+inline const char* sparse_field_tag<int>() { return "sparse-int"; }
 
 inline std::vector<std::string> all_sparse_field_tags() {
-  return {sparse_field_tag<double>(), sparse_field_tag<float>()};
+  return {sparse_field_tag<double>(), sparse_field_tag<float>(),
+          sparse_field_tag<int>()};
 }
 
 }  // namespace pfact::robustness

@@ -1,7 +1,8 @@
 #pragma once
-// staticcheck fixture: minimal checkpoint schema (version constant + field
-// tags + the sparse tag namespace and its sweep list) in the shape
-// pfact_lint parses.
+// Seeded violation for PL011: sparse_field_tag<float> exists and obeys the
+// naming law, but all_sparse_field_tags() forgot it — the checkpoint
+// corruption matrix would never exercise the sparse-single codec. The tag
+// SET is unchanged, so no manifest rule piggybacks on the finding.
 
 namespace pfact::robustness {
 
@@ -14,8 +15,6 @@ inline const char* field_tag<double>() { return "double"; }
 template <>
 inline const char* field_tag<float>() { return "single"; }
 
-// Sparse-CSR blob tags: derived namespace — "sparse-" + the dense tag of
-// the same scalar, swept below so the codec corruption tests cover each.
 template <class T>
 const char* sparse_field_tag() = delete;
 template <>
@@ -24,7 +23,7 @@ template <>
 inline const char* sparse_field_tag<float>() { return "sparse-single"; }
 
 inline std::vector<std::string> all_sparse_field_tags() {
-  return {sparse_field_tag<double>(), sparse_field_tag<float>()};
+  return {sparse_field_tag<double>()};
 }
 
 }  // namespace pfact::robustness

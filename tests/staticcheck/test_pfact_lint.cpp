@@ -160,6 +160,34 @@ TEST(PfactLint, UnsweptCacheProbeFailsPL010) {
   EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
 }
 
+TEST(PfactLint, UnsweptSparseTagFailsPL011) {
+  const fs::path root = materialize("unswept_sparse_tag");
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 1) << res.output;
+  EXPECT_NE(res.output.find("PL011"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("sparse_field_tag<float>"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("all_sparse_field_tags"), std::string::npos)
+      << res.output;
+  // The tag is lawfully named and the tag set matches the manifest, so the
+  // sweep gap is the only finding.
+  EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
+}
+
+TEST(PfactLint, OrphanSparseTagFailsPL011) {
+  const fs::path root = materialize("orphan_sparse_tag");
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 1) << res.output;
+  EXPECT_NE(res.output.find("PL011"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("sparse_field_tag<int>"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("field_tag<int>"), std::string::npos)
+      << res.output;
+  // The fixture manifest includes sparse-int and the orphan is swept, so
+  // the missing dense counterpart is the only finding.
+  EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
+}
+
 // --update-manifest is the sanctioned way out of PL007/PL008: after a
 // legitimate schema change plus version bump, regenerating the manifest
 // returns the tree to clean.

@@ -42,6 +42,12 @@
 //                                    Diagnostic mapping, or missing from
 //                                    its sweep list (all_admissions() /
 //                                    all_cache_probes())
+//   PL011 sparse-tag-unregistered    sparse_field_tag<T>() specialization
+//                                    whose T has no dense field_tag<T>()
+//                                    counterpart, whose tag is not
+//                                    "sparse-" + the dense tag, or that is
+//                                    missing from the all_sparse_field_tags()
+//                                    sweep the codec corruption tests run over
 //
 // Usage:
 //   pfact_lint --root <repo-root> [--manifest <file>] [--update-manifest]
@@ -526,6 +532,81 @@ void check_tag_uniqueness(Lint& lint, const CheckpointSchema& schema) {
   }
 }
 
+// PL011: the sparse tag namespace is derived, not free-form. Every
+// sparse_field_tag<T>() specialization must (a) shadow an existing dense
+// field_tag<T>() for the SAME scalar T — a sparse codec for a field the
+// dense world cannot decode would strand blobs on backend escalation,
+// (b) spell its tag as "sparse-" + the dense tag, so tag pairs stay
+// mechanically relatable across the manifest ratchet, and (c) appear in the
+// all_sparse_field_tags() sweep list, which the checkpoint corruption tests
+// (tests/robustness/test_checkpoint_sparse.cpp) iterate — an unswept tag is
+// a codec no rejection matrix ever exercises.
+void check_sparse_tags(Lint& lint) {
+  const std::string src = lint.read("src/robustness/checkpoint.h");
+  if (src.empty()) return;
+
+  const auto normalize = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (!std::isspace(static_cast<unsigned char>(c))) out += c;
+    }
+    return out;
+  };
+
+  // Group 1 distinguishes the namespaces: "sparse_" for the sparse
+  // specializations, empty for the dense ones (any other identifier prefix
+  // would be a third tag family this rule does not govern).
+  const std::regex spec(
+      "(\\w*)field_tag<([^>]+)>\\(\\)\\s*\\{\\s*return\\s*\"([^\"]+)\"");
+  std::map<std::string, std::string> dense_tags;   // scalar arg -> tag
+  std::map<std::string, std::string> sparse_tags;  // scalar arg -> tag
+  for (auto it = std::sregex_iterator(src.begin(), src.end(), spec);
+       it != std::sregex_iterator(); ++it) {
+    const std::string prefix = (*it)[1].str();
+    const std::string arg = normalize((*it)[2].str());
+    const std::string tag = (*it)[3].str();
+    if (prefix == "sparse_") {
+      sparse_tags[arg] = tag;
+    } else if (prefix.empty()) {
+      dense_tags[arg] = tag;
+    }
+  }
+
+  std::set<std::string> swept;  // scalar args mentioned in the sweep list
+  const std::string sweep_body = function_body(src, "all_sparse_field_tags");
+  const std::regex mention("sparse_field_tag<([^>]+)>");
+  for (auto it =
+           std::sregex_iterator(sweep_body.begin(), sweep_body.end(), mention);
+       it != std::sregex_iterator(); ++it) {
+    swept.insert(normalize((*it)[1].str()));
+  }
+
+  for (const auto& [arg, tag] : sparse_tags) {
+    const std::string spelled = "sparse_field_tag<" + arg + ">";
+    const auto dense = dense_tags.find(arg);
+    if (dense == dense_tags.end()) {
+      lint.report("PL011", "sparse-tag-unregistered",
+                  spelled + " (\"" + tag +
+                      "\") has no dense field_tag<" + arg +
+                      "> counterpart in src/robustness/checkpoint.h — a "
+                      "sparse blob of this field could never be cross-checked "
+                      "or resumed densely");
+    } else if (tag != "sparse-" + dense->second) {
+      lint.report("PL011", "sparse-tag-unregistered",
+                  spelled + " returns \"" + tag + "\" but the naming law "
+                      "requires \"sparse-" + dense->second +
+                      "\" (the dense tag with the sparse- prefix)");
+    }
+    if (swept.count(arg) == 0) {
+      lint.report("PL011", "sparse-tag-unregistered",
+                  spelled +
+                      " is missing from the all_sparse_field_tags() sweep "
+                      "list — the checkpoint corruption matrix would never "
+                      "exercise its codec");
+    }
+  }
+}
+
 struct Manifest {
   std::optional<long> version;
   std::vector<std::string> tags;  // sorted
@@ -662,6 +743,7 @@ int main(int argc, char** argv) {
   check_worker_exits(lint);
   check_serve_rejections(lint);
   check_tag_uniqueness(lint, schema);
+  check_sparse_tags(lint);
   check_manifest(lint, schema, manifest_path);
 
   if (lint.io_error) return 2;
