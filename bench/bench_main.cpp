@@ -38,6 +38,8 @@
 #include "robustness/escalation.h"
 #include "robustness/guarded_run.h"
 #include "robustness/resilient_run.h"
+#include "serve/client.h"
+#include "serve/frontend.h"
 #include "serve/queue.h"
 #include "serve/supervisor.h"
 #include "serve/warm_pool.h"
@@ -415,6 +417,81 @@ void register_workloads(obs::BenchSuite& suite) {
             [dense_pipe] { dense_pipe(8); });
   suite.add("serve/ge-dense-n96-pipe-k64", "serve",
             [dense_pipe] { dense_pipe(64); });
+
+  // --- Socket front end (BENCH_pr8.json): the network transport bill ------
+  // The same GEM xor suite once more, but through a real localhost Unix
+  // socket: client connect + kRequest frame + poll()-driven listener +
+  // admission + kResponse frame + decode. Three rungs:
+  //   socket-gem-xor-cached      cache-hit answers; delta against
+  //                              serve/gem-xor-service-cache-hit is the pure
+  //                              socket round-trip bill.
+  //   socket-gem-xor-fresh       cache disabled, every submit re-factors in
+  //                              a warm worker; delta against
+  //                              serve/gem-xor-warm-k8 is the socket bill
+  //                              riding a real job.
+  //   socket-gem-xor-torn-retry  attempt 1 sabotaged with a torn frame, so
+  //                              every answer costs two conversations plus a
+  //                              reconnect; delta against socket-gem-xor-
+  //                              cached is the client retry machinery.
+  // Rigs are built lazily (first call = warmup pass) and shared across
+  // repeats, mirroring the warm-pool idiom above.
+  struct SocketRig {
+    std::unique_ptr<serve::ReductionService> service;
+    std::unique_ptr<serve::Frontend> frontend;
+  };
+  auto make_socket_rig = [](std::size_t cache_capacity) {
+    auto rig = std::make_unique<SocketRig>();
+    serve::ServiceOptions so;
+    so.dispatchers = 2;
+    so.pool.workers = 2;
+    so.cache_capacity = cache_capacity;
+    so.supervisor.checkpoint_every = 8;
+    rig->service = std::make_unique<serve::ReductionService>(so);
+    static int rig_counter = 0;
+    serve::FrontendOptions fo;
+    fo.unix_path = "/tmp/pfact_bench_sock_" + std::to_string(::getpid()) +
+                   "_" + std::to_string(++rig_counter) + ".sock";
+    rig->frontend = std::make_unique<serve::Frontend>(*rig->service, fo);
+    if (!rig->frontend->running()) std::abort();
+    return rig;
+  };
+  auto socket_submit = [gem_xor_tasks](SocketRig& rig, serve::NetFault fault) {
+    serve::ClientOptions co;
+    co.unix_path = rig.frontend->unix_path();
+    co.retry.max_attempts = 3;
+    co.retry.base_delay = std::chrono::milliseconds{1};
+    // Measure the reconnect/reship work, not the backoff sleep.
+    co.sleeper = [](std::chrono::milliseconds) {};
+    co.fault.fault = fault;
+    co.fault.seed = 11;
+    co.fault.on_attempt = fault == serve::NetFault::kNone ? 0 : 1;
+    serve::Client client(co);
+    for (const robustness::ReductionTask& task : gem_xor_tasks()) {
+      const serve::ClientResult res = client.submit(task);
+      if (!res.ok || !res.response.certified ||
+          res.response.value != task.expected()) {
+        std::abort();
+      }
+    }
+  };
+  auto cached_rig = std::make_shared<std::unique_ptr<SocketRig>>();
+  suite.add("serve/socket-gem-xor-cached", "serve",
+            [make_socket_rig, socket_submit, cached_rig] {
+              if (!*cached_rig) *cached_rig = make_socket_rig(128);
+              socket_submit(**cached_rig, serve::NetFault::kNone);
+            });
+  auto fresh_rig = std::make_shared<std::unique_ptr<SocketRig>>();
+  suite.add("serve/socket-gem-xor-fresh", "serve",
+            [make_socket_rig, socket_submit, fresh_rig] {
+              if (!*fresh_rig) *fresh_rig = make_socket_rig(0);
+              socket_submit(**fresh_rig, serve::NetFault::kNone);
+            });
+  auto torn_rig = std::make_shared<std::unique_ptr<SocketRig>>();
+  suite.add("serve/socket-gem-xor-torn-retry", "serve",
+            [make_socket_rig, socket_submit, torn_rig] {
+              if (!*torn_rig) *torn_rig = make_socket_rig(128);
+              socket_submit(**torn_rig, serve::NetFault::kTornFrame);
+            });
 
   // --- Sparse backend (BENCH_pr7.json): dense-vs-sparse deltas ------------
   // The same guarded GEM workload (deep NAND chain, depth 40 — the largest

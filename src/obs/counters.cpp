@@ -68,6 +68,17 @@ const char* counter_name(Counter c) {
     case Counter::kSparseZeroDrops: return "sparse-zero-drops";
     case Counter::kDenseStorageBytes: return "dense-storage-bytes";
     case Counter::kSparseStorageBytes: return "sparse-storage-bytes";
+    case Counter::kFrontendConnsAccepted: return "frontend-conns-accepted";
+    case Counter::kFrontendAccepted: return "frontend-accepted";
+    case Counter::kFrontendMalformed: return "frontend-malformed";
+    case Counter::kFrontendDeadlineEvictions:
+      return "frontend-deadline-evictions";
+    case Counter::kFrontendConnResets: return "frontend-conn-resets";
+    case Counter::kFrontendOverloadSheds: return "frontend-overload-sheds";
+    case Counter::kFrontendDrainRefusals: return "frontend-drain-refusals";
+    case Counter::kFrontendBytesRead: return "frontend-bytes-read";
+    case Counter::kFrontendBytesWritten: return "frontend-bytes-written";
+    case Counter::kClientRetries: return "client-retries";
     case Counter::kCount_: break;
   }
   return "?";

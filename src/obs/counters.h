@@ -121,6 +121,18 @@ enum class Counter : std::size_t {
   kDenseStorageBytes,        // bytes of dense matrix storage benchmarked
   kSparseStorageBytes,       // bytes of sparse CSR storage benchmarked
 
+  // --- serve/: socket front end ---------------------------------------------
+  kFrontendConnsAccepted,     // connections accept()ed by the listener
+  kFrontendAccepted,          // requests admitted and answered (kAccepted)
+  kFrontendMalformed,         // frames/payloads refused as kMalformedFrame
+  kFrontendDeadlineEvictions, // slow clients evicted at a read/write deadline
+  kFrontendConnResets,        // peers that vanished mid-frame (kConnReset)
+  kFrontendOverloadSheds,     // conn-bound / queue-full refusals (kOverloaded)
+  kFrontendDrainRefusals,     // requests refused while draining (kDraining)
+  kFrontendBytesRead,         // request-side bytes read off client sockets
+  kFrontendBytesWritten,      // response-side bytes written to client sockets
+  kClientRetries,             // client library retry attempts (transient)
+
   kCount_,  // sentinel: number of counters
 };
 

@@ -41,6 +41,7 @@ enum class Diagnostic {
   kWorkerFailure,         // a pool worker failed with an unclassified error
   kInternalError,         // anything else — a bug in this library
   kOverloaded,            // admission control shed the job (queue saturated)
+  kConnReset,             // a network peer vanished mid-conversation
 };
 
 inline const char* diagnostic_name(Diagnostic d) {
@@ -64,6 +65,7 @@ inline const char* diagnostic_name(Diagnostic d) {
     case Diagnostic::kWorkerFailure: return "worker-failure";
     case Diagnostic::kInternalError: return "internal-error";
     case Diagnostic::kOverloaded: return "overloaded";
+    case Diagnostic::kConnReset: return "connection-reset";
   }
   return "?";
 }

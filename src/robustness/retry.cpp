@@ -28,6 +28,9 @@ FailureKind classify_diagnostic(Diagnostic d) {
     case Diagnostic::kWorkerFailure:       // a pool worker died
     case Diagnostic::kOverloaded:          // shed by admission control; the
                                            // work was refused, never refuted
+    case Diagnostic::kConnReset:           // the peer (or the wire) vanished;
+                                           // the request may never have been
+                                           // seen — reconnect and resubmit
       return FailureKind::kTransient;
 
     // The arithmetic on this substrate produced these bits and will again:

@@ -20,6 +20,24 @@ const ServiceResponse& ReductionService::Pending::wait() {
   return response_;
 }
 
+const ServiceResponse* ReductionService::Pending::poll_response() {
+  par::MutexLock lock(mu_);
+  return done_ ? &response_ : nullptr;
+}
+
+void ReductionService::Pending::notify_on_done(std::function<void()> fn) {
+  bool fire = false;
+  {
+    par::MutexLock lock(mu_);
+    if (done_) {
+      fire = true;  // resolved before registration: fire on this thread
+    } else {
+      notifier_ = std::move(fn);
+    }
+  }
+  if (fire) fn();
+}
+
 ReductionService::ReductionService(ServiceOptions options)
     : options_(std::move(options)),
       pool_(options_.pool),
@@ -42,10 +60,16 @@ ReductionService::~ReductionService() {
 }
 
 void ReductionService::resolve(Pending& pending, ServiceResponse response) {
-  par::MutexLock lock(pending.mu_);
-  pending.response_ = std::move(response);
-  pending.done_ = true;
-  pending.done_cv_.notify_all();
+  std::function<void()> notifier;
+  {
+    par::MutexLock lock(pending.mu_);
+    pending.response_ = std::move(response);
+    pending.done_ = true;
+    pending.done_cv_.notify_all();
+    notifier = std::move(pending.notifier_);
+  }
+  // Fired outside the lock: the callback may call poll_response().
+  if (notifier) notifier();
 }
 
 ServiceResponse ReductionService::shed_response(Admission admission,

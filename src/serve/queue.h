@@ -127,12 +127,24 @@ class ReductionService {
    public:
     const ServiceResponse& wait();
 
+    // Non-blocking probe: nullptr until resolved, then the response. The
+    // pointer stays valid for the Pending's lifetime.
+    const ServiceResponse* poll_response();
+
+    // Registers a callback fired exactly once when the job resolves —
+    // immediately (on the calling thread) if it already has. The callback
+    // runs outside the Pending's lock on whichever thread resolves the job;
+    // it must be cheap and non-blocking (the socket frontend uses it to
+    // write one byte into its poll() wakeup pipe). At most one callback.
+    void notify_on_done(std::function<void()> fn);
+
    private:
     friend class ReductionService;
     par::Mutex mu_;
     std::condition_variable done_cv_;
     bool done_ PFACT_GUARDED_BY(mu_) = false;
     ServiceResponse response_ PFACT_GUARDED_BY(mu_);
+    std::function<void()> notifier_ PFACT_GUARDED_BY(mu_);
   };
 
   explicit ReductionService(ServiceOptions options = {});

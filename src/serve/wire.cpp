@@ -71,6 +71,7 @@ const char* wire_status_name(WireStatus s) {
     case WireStatus::kMalformed: return "malformed";
     case WireStatus::kIoError: return "io-error";
     case WireStatus::kTimeout: return "timeout";
+    case WireStatus::kConnReset: return "conn-reset";
   }
   return "?";
 }
@@ -189,7 +190,7 @@ bool decode_result(std::string_view payload, robustness::RunReport& out) {
   robustness::RunReport rep;
   const std::uint32_t diag = r.get_u32();
   // Bound tracks the LAST Diagnostic enumerator (append-only taxonomy).
-  if (diag > static_cast<std::uint32_t>(robustness::Diagnostic::kOverloaded))
+  if (diag > static_cast<std::uint32_t>(robustness::Diagnostic::kConnReset))
     return false;
   rep.diagnostic = static_cast<robustness::Diagnostic>(diag);
   rep.value = r.get_u8() != 0;
@@ -252,7 +253,11 @@ WireStatus write_frame(int fd, FrameType type, std::string_view payload) {
     const ssize_t n = ::write(fd, frame.data() + off, frame.size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return WireStatus::kIoError;  // EPIPE: the reader is gone
+      // The reader is gone: EPIPE when the kernel knows at write time,
+      // ECONNRESET when a socket peer closed with data in flight. Both are
+      // the transient "resubmit elsewhere" class, not a local I/O fault.
+      if (errno == EPIPE || errno == ECONNRESET) return WireStatus::kConnReset;
+      return WireStatus::kIoError;
     }
     off += static_cast<std::size_t>(n);
   }
@@ -295,6 +300,7 @@ WireStatus read_exact(int fd, char* dst, std::size_t n,
     const ssize_t r = ::read(fd, dst + off, n - off);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == ECONNRESET) return WireStatus::kConnReset;
       return WireStatus::kIoError;
     }
     if (r == 0) {
@@ -322,7 +328,7 @@ WireStatus read_frame(int fd, FrameType& type, std::string& payload,
   const std::uint32_t crc = r.get_u32();
   if (magic != kFrameMagic) return WireStatus::kBadMagic;
   if (raw_type < static_cast<std::uint8_t>(FrameType::kRequest) ||
-      raw_type > static_cast<std::uint8_t>(FrameType::kResult)) {
+      raw_type > static_cast<std::uint8_t>(FrameType::kResponse)) {
     return WireStatus::kBadType;
   }
   if (length > kMaxFramePayload) return WireStatus::kMalformed;

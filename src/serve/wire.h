@@ -52,6 +52,7 @@ enum class FrameType : std::uint8_t {
   kRequest = 1,     // supervisor -> worker: one serialized TaskRequest
   kCheckpoint = 2,  // worker -> supervisor: step u64 + one PFCK blob
   kResult = 3,      // worker -> supervisor: one serialized RunReport
+  kResponse = 4,    // frontend -> client: one serialized FrontendResponse
 };
 
 enum class WireStatus {
@@ -62,8 +63,11 @@ enum class WireStatus {
   kBadType,      // unknown FrameType
   kCrcMismatch,  // payload bytes do not hash to the stored CRC
   kMalformed,    // frame verified but the payload does not parse
-  kIoError,      // read/write failed (EPIPE, EBADF, ...)
+  kIoError,      // read/write failed (EBADF, ...)
   kTimeout,      // deadline expired mid-read (the watchdog's signal)
+  kConnReset,    // the peer vanished (EPIPE / ECONNRESET): a socket-era
+                 // death, distinct from kIoError so clients can classify
+                 // it transient and resubmit (Diagnostic::kConnReset)
 };
 
 const char* wire_status_name(WireStatus s);
@@ -128,8 +132,8 @@ bool decode_checkpoint_frame(std::string_view payload, std::uint64_t& step,
 
 // --- frame I/O -------------------------------------------------------------
 
-// Writes one complete frame; retries short writes and EINTR. kIoError on
-// EPIPE (the reader died) — callers must have SIGPIPE ignored.
+// Writes one complete frame; retries short writes and EINTR. kConnReset on
+// EPIPE/ECONNRESET (the reader died) — callers must have SIGPIPE ignored.
 WireStatus write_frame(int fd, FrameType type, std::string_view payload);
 
 // Reads one complete frame, polling against `deadline` (zero-duration

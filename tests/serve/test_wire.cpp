@@ -2,9 +2,12 @@
 // frame layer rejects every way a frame can arrive damaged (CRC mismatch,
 // truncation, desynchronization, deadline expiry) instead of half-parsing.
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
 #include <pthread.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -17,6 +20,7 @@
 #include "circuit/circuit.h"
 #include "robustness/escalation.h"
 #include "robustness/guarded_run.h"
+#include "robustness/retry.h"
 #include "serve/wire.h"
 
 namespace pfact::serve {
@@ -351,6 +355,116 @@ TEST_F(FramePipe, SilentPeerHitsTheDeadline) {
             WireStatus::kTimeout);
   EXPECT_GE(std::chrono::steady_clock::now() - t0,
             std::chrono::milliseconds(40));
+}
+
+// --- peer-vanished classification (kConnReset) ------------------------------
+//
+// EPIPE and ECONNRESET are the two faces of the same event — the peer is
+// gone — reported at different moments: EPIPE when the kernel already knows
+// at write time, ECONNRESET when a TCP peer closed with data still in
+// flight (its close turns into an RST). Both must classify as the single
+// transient WireStatus::kConnReset, never the terminal kIoError.
+
+TEST(WireConnReset, IsNamedAndDiagnosesTransient) {
+  EXPECT_STREQ(wire_status_name(WireStatus::kConnReset), "conn-reset");
+  EXPECT_EQ(robustness::classify_diagnostic(Diagnostic::kConnReset),
+            robustness::FailureKind::kTransient);
+}
+
+TEST(WireConnReset, EpipeOnWriteClassifiesAsConnReset) {
+  ::signal(SIGPIPE, SIG_IGN);
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ::close(sv[1]);  // the reader is gone before we ever write
+
+  // A payload far beyond the socket buffer, so even if the first write is
+  // absorbed, a later one must observe the dead peer.
+  const std::string payload(1u << 20, 'x');
+  EXPECT_EQ(write_frame(sv[0], FrameType::kRequest, payload),
+            WireStatus::kConnReset);
+  ::close(sv[0]);
+}
+
+TEST(WireConnReset, TcpRstOnWriteClassifiesAsConnReset) {
+  ::signal(SIGPIPE, SIG_IGN);
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &len), 0);
+
+  const int client = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(client, 0);
+  ASSERT_EQ(::connect(client, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)), 0);
+  const int server = ::accept(listen_fd, nullptr, nullptr);
+  ASSERT_GE(server, 0);
+
+  // The peer closes with our data UNREAD: its close emits an RST, and the
+  // next writes observe ECONNRESET (possibly EPIPE on the one after — both
+  // must land on kConnReset).
+  ASSERT_EQ(write_frame(client, FrameType::kRequest, "unread"),
+            WireStatus::kOk);
+  ::close(server);
+
+  WireStatus st = WireStatus::kOk;
+  const std::string payload(1u << 20, 'y');
+  for (int i = 0; i < 10 && st == WireStatus::kOk; ++i) {
+    st = write_frame(client, FrameType::kRequest, payload);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(st, WireStatus::kConnReset);
+  ::close(client);
+  ::close(listen_fd);
+}
+
+TEST(WireConnReset, TcpRstOnReadClassifiesAsConnReset) {
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)), 0);
+  ASSERT_EQ(::listen(listen_fd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                          &len), 0);
+
+  const int client = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(client, 0);
+  ASSERT_EQ(::connect(client, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)), 0);
+  const int server = ::accept(listen_fd, nullptr, nullptr);
+  ASSERT_GE(server, 0);
+
+  // Abortive close: SO_LINGER with zero timeout turns close() into an RST
+  // instead of an orderly FIN, so the client's pending read fails with
+  // ECONNRESET rather than seeing EOF.
+  struct linger lg {};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ASSERT_EQ(::setsockopt(server, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg)), 0);
+  ::close(server);
+
+  FrameType type = FrameType::kRequest;
+  std::string payload;
+  const WireStatus st = read_frame(
+      client, type, payload,
+      std::chrono::steady_clock::now() + std::chrono::seconds(5));
+  // kConnReset when the RST races ahead of the read; a clean kEof would
+  // mean the RST path silently degraded to a FIN — reject that.
+  EXPECT_EQ(st, WireStatus::kConnReset) << wire_status_name(st);
+  ::close(client);
+  ::close(listen_fd);
 }
 
 }  // namespace

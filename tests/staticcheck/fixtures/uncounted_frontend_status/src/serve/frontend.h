@@ -1,0 +1,71 @@
+#pragma once
+// Seeded violation: kDraining is named, diagnosed, and swept, but its
+// counter case was dropped — conversations refused during a drain would
+// vanish from monitoring. PL012 must flag exactly this one gap.
+
+#include <vector>
+
+namespace pfact::serve {
+
+enum class FrontendStatus {
+  kAccepted,
+  kMalformedFrame,
+  kDeadline,
+  kConnReset,
+  kOverloaded,
+  kDraining,
+};
+
+inline const char* frontend_status_name(FrontendStatus s) {
+  switch (s) {
+    case FrontendStatus::kAccepted: return "accepted";
+    case FrontendStatus::kMalformedFrame: return "malformed-frame";
+    case FrontendStatus::kDeadline: return "deadline";
+    case FrontendStatus::kConnReset: return "conn-reset";
+    case FrontendStatus::kOverloaded: return "overloaded";
+    case FrontendStatus::kDraining: return "draining";
+  }
+  return "?";
+}
+
+inline const std::vector<FrontendStatus>& all_frontend_statuses() {
+  static const std::vector<FrontendStatus> statuses = {
+      FrontendStatus::kAccepted,   FrontendStatus::kMalformedFrame,
+      FrontendStatus::kDeadline,   FrontendStatus::kConnReset,
+      FrontendStatus::kOverloaded, FrontendStatus::kDraining};
+  return statuses;
+}
+
+inline robustness::Diagnostic diagnose_frontend_status(FrontendStatus s) {
+  switch (s) {
+    case FrontendStatus::kAccepted: return robustness::Diagnostic::kOk;
+    case FrontendStatus::kMalformedFrame:
+      return robustness::Diagnostic::kBadInput;
+    case FrontendStatus::kDeadline:
+      return robustness::Diagnostic::kDeadlineExceeded;
+    case FrontendStatus::kConnReset:
+      return robustness::Diagnostic::kConnReset;
+    case FrontendStatus::kOverloaded:
+      return robustness::Diagnostic::kOverloaded;
+    case FrontendStatus::kDraining:
+      return robustness::Diagnostic::kCancelled;
+  }
+  return robustness::Diagnostic::kInternalError;
+}
+
+inline obs::Counter frontend_status_counter(FrontendStatus s) {
+  switch (s) {
+    case FrontendStatus::kAccepted: return obs::Counter::kFrontendAccepted;
+    case FrontendStatus::kMalformedFrame:
+      return obs::Counter::kFrontendMalformed;
+    case FrontendStatus::kDeadline:
+      return obs::Counter::kFrontendDeadlineEvictions;
+    case FrontendStatus::kConnReset:
+      return obs::Counter::kFrontendConnResets;
+    case FrontendStatus::kOverloaded:
+      return obs::Counter::kFrontendOverloadSheds;
+  }
+  return obs::Counter::kFrontendMalformed;
+}
+
+}  // namespace pfact::serve

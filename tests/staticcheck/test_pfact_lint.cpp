@@ -188,6 +188,32 @@ TEST(PfactLint, OrphanSparseTagFailsPL011) {
   EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
 }
 
+TEST(PfactLint, UncountedFrontendStatusFailsPL012) {
+  const fs::path root = materialize("uncounted_frontend_status");
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 1) << res.output;
+  EXPECT_NE(res.output.find("PL012"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("FrontendStatus::kDraining"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("frontend_status_counter"), std::string::npos)
+      << res.output;
+  // kDraining IS named, diagnosed, and swept in this overlay: the missing
+  // counter is the only finding.
+  EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
+}
+
+TEST(PfactLint, UnsweptFrontendStatusFailsPL012) {
+  const fs::path root = materialize("unswept_frontend_status");
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 1) << res.output;
+  EXPECT_NE(res.output.find("PL012"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("FrontendStatus::kConnReset"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("all_frontend_statuses"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
+}
+
 // --update-manifest is the sanctioned way out of PL007/PL008: after a
 // legitimate schema change plus version bump, regenerating the manifest
 // returns the tree to clean.

@@ -1,0 +1,91 @@
+// The pfact_soak exit-code contract, pinned end to end: a clean short soak
+// exits 0 in every mode, and ANY violation — including a fabricated one
+// through the --inject-violation seam — exits nonzero AND prints the
+// campaign seed, so a red CI run is always replayable from its last output
+// line. The binary is exercised as a subprocess (not a linked library)
+// because the exit status IS the contract: CI gates on it.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct SoakResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+SoakResult run_soak(const std::string& args) {
+  const fs::path log =
+      fs::path(testing::TempDir()) / "pfact_soak_cli_log.txt";
+  const std::string cmd = std::string(PFACT_SOAK_BIN) + " --log " +
+                          log.string() + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << cmd;
+  SoakResult res;
+  if (pipe == nullptr) return res;
+  std::array<char, 4096> buf;
+  while (std::fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    res.output += buf.data();
+  }
+  const int status = pclose(pipe);
+  res.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return res;
+}
+
+// A fabricated violation must exit 1 and print the seed — in EVERY mode,
+// because each mode has its own campaign loop and its own exit block, and
+// any one of them silently returning 0 would let a red soak pass CI.
+void expect_violation_fails(const std::string& mode_args) {
+  const SoakResult res =
+      run_soak(mode_args + " --campaigns 3 --seed 77 --inject-violation 1");
+  EXPECT_EQ(res.exit_code, 1) << res.output;
+  EXPECT_NE(res.output.find("FAILED"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("seed=77"), std::string::npos)
+      << "a failing soak must print its seed for replay:\n" << res.output;
+}
+
+TEST(SoakCli, CleanShortSoakExitsZero) {
+  const SoakResult res = run_soak("--campaigns 3 --seed 5");
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("held the contract"), std::string::npos)
+      << res.output;
+}
+
+TEST(SoakCli, CleanShortNetSoakExitsZero) {
+  const SoakResult res = run_soak("--net --campaigns 7 --seed 5");
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("held the contract"), std::string::npos)
+      << res.output;
+}
+
+TEST(SoakCli, InjectedViolationFailsDefaultMode) {
+  expect_violation_fails("");
+}
+
+TEST(SoakCli, InjectedViolationFailsKillMode) {
+  expect_violation_fails("--kill-only");
+}
+
+TEST(SoakCli, InjectedViolationFailsServeMode) {
+  expect_violation_fails("--serve");
+}
+
+TEST(SoakCli, InjectedViolationFailsNetMode) {
+  expect_violation_fails("--net");
+}
+
+TEST(SoakCli, UnknownFlagExitsTwoWithUsage) {
+  const SoakResult res = run_soak("--no-such-flag");
+  EXPECT_EQ(res.exit_code, 2) << res.output;
+  EXPECT_NE(res.output.find("usage:"), std::string::npos) << res.output;
+}
+
+}  // namespace

@@ -48,6 +48,13 @@
 //                                    "sparse-" + the dense tag, or that is
 //                                    missing from the all_sparse_field_tags()
 //                                    sweep the codec corruption tests run over
+//   PL012 frontend-status-unmapped   FrontendStatus enumerator with no
+//                                    frontend_status_name() case, no
+//                                    diagnose_frontend_status() Diagnostic
+//                                    mapping, no frontend_status_counter()
+//                                    obs counter, or missing from the
+//                                    all_frontend_statuses() sweep the
+//                                    rejection matrix and --net soak cover
 //
 // Usage:
 //   pfact_lint --root <repo-root> [--manifest <file>] [--update-manifest]
@@ -495,6 +502,76 @@ void check_serve_rejections(Lint& lint) {
   }
 }
 
+// PL012: the socket front end's conversation taxonomy is total FOUR ways —
+// named (log lines), counted (obs counters), diagnosed (the client's retry
+// table), and swept (the rejection-matrix test and the --net soak's
+// full-coverage contract iterate all_frontend_statuses()). A FrontendStatus
+// added without all four legs compiles cleanly and only shows up as an
+// unexplained client hang-up under real network weather.
+void check_frontend_statuses(Lint& lint) {
+  const char* file = "src/serve/frontend.h";
+  const std::string text = lint.read(file);
+  if (text.empty()) return;
+  const std::vector<std::string> ids = parse_enum(text, "FrontendStatus");
+  if (ids.empty()) {
+    lint.report("PL012", "frontend-status-unmapped",
+                std::string("enum class FrontendStatus not found in ") + file);
+    return;
+  }
+  const std::map<std::string, std::string> names = parse_switch_returns(
+      function_body(text, "frontend_status_name"), "FrontendStatus");
+  const std::map<std::string, std::string> diags = parse_switch_returns(
+      function_body(text, "diagnose_frontend_status"), "FrontendStatus");
+  const std::map<std::string, std::string> counters = parse_switch_returns(
+      function_body(text, "frontend_status_counter"), "FrontendStatus");
+
+  std::set<std::string> swept;
+  const std::string sweep_body =
+      function_body(text, "all_frontend_statuses");
+  const std::regex mention("FrontendStatus::(k[A-Za-z0-9_]+)");
+  for (auto it =
+           std::sregex_iterator(sweep_body.begin(), sweep_body.end(), mention);
+       it != std::sregex_iterator(); ++it) {
+    swept.insert((*it)[1].str());
+  }
+  for (const std::string& id : ids) {
+    const std::string qualified = "FrontendStatus::" + id;
+    const auto n = names.find(id);
+    if (n == names.end() || !quoted(n->second).has_value() ||
+        !is_kebab_case(*quoted(n->second))) {
+      lint.report("PL012", "frontend-status-unmapped",
+                  qualified +
+                      " has no kebab-case name case in "
+                      "frontend_status_name()");
+    }
+    const auto d = diags.find(id);
+    if (d == diags.end() ||
+        d->second.find("Diagnostic::") == std::string::npos) {
+      lint.report("PL012", "frontend-status-unmapped",
+                  qualified + " is not mapped to a Diagnostic in "
+                              "diagnose_frontend_status() — the client "
+                              "library could not decide retry vs fail-fast "
+                              "for it");
+    }
+    const auto c = counters.find(id);
+    if (c == counters.end() ||
+        c->second.find("Counter::") == std::string::npos) {
+      lint.report("PL012", "frontend-status-unmapped",
+                  qualified + " has no obs counter in "
+                              "frontend_status_counter() — conversations "
+                              "ending this way would be invisible to "
+                              "monitoring");
+    }
+    if (swept.count(id) == 0) {
+      lint.report("PL012", "frontend-status-unmapped",
+                  qualified + " is missing from the all_frontend_statuses() "
+                              "sweep list — the rejection-matrix test and "
+                              "the --net soak could never certify coverage "
+                              "of it");
+    }
+  }
+}
+
 // --- checkpoint schema: tags, version, manifest -----------------------------
 
 struct CheckpointSchema {
@@ -742,6 +819,7 @@ int main(int argc, char** argv) {
   check_diagnostics(lint);
   check_worker_exits(lint);
   check_serve_rejections(lint);
+  check_frontend_statuses(lint);
   check_tag_uniqueness(lint, schema);
   check_sparse_tags(lint);
   check_manifest(lint, schema, manifest_path);

@@ -54,17 +54,37 @@
 // coverage (same two exclusions as kill-only), and at least one genuine
 // cache hit.
 //
-// Usage: pfact_soak [--campaigns N] [--seed S] [--log FILE]
-//                   [--fail-dir DIR] [--kill-only] [--serve] [--verbose]
+// With --net the soak attacks the socket FRONT END: a Frontend listening on
+// a temp Unix socket fronts the warm-worker service, and client submissions
+// are sabotaged with every NetFaultPlan shape — torn frames, mid-header
+// closes, byte-dribbles, slowloris stalls, garbage preambles — plus
+// connection-bound overloads and a final graceful drain. Contracts: zero
+// wrong answers (every submission that survives its fault decodes the
+// ground-truth boolean), every conversation ending classified as exactly
+// one FrontendStatus, FULL FrontendStatus coverage across the campaign set,
+// and the warm pool intact at the end.
 //
-// Exit code 0 iff every campaign held the contract. The log file (one line
-// per campaign) and any failing checkpoint blobs (--fail-dir) are the CI
-// artifacts.
+// Usage: pfact_soak [--campaigns N] [--seed S] [--log FILE]
+//                   [--fail-dir DIR] [--kill-only] [--serve] [--net]
+//                   [--inject-violation N] [--verbose]
+//
+// Exit code 0 iff every campaign held the contract; any violation exits
+// nonzero and prints the campaign seed so the run can be replayed.
+// --inject-violation N fabricates a violation at campaign N — the
+// regression seam proving the violation exit path stays wired. The log file
+// (one line per campaign) and any failing checkpoint blobs (--fail-dir)
+// are the CI artifacts.
 
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <set>
 #include <string>
@@ -78,6 +98,8 @@
 #include "robustness/fault_injector.h"
 #include "robustness/resilient_run.h"
 #include "robustness/retry.h"
+#include "serve/client.h"
+#include "serve/frontend.h"
 #include "serve/queue.h"
 #include "serve/supervisor.h"
 #include "serve/worker_pool.h"
@@ -94,8 +116,23 @@ struct Options {
   std::string fail_dir;
   bool kill_only = false;
   bool serve = false;
+  bool net = false;
   bool verbose = false;
+  // Campaign index at which to fabricate a contract violation (SIZE_MAX =
+  // never): the regression seam that keeps every violation path wired to a
+  // nonzero exit and a printed seed.
+  std::size_t inject_violation = SIZE_MAX;
 };
+
+// Every violation path funnels through here on its way out: the seed is the
+// replay handle, so it must reach stdout even when only the tail of the
+// output survives (CI truncation, a pipe buffer, a panicked operator).
+int fail_exit(const Options& opt) {
+  std::printf("pfact_soak: FAILED seed=%llu (see %s)\n",
+              static_cast<unsigned long long>(opt.seed),
+              opt.log_path.c_str());
+  return 1;
+}
 
 struct SoakStats {
   std::size_t certified = 0;
@@ -107,6 +144,18 @@ struct SoakStats {
   std::size_t wrong_answers = 0;  // must stay 0
   std::size_t broken_contracts = 0;
 };
+
+// True (and records the fabricated violation) when --inject-violation says
+// this campaign must fail. Checked at the top of every campaign loop so the
+// seam exercises each mode's abort path identically.
+bool injected_violation(const Options& opt, std::size_t campaign,
+                        std::ofstream& log, SoakStats& stats) {
+  if (campaign != opt.inject_violation) return false;
+  ++stats.broken_contracts;
+  log << "campaign " << campaign
+      << " INJECTED VIOLATION (--inject-violation)\n";
+  return true;
+}
 
 // Deterministic per-campaign stream: mix64 of (seed, campaign, salt).
 struct Stream {
@@ -255,6 +304,10 @@ int run_kill_campaigns(const Options& opt, std::ofstream& log) {
   bool ok = true;
 
   for (std::size_t campaign = 0; campaign < opt.campaigns && ok; ++campaign) {
+    if (injected_violation(opt, campaign, log, stats)) {
+      ok = false;
+      break;
+    }
     Stream rng{opt.seed, campaign};
     const ReductionTask& task = pool_tasks[rng.pick(pool_tasks.size())];
     // Cycle shapes deterministically so a short soak still covers them all.
@@ -371,8 +424,7 @@ int run_kill_campaigns(const Options& opt, std::ofstream& log) {
       static_cast<unsigned long long>(ps.watchdog_kills), resume_handoffs,
       stats.wrong_answers, stats.broken_contracts);
   if (!ok || stats.wrong_answers != 0 || stats.broken_contracts != 0) {
-    std::printf("pfact_soak: FAILED (see %s)\n", opt.log_path.c_str());
-    return 1;
+    return fail_exit(opt);
   }
   std::printf("pfact_soak: all real-kill campaigns held the contract\n");
   return 0;
@@ -472,6 +524,10 @@ int run_serve_campaigns(const Options& opt, std::ofstream& log) {
   };
 
   for (std::size_t campaign = 0; campaign < opt.campaigns && ok; ++campaign) {
+    if (injected_violation(opt, campaign, log, stats)) {
+      ok = false;
+      break;
+    }
     Stream rng{opt.seed, campaign};
     const std::size_t shape = campaign % 7;
 
@@ -697,10 +753,358 @@ int run_serve_campaigns(const Options& opt, std::ofstream& log) {
       static_cast<unsigned long long>(ps.recycles), stats.wrong_answers,
       stats.broken_contracts);
   if (!ok || stats.wrong_answers != 0 || stats.broken_contracts != 0) {
-    std::printf("pfact_soak: FAILED (see %s)\n", opt.log_path.c_str());
-    return 1;
+    return fail_exit(opt);
   }
   std::printf("pfact_soak: all serve campaigns held the contract\n");
+  return 0;
+}
+
+// --- net mode: chaos against the socket front end --------------------------
+
+// Raw-socket plumbing for the shapes the Client cannot stage itself: pinning
+// idle connections against the bound, and completing a frame mid-drain.
+int raw_connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, data + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+std::string raw_request_frame(const ReductionTask& task) {
+  serve::TaskRequest req;
+  req.task = task;
+  const std::string payload = serve::encode_request(req);
+  robustness::detail::ByteWriter w;
+  w.put_u32(serve::kFrameMagic);
+  w.put_u8(static_cast<std::uint8_t>(serve::FrameType::kRequest));
+  w.put_u64(payload.size());
+  w.put_u32(robustness::crc32(payload.data(), payload.size()));
+  w.put_bytes(payload.data(), payload.size());
+  return w.take();
+}
+
+bool wait_until(const std::function<bool()>& cond,
+                std::chrono::milliseconds timeout =
+                    std::chrono::milliseconds(5000)) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return cond();
+}
+
+int run_net_campaigns(const Options& opt, std::ofstream& log) {
+  const std::vector<ReductionTask> repeat_tasks = build_task_pool();
+
+  serve::ServiceOptions so;
+  so.dispatchers = 2;
+  so.queue_depth = 8;
+  so.cache_capacity = 64;
+  so.pool.workers = 2;
+  so.supervisor.retry.max_attempts = 3;
+  so.supervisor.retry.base_delay = std::chrono::milliseconds{1};
+  so.supervisor.checkpoint_every = 2;
+  serve::ReductionService service(so);
+
+  serve::FrontendOptions fo;
+  fo.unix_path =
+      "/tmp/pfact_soak_net_" + std::to_string(::getpid()) + ".sock";
+  fo.max_connections = 4;  // small on purpose: overload shapes must shed
+  // Short enough that a stalled-reader campaign settles fast, long enough
+  // that a dribbled frame (~1ms per 64 bytes) still completes in time.
+  fo.read_deadline = std::chrono::milliseconds{400};
+  fo.write_deadline = std::chrono::milliseconds{2000};
+  serve::Frontend frontend(service, fo);
+
+  SoakStats stats;
+  bool ok = true;
+  std::uint64_t unique_id = 0;
+
+  if (!frontend.running()) {
+    ++stats.broken_contracts;
+    log << "FRONTEND NEVER BOUND: " << fo.unix_path << "\n";
+    return fail_exit(opt);
+  }
+
+  auto fail = [&](std::size_t campaign, const char* what,
+                  const std::string& body) {
+    ++stats.broken_contracts;
+    log << "campaign " << campaign << " " << what << "\n" << body << "\n";
+    if (!opt.fail_dir.empty()) {
+      std::ofstream dump(opt.fail_dir + "/net_campaign" +
+                             std::to_string(campaign) + ".txt",
+                         std::ios::trunc);
+      dump << what << "\n" << body << "\n";
+    }
+    ok = false;
+  };
+
+  auto describe = [](const serve::ClientResult& res) {
+    return std::string("status=") +
+           serve::frontend_status_name(res.status) + " diagnostic=" +
+           robustness::diagnostic_name(res.diagnostic) + " attempts=" +
+           std::to_string(res.attempts);
+  };
+
+  // The five sabotage shapes, cycled with overload (5) and clean/cached (6).
+  static constexpr serve::NetFault kNetShapes[5] = {
+      serve::NetFault::kTornFrame,     serve::NetFault::kMidFrameClose,
+      serve::NetFault::kDribble,       serve::NetFault::kStalledReader,
+      serve::NetFault::kGarbagePreamble};
+
+  auto client_options = [&](Stream& rng) {
+    serve::ClientOptions co;
+    co.unix_path = frontend.unix_path();
+    co.retry.max_attempts = 4;
+    co.retry.base_delay = std::chrono::milliseconds{1};
+    co.retry.jitter_seed = rng.next();
+    return co;
+  };
+
+  for (std::size_t campaign = 0; campaign < opt.campaigns && ok; ++campaign) {
+    if (injected_violation(opt, campaign, log, stats)) {
+      ok = false;
+      break;
+    }
+    Stream rng{opt.seed, campaign};
+    const std::size_t shape = campaign % 7;
+
+    if (shape < std::size(kNetShapes)) {
+      // One sabotaged attempt, then the retry loop must carry the SAME
+      // submission through to the ground-truth boolean. Unique tasks on
+      // even campaigns keep fresh factorizations in the mix; repeat tasks
+      // on odd ones keep the cache warm.
+      serve::ClientOptions co = client_options(rng);
+      co.fault.fault = kNetShapes[shape];
+      co.fault.seed = rng.next();
+      co.fault.on_attempt = 1;
+      // Long enough to trip the server's read deadline, with margin.
+      co.fault.stall = fo.read_deadline + std::chrono::milliseconds{500};
+      const ReductionTask task =
+          (campaign % 2 == 0) ? unique_chain_task(unique_id++)
+                              : repeat_tasks[rng.pick(repeat_tasks.size())];
+      serve::Client client(co);
+      const serve::ClientResult res = client.submit(task);
+      stats.attempts += res.attempts;
+      if (!res.ok || !res.response.certified ||
+          res.response.value != task.expected()) {
+        if (res.ok && res.response.certified) ++stats.wrong_answers;
+        fail(campaign,
+             res.ok ? "WRONG ANSWER through the socket" : "SUBMISSION LOST",
+             describe(res));
+        break;
+      }
+      ++stats.certified;
+      log << "campaign " << campaign << " net-"
+          << serve::net_fault_name(co.fault.fault)
+          << " certified attempts=" << res.attempts << "\n";
+      if (opt.verbose) {
+        std::printf("campaign %zu net-%s: certified (%zu attempts)\n",
+                    campaign, serve::net_fault_name(co.fault.fault),
+                    res.attempts);
+      }
+    } else if (shape == std::size(kNetShapes)) {
+      // Connection-bound overload: pin every slot with idle raw
+      // connections, then a submission MUST be refused as classified
+      // kOverloaded — and succeed once the pins release.
+      std::vector<int> pins;
+      for (std::size_t p = 0; p < fo.max_connections; ++p) {
+        const int fd = raw_connect(fo.unix_path);
+        if (fd >= 0) pins.push_back(fd);
+      }
+      if (pins.size() != fo.max_connections) {
+        for (int fd : pins) ::close(fd);
+        fail(campaign, "PIN SETUP FAILED",
+             std::to_string(pins.size()) + " of " +
+                 std::to_string(fo.max_connections) + " pins connected");
+        break;
+      }
+      serve::ClientOptions co = client_options(rng);
+      co.retry.max_attempts = 2;  // both land on a full house
+      serve::Client refused_client(co);
+      const ReductionTask task = repeat_tasks[rng.pick(repeat_tasks.size())];
+      const serve::ClientResult refused = refused_client.submit(task);
+      const std::uint64_t closes_before = frontend.stats().clean_closes;
+      for (int fd : pins) ::close(fd);
+      if (refused.ok ||
+          refused.status != serve::FrontendStatus::kOverloaded ||
+          refused.diagnostic != Diagnostic::kOverloaded ||
+          classify_diagnostic(refused.diagnostic) !=
+              FailureKind::kTransient) {
+        fail(campaign, "OVERLOAD NOT CLASSIFIED", describe(refused));
+        break;
+      }
+      // The shed is transient and the pins are gone: the same task must
+      // now go straight through.
+      if (!wait_until([&] {
+            return frontend.stats().clean_closes > closes_before;
+          })) {
+        fail(campaign, "PINS NEVER RELEASED",
+             "clean_closes never advanced after closing the pinned "
+             "connections");
+        break;
+      }
+      serve::Client retry_client(client_options(rng));
+      const serve::ClientResult res = retry_client.submit(task);
+      stats.attempts += refused.attempts + res.attempts;
+      if (!res.ok || !res.response.certified ||
+          res.response.value != task.expected()) {
+        if (res.ok && res.response.certified) ++stats.wrong_answers;
+        fail(campaign, "POST-OVERLOAD SUBMISSION LOST", describe(res));
+        break;
+      }
+      ++stats.certified;
+      log << "campaign " << campaign << " net-overload shed then served\n";
+      if (opt.verbose) {
+        std::printf("campaign %zu net-overload: shed as %s, then served\n",
+                    campaign, serve::frontend_status_name(refused.status));
+      }
+    } else {
+      // Clean round-trip, twice: the first certifies fresh (or refreshes
+      // the cache), the immediate repeat MUST be served from the verified
+      // result cache — through the socket.
+      const ReductionTask task = repeat_tasks[rng.pick(repeat_tasks.size())];
+      serve::Client client(client_options(rng));
+      const serve::ClientResult first = client.submit(task);
+      const serve::ClientResult second = client.submit(task);
+      stats.attempts += first.attempts + second.attempts;
+      for (const serve::ClientResult* res : {&first, &second}) {
+        if (!res->ok || !res->response.certified ||
+            res->response.value != task.expected()) {
+          if (res->ok && res->response.certified) ++stats.wrong_answers;
+          fail(campaign, "CLEAN ROUND-TRIP LOST", describe(*res));
+          break;
+        }
+        ++stats.certified;
+      }
+      if (!ok) break;
+      if (!second.response.from_cache) {
+        fail(campaign, "CACHE MISSED THROUGH THE SOCKET",
+             "immediate repeat of an identical task re-factored");
+        break;
+      }
+      log << "campaign " << campaign << " net-clean cached repeat ok\n";
+      if (opt.verbose) {
+        std::printf("campaign %zu net-clean: cached repeat ok\n", campaign);
+      }
+    }
+  }
+
+  // Graceful drain: complete a request AFTER begin_drain and require the
+  // classified kDraining refusal — the last FrontendStatus the campaign
+  // shapes cannot produce — then require the loop to actually exit.
+  if (ok) {
+    const int fd = raw_connect(fo.unix_path);
+    if (fd < 0) {
+      fail(opt.campaigns, "DRAIN CONN FAILED", "connect refused before drain");
+    } else {
+      const std::string frame = raw_request_frame(repeat_tasks[0]);
+      const std::size_t half = frame.size() / 2;
+      bool sent = write_all(fd, frame.data(), half);
+      frontend.begin_drain();
+      sent = sent && write_all(fd, frame.data() + half, frame.size() - half);
+      serve::FrameType type = serve::FrameType::kResponse;
+      std::string payload;
+      serve::FrontendResponse resp;
+      const serve::WireStatus ws =
+          sent ? serve::read_frame(fd, type, payload,
+                                   std::chrono::steady_clock::now() +
+                                       std::chrono::seconds(5))
+               : serve::WireStatus::kConnReset;
+      if (ws != serve::WireStatus::kOk ||
+          type != serve::FrameType::kResponse ||
+          !serve::decode_response(payload, resp) ||
+          resp.status != serve::FrontendStatus::kDraining) {
+        fail(opt.campaigns, "DRAIN REFUSAL NOT CLASSIFIED",
+             std::string("wire=") + serve::wire_status_name(ws) +
+                 " status=" + serve::frontend_status_name(resp.status));
+      }
+      ::close(fd);
+      if (ok && !wait_until([&] { return frontend.drained(); })) {
+        fail(opt.campaigns, "DRAIN NEVER FINISHED",
+             "event loop still live 5s after begin_drain");
+      }
+    }
+  }
+
+  // Coverage: a full-length soak must have ended conversations in EVERY
+  // FrontendStatus class — accepted, malformed, deadline, conn-reset,
+  // overloaded, draining. A class never hit means a chaos shape silently
+  // stopped exercising its path.
+  const serve::Frontend::Stats fs = frontend.stats();
+  if (ok && opt.campaigns >= 7) {
+    for (serve::FrontendStatus s : serve::all_frontend_statuses()) {
+      if (fs.status(s) == 0) {
+        ++stats.broken_contracts;
+        log << "COVERAGE GAP: FrontendStatus "
+            << serve::frontend_status_name(s)
+            << " never observed through the socket\n";
+        ok = false;
+      }
+    }
+  }
+  // The chaos stayed in the transport: the warm pool behind the service
+  // ends the soak at full strength.
+  if (ok && service.pool().live_workers() != so.pool.workers) {
+    ++stats.broken_contracts;
+    log << "RESPAWN GAP: " << service.pool().live_workers() << " of "
+        << so.pool.workers << " warm workers alive at end of soak\n";
+    ok = false;
+  }
+
+  log << "summary certified=" << stats.certified
+      << " attempts=" << stats.attempts << " conns=" << fs.conns_accepted;
+  for (serve::FrontendStatus s : serve::all_frontend_statuses()) {
+    log << " " << serve::frontend_status_name(s) << "=" << fs.status(s);
+  }
+  log << " clean-closes=" << fs.clean_closes
+      << " wrong-answers=" << stats.wrong_answers
+      << " broken-contracts=" << stats.broken_contracts << "\n";
+  std::printf(
+      "pfact_soak --net: %zu certified, %zu attempts, %llu conns "
+      "(accepted %llu, malformed %llu, deadline %llu, conn-reset %llu, "
+      "overloaded %llu, draining %llu), %zu wrong answers, "
+      "%zu broken contracts\n",
+      stats.certified, stats.attempts,
+      static_cast<unsigned long long>(fs.conns_accepted),
+      static_cast<unsigned long long>(
+          fs.status(serve::FrontendStatus::kAccepted)),
+      static_cast<unsigned long long>(
+          fs.status(serve::FrontendStatus::kMalformedFrame)),
+      static_cast<unsigned long long>(
+          fs.status(serve::FrontendStatus::kDeadline)),
+      static_cast<unsigned long long>(
+          fs.status(serve::FrontendStatus::kConnReset)),
+      static_cast<unsigned long long>(
+          fs.status(serve::FrontendStatus::kOverloaded)),
+      static_cast<unsigned long long>(
+          fs.status(serve::FrontendStatus::kDraining)),
+      stats.wrong_answers, stats.broken_contracts);
+  if (!ok || stats.wrong_answers != 0 || stats.broken_contracts != 0) {
+    return fail_exit(opt);
+  }
+  std::printf("pfact_soak: all net campaigns held the contract\n");
   return 0;
 }
 
@@ -729,12 +1133,18 @@ int main(int argc, char** argv) {
       opt.kill_only = true;
     } else if (arg == "--serve") {
       opt.serve = true;
+    } else if (arg == "--net") {
+      opt.net = true;
+    } else if (arg == "--inject-violation") {
+      opt.inject_violation =
+          static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
     } else if (arg == "--verbose") {
       opt.verbose = true;
     } else {
       std::fprintf(stderr,
                    "usage: pfact_soak [--campaigns N] [--seed S] [--log FILE] "
-                   "[--fail-dir DIR] [--kill-only] [--serve] [--verbose]\n");
+                   "[--fail-dir DIR] [--kill-only] [--serve] [--net] "
+                   "[--inject-violation N] [--verbose]\n");
       return 2;
     }
   }
@@ -746,8 +1156,9 @@ int main(int argc, char** argv) {
   }
   log << "pfact_soak seed=" << opt.seed << " campaigns=" << opt.campaigns
       << (opt.kill_only ? " kill-only" : "") << (opt.serve ? " serve" : "")
-      << "\n";
+      << (opt.net ? " net" : "") << "\n";
 
+  if (opt.net) return run_net_campaigns(opt, log);
   if (opt.serve) return run_serve_campaigns(opt, log);
   if (opt.kill_only) return run_kill_campaigns(opt, log);
 
@@ -757,6 +1168,10 @@ int main(int argc, char** argv) {
   bool ok = true;
 
   for (std::size_t campaign = 0; campaign < opt.campaigns && ok; ++campaign) {
+    if (injected_violation(opt, campaign, log, stats)) {
+      ok = false;
+      break;
+    }
     Stream rng{opt.seed, campaign};
     const ReductionTask& task = pool[rng.pick(pool.size())];
 
@@ -844,7 +1259,20 @@ int main(int argc, char** argv) {
         crash.checkpoint_every = every;
         crash.store = &store;
         crash.limits.max_steps = every * (1 + rng.pick(3));
-        resilient_run(task, crash);
+        const ResilientReport crashed = resilient_run(task, crash);
+        tally(crashed, stats);
+        // The killed run may legitimately finish early (the budget can
+        // exceed the task), but a certificate it does hand out must be the
+        // truth — a certified-wrong crash run is the worst possible answer.
+        if (crashed.certified && crashed.value != baseline.value) {
+          ++stats.wrong_answers;
+          log << "campaign " << campaign
+              << " WRONG ANSWER from interrupted run: " << task.describe()
+              << " baseline value=" << baseline.value << "; crashed:\n"
+              << crashed.to_string() << "\n";
+          ok = false;
+          break;
+        }
         // ...and hand the surviving store to a fresh engine call.
         ResilientOptions resume;
         resume.retry.max_attempts = 2;
@@ -906,8 +1334,7 @@ int main(int argc, char** argv) {
       stats.resumes, stats.checkpoint_rejections, stats.wrong_answers,
       stats.broken_contracts);
   if (!ok || stats.wrong_answers != 0 || stats.broken_contracts != 0) {
-    std::printf("pfact_soak: FAILED (see %s)\n", opt.log_path.c_str());
-    return 1;
+    return fail_exit(opt);
   }
   std::printf("pfact_soak: all campaigns held the contract\n");
   return 0;
