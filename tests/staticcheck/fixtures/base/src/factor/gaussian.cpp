@@ -1,0 +1,14 @@
+// staticcheck fixture: the increment leg PL017 demands — every enumerator
+// registered in src/obs/counters.h is bumped by real-looking elimination
+// code. Not compiled — parsed only.
+#include "obs/counters.h"
+
+namespace pfact::factor {
+
+void eliminate_column(std::size_t rows_updated, std::size_t pivot_distance) {
+  PFACT_COUNT(kElimSteps);
+  PFACT_COUNT_N(kRowUpdates, rows_updated);
+  PFACT_HISTO(kPivotMoveDistance, pivot_distance);
+}
+
+}  // namespace pfact::factor

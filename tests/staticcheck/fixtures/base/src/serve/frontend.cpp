@@ -1,0 +1,27 @@
+// staticcheck fixture: a clean registered signal handler, pinning PL015's
+// scrape (sa_handler assignment) and walk (atomic store + allowlisted
+// ::write self-pipe wake), and the PL014 waiver for the handler itself.
+// Not compiled — parsed only.
+#include "serve/frontend.h"
+
+namespace pfact::serve {
+
+namespace {
+std::atomic<bool> g_stop{false};
+int g_wake_fd = -1;
+}  // namespace
+
+void pfact_frontend_sigterm(int) {
+  g_stop.store(true);
+  const char byte = 1;
+  ::write(g_wake_fd, &byte, 1);  // O_NONBLOCK self-pipe, never blocks
+}
+
+void install_sigterm_handler(int wake_fd) {
+  g_wake_fd = wake_fd;
+  struct sigaction sa = {};
+  sa.sa_handler = pfact_frontend_sigterm;
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+}  // namespace pfact::serve

@@ -1,0 +1,61 @@
+// Seeded violation for PL013: encode_frame grew a flags field after the
+// event group that decode_frame never learned to read — an unpaired
+// trailing field ahead of the payload trailer.
+#include "serve/queue.h"
+
+namespace pfact::serve {
+
+void encode_frame(ByteWriter& w, const Frame& f) {
+  w.put_u32(kFrameMagic);
+  if (f.rows.empty()) {
+    w.put_string(std::string());
+  } else {
+    w.put_string(join_rows(f.rows));
+  }
+  w.put_u64(f.steps);
+  for (const Event& e : f.events) {
+    w.put_u64(e.column);
+    w.put_u32(e.action);
+  }
+  w.put_u64(f.flags);  // BUG: the decoder never reads this
+  w.put_bytes(f.payload.data(), f.payload.size());
+}
+
+bool decode_frame(ByteReader& r, Frame& out) {
+  if (r.get_u32() != kFrameMagic) return false;
+  out.rows = split_rows(r.get_string());
+  out.steps = r.get_u64();
+  for (std::uint64_t i = 0; i < out.steps; ++i) {
+    Event e;
+    e.column = r.get_u64();
+    if (!to_action(r.get_u32(), e.action)) return false;
+    out.events.push_back(e);
+  }
+  out.payload = r.rest();
+  return true;
+}
+
+bool read_exact(int fd, char* buf, std::size_t n, int deadline_ms) {
+  while (n > 0) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    if (::poll(&pfd, 1, deadline_ms) <= 0) return false;
+    const ssize_t got = ::read(fd, buf, n);
+    if (got <= 0) return false;
+    buf += got;
+    n -= static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+bool write_frame(int fd, const std::string& frame) {
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t put = ::write(fd, frame.data() + off, frame.size() - off);
+    if (put < 0 && errno == EINTR) continue;
+    if (put <= 0) return false;
+    off += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+}  // namespace pfact::serve

@@ -1,0 +1,23 @@
+#include "obs/counters.h"
+
+namespace pfact::obs {
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kElimSteps: return "elim-steps";
+    case Counter::kRowUpdates: return "row-updates";
+    case Counter::kOrphanEvents: return "orphan-events";
+    case Counter::kCount_: break;
+  }
+  return "?";
+}
+
+const char* histogram_name(Histogram h) {
+  switch (h) {
+    case Histogram::kPivotMoveDistance: return "pivot-move-distance";
+    case Histogram::kCount_: break;
+  }
+  return "?";
+}
+
+}  // namespace pfact::obs

@@ -1,0 +1,12 @@
+// Seeded violation for PL016: the observability layer (rank 0) reaching up
+// into the serving layer (rank 6) — a back edge in the module DAG.
+#include "obs/counters.h"
+#include "serve/frontend.h"
+
+namespace pfact::obs {
+
+std::size_t snapshot_active_conns(const serve::Frontend& fe) {
+  return fe.active_connections();
+}
+
+}  // namespace pfact::obs

@@ -1,0 +1,12 @@
+// Seeded violation for PL014: a bare blocking ::read in the serving layer
+// with no poll bound and no waiver — exactly the wedge the soak harness
+// once had to find dynamically.
+#include "serve/queue.h"
+
+namespace pfact::serve {
+
+int drain_fd(int fd, char* buf, std::size_t cap) {
+  return static_cast<int>(::read(fd, buf, cap));
+}
+
+}  // namespace pfact::serve

@@ -1,0 +1,20 @@
+#pragma once
+// Seeded violation for PL003: Histogram::kSpread was added to the enum but
+// histogram_name() never learned its case — snapshots would emit no JSON
+// key for it.
+
+namespace pfact::obs {
+
+enum class Counter : std::size_t {
+  kElimSteps,
+  kRowUpdates,
+  kCount_,
+};
+
+enum class Histogram : std::size_t {
+  kPivotMoveDistance,
+  kSpread,
+  kCount_,
+};
+
+}  // namespace pfact::obs

@@ -1,0 +1,16 @@
+// Seeded violation for PL015: a registered SIGUSR1 handler that calls
+// fprintf — not async-signal-safe (it can take the stdio lock the
+// interrupted thread already holds).
+#include "serve/queue.h"
+
+namespace pfact::serve {
+
+void on_usr1(int) {
+  std::fprintf(stderr, "telemetry tick\n");
+}
+
+void install_usr1() {
+  ::signal(SIGUSR1, on_usr1);
+}
+
+}  // namespace pfact::serve

@@ -214,6 +214,101 @@ TEST(PfactLint, UnsweptFrontendStatusFailsPL012) {
   EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
 }
 
+TEST(PfactLint, UnnamedHistogramFailsPL003) {
+  expect_violation("unnamed_histogram", "PL003", "Histogram::kSpread");
+}
+
+TEST(PfactLint, CodecWidthMismatchFailsPL013) {
+  const fs::path root = materialize("codec_width_mismatch");
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 1) << res.output;
+  EXPECT_NE(res.output.find("PL013"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("encode_frame/decode_frame"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("encoder puts 'u64' but decoder reads 'u32'"),
+            std::string::npos)
+      << res.output;
+  // The rest of the pair mirrors, so the width flip is the only finding.
+  EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
+}
+
+TEST(PfactLint, CodecUnpairedFieldFailsPL013) {
+  const fs::path root = materialize("codec_unpaired_field");
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 1) << res.output;
+  EXPECT_NE(res.output.find("PL013"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("unpaired trailing 'u64'"), std::string::npos)
+      << res.output;
+  // The extra field sits BEFORE the payload trailer, so the trailer idiom
+  // must not excuse it.
+  EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
+}
+
+TEST(PfactLint, UndeadlinedReadFailsPL014) {
+  const fs::path root = materialize("undeadlined_read");
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 1) << res.output;
+  EXPECT_NE(res.output.find("PL014"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("raw ::read()"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("drain_fd()"), std::string::npos) << res.output;
+  // The located form carries the file so the problem matcher can anchor it.
+  EXPECT_NE(res.output.find("src/serve/poller.cpp:"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
+}
+
+TEST(PfactLint, StaleWaiverFailsPL014) {
+  const fs::path root = materialize("stale_waiver");
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 1) << res.output;
+  EXPECT_NE(res.output.find("PL014"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("stale waiver: read_exact()"), std::string::npos)
+      << res.output;
+  // write_frame still contains its ::write, so its waiver stays quiet.
+  EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
+}
+
+TEST(PfactLint, UnsafeSignalHandlerFailsPL015) {
+  const fs::path root = materialize("unsafe_signal_handler");
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 1) << res.output;
+  EXPECT_NE(res.output.find("PL015"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("on_usr1"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("fprintf"), std::string::npos) << res.output;
+  // The base fixture's own handler (atomic store + ::write self-pipe) must
+  // stay clean, so the seeded handler is the only finding.
+  EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
+}
+
+TEST(PfactLint, LayeringBackEdgeFailsPL016) {
+  const fs::path root = materialize("layering_back_edge");
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 1) << res.output;
+  EXPECT_NE(res.output.find("PL016"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("serve/frontend.h"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("rank 6"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
+}
+
+TEST(PfactLint, DeadCounterFailsPL017) {
+  const fs::path root = materialize("dead_counter");
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 1) << res.output;
+  EXPECT_NE(res.output.find("PL017"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("Counter::kOrphanEvents"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("never incremented"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("not asserted or recorded"), std::string::npos)
+      << res.output;
+  // Fully registered (enum + name case): PL001/PL002 stay quiet and the
+  // dead counter is the only finding, located in the enum header.
+  EXPECT_NE(res.output.find("src/obs/counters.h:"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
+}
+
 // --update-manifest is the sanctioned way out of PL007/PL008: after a
 // legitimate schema change plus version bump, regenerating the manifest
 // returns the tree to clean.

@@ -1,0 +1,37 @@
+#pragma once
+// One declaration per rule family; one rules_*.cpp module per family.
+
+#include "lint/engine.h"
+
+namespace pfact_lint {
+
+// rules_taxonomy.cpp — the closed-taxonomy consistency rules.
+void check_obs_names(Context& ctx);          // PL001 PL002 PL003
+void check_fault_classes(Context& ctx);      // PL004
+void check_diagnostics(Context& ctx);        // PL005
+void check_worker_exits(Context& ctx);       // PL009
+void check_serve_rejections(Context& ctx);   // PL010
+void check_frontend_statuses(Context& ctx);  // PL012
+
+// rules_checkpoint.cpp — the PFCK schema ratchet.
+void check_tag_uniqueness(Context& ctx, const CheckpointSchema& s);  // PL006
+void check_sparse_tags(Context& ctx);                                // PL011
+void check_manifest(Context& ctx, const CheckpointSchema& s,
+                    const std::string& manifest_path);  // PL007 PL008
+
+// rules_codec.cpp — PL013 codec-asymmetry.
+void check_codec_symmetry(Context& ctx);
+
+// rules_io.cpp — PL014 blocking-call-undeadlined.
+void check_blocking_io(Context& ctx);
+
+// rules_signal.cpp — PL015 signal-unsafe-handler.
+void check_signal_safety(Context& ctx);
+
+// rules_layers.cpp — PL016 layering-violation.
+void check_layering(Context& ctx);
+
+// rules_obs.cpp — PL017 counter-dead.
+void check_counter_liveness(Context& ctx);
+
+}  // namespace pfact_lint

@@ -1,0 +1,255 @@
+// PL013 codec-asymmetry: every PFCK/PFRM encode_X/decode_X pair must mirror
+// field-for-field. The encoder's ordered ByteWriter::put_* sequence is
+// compared against the decoder's ByteReader::get_*/take_* sequence; any
+// width mismatch, order swap, or unpaired field is a finding.
+//
+// The extraction is structural, not textual: a small recursive descent over
+// the token stream walks each codec body and linearizes it —
+//   * an if/else whose two branches emit IDENTICAL op sequences collapses
+//     to one copy (the encoder's data-dependent formatting of the SAME
+//     field, e.g. the empty-circuit special case in encode_request);
+//     branches that differ are concatenated, which surfaces as a mismatch
+//     for its human to judge;
+//   * loop bodies are emitted exactly once (a counted group: the count
+//     field precedes it on both sides);
+//   * calls inside conditions count in source order (decoders range-check
+//     via `if (!to_enum(r.get_u32(), out))`).
+// Widths come from the method suffix (put_u64 -> u64, take_u32 -> u32;
+// take_* is normalized onto get_*). patch_*/reserve are not data-order ops.
+//
+// Deliberate skips, pinned by the clean fixture:
+//   * functions with multiple same-name definitions in a file (the dense vs
+//     sparse StorageCodec::encode_entries/decode_entries template pair) —
+//     one-to-one body pairing would cross-match them;
+//   * a FINAL put_bytes with no get counterpart: the house trailer idiom,
+//     where the decoder consumes the remainder of the payload directly
+//     (decode_checkpoint_frame's payload.substr(8)).
+
+#include <regex>
+
+#include "lint/rules.h"
+
+namespace pfact_lint {
+
+namespace {
+
+// encode_checkpoint_parts is the hot-path spelling of the checkpoint
+// encoder; its decoder kept the storage-generic name.
+const struct {
+  const char* encode;
+  const char* decode;
+} kPairAliases[] = {
+    {"encode_checkpoint_parts", "decode_storage_checkpoint"},
+};
+
+bool is_punct(const SourceFile& f, std::size_t i, const char* p) {
+  return i < f.tokens.size() && f.tokens[i].kind == TokKind::kPunct &&
+         f.tokens[i].text == p;
+}
+
+bool is_ident(const SourceFile& f, std::size_t i, const char* name) {
+  return i < f.tokens.size() && f.tokens[i].kind == TokKind::kIdent &&
+         f.tokens[i].text == name;
+}
+
+// If token i is a data op of the requested side ("put" or "get"), returns
+// its width suffix; take_* counts as get_*.
+std::string op_width(const SourceFile& f, std::size_t i, bool put_side) {
+  if (i + 1 >= f.tokens.size() || f.tokens[i].kind != TokKind::kIdent ||
+      !is_punct(f, i + 1, "(")) {
+    return std::string();
+  }
+  const std::string& name = f.tokens[i].text;
+  const auto split = [&](const char* prefix) -> std::string {
+    const std::size_t n = std::string(prefix).size();
+    if (name.size() > n && name.compare(0, n, prefix) == 0) {
+      return name.substr(n);
+    }
+    return std::string();
+  };
+  if (put_side) return split("put_");
+  std::string w = split("get_");
+  if (w.empty()) w = split("take_");
+  return w;
+}
+
+std::size_t match_fwd(const SourceFile& f, std::size_t i, const char* open,
+                      const char* close, std::size_t end) {
+  int depth = 0;
+  for (; i < end; ++i) {
+    if (is_punct(f, i, open)) ++depth;
+    if (is_punct(f, i, close) && --depth == 0) return i;
+  }
+  return end;
+}
+
+struct Walker {
+  const SourceFile& f;
+  bool put_side;
+
+  // Ops in [i, end) with no structural interpretation (conditions, plain
+  // statements).
+  std::vector<std::string> flat(std::size_t i, std::size_t end) const {
+    std::vector<std::string> ops;
+    for (; i < end; ++i) {
+      const std::string w = op_width(f, i, put_side);
+      if (!w.empty()) ops.push_back(w);
+    }
+    return ops;
+  }
+
+  std::vector<std::string> block(std::size_t i, std::size_t end) const {
+    std::vector<std::string> ops;
+    while (i < end) {
+      auto [o, next] = construct(i, end);
+      ops.insert(ops.end(), o.begin(), o.end());
+      i = next <= i ? i + 1 : next;
+    }
+    return ops;
+  }
+
+  // One statement or control construct starting at i; returns its ops and
+  // the index just past it.
+  std::pair<std::vector<std::string>, std::size_t> construct(
+      std::size_t i, std::size_t end) const {
+    std::vector<std::string> ops;
+    if (i >= end) return {ops, end};
+
+    if (is_ident(f, i, "if")) {
+      std::size_t j = i + 1;
+      if (is_ident(f, j, "constexpr")) ++j;
+      if (!is_punct(f, j, "(")) return {ops, i + 1};
+      const std::size_t close = match_fwd(f, j, "(", ")", end);
+      ops = flat(j + 1, close);
+      auto [then_ops, after_then] = construct(close + 1, end);
+      if (is_ident(f, after_then, "else")) {
+        auto [else_ops, after_else] = construct(after_then + 1, end);
+        if (else_ops == then_ops) {
+          ops.insert(ops.end(), then_ops.begin(), then_ops.end());
+        } else {
+          ops.insert(ops.end(), then_ops.begin(), then_ops.end());
+          ops.insert(ops.end(), else_ops.begin(), else_ops.end());
+        }
+        return {ops, after_else};
+      }
+      ops.insert(ops.end(), then_ops.begin(), then_ops.end());
+      return {ops, after_then};
+    }
+
+    if (is_ident(f, i, "for") || is_ident(f, i, "while")) {
+      if (!is_punct(f, i + 1, "(")) return {ops, i + 1};
+      const std::size_t close = match_fwd(f, i + 1, "(", ")", end);
+      ops = flat(i + 2, close);
+      auto [body_ops, after] = construct(close + 1, end);
+      ops.insert(ops.end(), body_ops.begin(), body_ops.end());
+      return {ops, after};
+    }
+
+    if (is_ident(f, i, "do")) {
+      auto [body_ops, after] = construct(i + 1, end);
+      ops = body_ops;
+      if (is_ident(f, after, "while") && is_punct(f, after + 1, "(")) {
+        const std::size_t close = match_fwd(f, after + 1, "(", ")", end);
+        const std::vector<std::string> cond = flat(after + 2, close);
+        ops.insert(ops.end(), cond.begin(), cond.end());
+        after = close + 1;
+        if (is_punct(f, after, ";")) ++after;
+      }
+      return {ops, after};
+    }
+
+    if (is_punct(f, i, "{")) {
+      const std::size_t close = match_fwd(f, i, "{", "}", end);
+      return {block(i + 1, close), close + 1};
+    }
+
+    // Plain statement: scan to the ';' at zero nesting, collecting flat.
+    int depth = 0;
+    std::size_t j = i;
+    for (; j < end; ++j) {
+      if (is_punct(f, j, "(") || is_punct(f, j, "{")) ++depth;
+      if (is_punct(f, j, ")") || is_punct(f, j, "}")) --depth;
+      if (depth == 0 && is_punct(f, j, ";")) break;
+      const std::string w = op_width(f, j, put_side);
+      if (!w.empty()) ops.push_back(w);
+    }
+    return {ops, j + 1};
+  }
+};
+
+std::vector<std::string> codec_ops(const SourceFile& f,
+                                   const SourceFile::Func& fn,
+                                   bool put_side) {
+  Walker w{f, put_side};
+  return w.block(fn.open_tok + 1, fn.close_tok);
+}
+
+std::string join(const std::vector<std::string>& ops) {
+  std::string out;
+  for (const std::string& o : ops) {
+    if (!out.empty()) out += ",";
+    out += o;
+  }
+  return out.empty() ? "<none>" : out;
+}
+
+}  // namespace
+
+void check_codec_symmetry(Context& ctx) {
+  static const std::regex enc_name("^encode_(\\w+)$");
+  for (const auto& [rel, file] : ctx.tree.files) {
+    if (rel.rfind("src/robustness/", 0) != 0 &&
+        rel.rfind("src/serve/", 0) != 0) {
+      continue;
+    }
+    for (const SourceFile::Func& enc : file.funcs) {
+      std::smatch m;
+      if (!std::regex_match(enc.name, m, enc_name)) continue;
+      if (file.func_count(enc.name) > 1) continue;  // template dense/sparse
+
+      std::string dec_name = "decode_" + m[1].str();
+      for (const auto& alias : kPairAliases) {
+        if (enc.name == alias.encode) dec_name = alias.decode;
+      }
+      const SourceFile::Func* dec = file.find_func(dec_name);
+      if (dec == nullptr || file.func_count(dec_name) > 1) continue;
+
+      const std::vector<std::string> puts = codec_ops(file, enc, true);
+      std::vector<std::string> gets = codec_ops(file, *dec, false);
+      if (puts == gets) continue;
+
+      // Trailer idiom: a final put_bytes the decoder consumes as "the rest
+      // of the payload" without a ByteReader op.
+      if (!puts.empty() && puts.back() == "bytes" &&
+          std::vector<std::string>(puts.begin(), puts.end() - 1) == gets) {
+        continue;
+      }
+
+      // Localize the first divergence for the message.
+      std::size_t k = 0;
+      while (k < puts.size() && k < gets.size() && puts[k] == gets[k]) ++k;
+      std::string detail;
+      if (k < puts.size() && k < gets.size()) {
+        detail = "field " + std::to_string(k + 1) + ": encoder puts '" +
+                 puts[k] + "' but decoder reads '" + gets[k] + "'";
+      } else if (k < puts.size()) {
+        detail = "encoder writes " + std::to_string(puts.size()) +
+                 " field(s) but decoder reads only " +
+                 std::to_string(gets.size()) + " — unpaired trailing '" +
+                 puts[k] + "'";
+      } else {
+        detail = "decoder reads " + std::to_string(gets.size()) +
+                 " field(s) but encoder writes only " +
+                 std::to_string(puts.size()) + " — unpaired trailing '" +
+                 gets[k] + "'";
+      }
+      ctx.report_at(
+          "PL013", "codec-asymmetry", rel, dec->line,
+          enc.name + "/" + dec_name + " disagree: " + detail +
+              " (encoder: " + join(puts) + "; decoder: " + join(gets) +
+              ") — a blob written by one side would misparse on the other");
+    }
+  }
+}
+
+}  // namespace pfact_lint

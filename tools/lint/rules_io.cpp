@@ -1,0 +1,133 @@
+// PL014 blocking-call-undeadlined: a raw blocking syscall in src/serve/ is
+// only lawful inside an audited deadline-wrapper function. Everything else
+// in the serving layer must go through read_frame/read_exact (poll-bounded)
+// or run on an O_NONBLOCK fd inside the event loop — a bare ::read on a
+// blocking fd is exactly the wedge the PR-8 soak found dynamically.
+//
+// The allowlist is (file, function, why). It is checked both ways:
+//   * a raw syscall OUTSIDE an allowlisted function is a finding;
+//   * an allowlisted function that exists but no longer contains any raw
+//     syscall is a STALE WAIVER finding — waivers must die with the code
+//     they excused. (Entries whose file or function is absent are skipped:
+//     violation fixtures carry only the files their drift needs.)
+
+#include <set>
+#include <string>
+
+#include "lint/rules.h"
+
+namespace pfact_lint {
+
+namespace {
+
+const std::set<std::string> kSyscalls = {
+    "read",   "write",    "recv",   "send",   "accept",  "accept4",
+    "poll",   "ppoll",    "select", "pread",  "pwrite",  "recvfrom",
+    "sendto", "recvmsg",  "sendmsg",
+};
+
+struct Waiver {
+  const char* file;
+  const char* func;
+  const char* why;
+};
+
+const Waiver kWaivers[] = {
+    {"src/serve/wire.cpp", "read_exact",
+     "the deadline primitive itself: every read is poll-bounded by the "
+     "caller's deadline"},
+    {"src/serve/wire.cpp", "write_frame",
+     "EINTR-retrying write of one complete frame to a pipe/socket the "
+     "caller deadline-guards"},
+    {"src/serve/client.cpp", "write_all",
+     "client-side frame write; the conversation deadline is enforced by the "
+     "read_frame that follows"},
+    {"src/serve/frontend.cpp", "pfact_frontend_sigterm",
+     "async-signal-safe self-pipe wake; O_NONBLOCK pipe, never blocks"},
+    {"src/serve/frontend.cpp", "drain_and_close",
+     "drains an O_NONBLOCK socket before close; EAGAIN terminates the loop"},
+    {"src/serve/frontend.cpp", "wake",
+     "self-pipe wake; O_NONBLOCK pipe, EAGAIN means a wakeup is already "
+     "queued"},
+    {"src/serve/frontend.cpp", "event_loop",
+     "the deadline enforcer: poll's timeout IS the nearest armed deadline; "
+     "wake-pipe/peek reads are O_NONBLOCK"},
+    {"src/serve/frontend.cpp", "accept_ready",
+     "accept4(SOCK_NONBLOCK) on a non-blocking listener; EAGAIN returns to "
+     "the loop"},
+    {"src/serve/frontend.cpp", "conn_readable",
+     "O_NONBLOCK socket read driven by POLLIN; the read deadline is armed "
+     "on the first byte and enforced by check_deadlines"},
+    {"src/serve/frontend.cpp", "finish_frame",
+     "self-pipe wake from the job-done callback; O_NONBLOCK pipe"},
+    {"src/serve/frontend.cpp", "conn_writable",
+     "O_NONBLOCK send driven by POLLOUT under the armed write deadline"},
+    {"src/serve/frontend.cpp", "conn_lingering",
+     "O_NONBLOCK drain of a refused conversation, bounded by the write "
+     "deadline"},
+};
+
+bool is_raw_syscall(const SourceFile& f, std::size_t i) {
+  if (f.tokens[i].kind != TokKind::kIdent) return false;
+  if (kSyscalls.count(f.tokens[i].text) == 0) return false;
+  if (i + 1 >= f.tokens.size() || f.tokens[i + 1].kind != TokKind::kPunct ||
+      f.tokens[i + 1].text != "(") {
+    return false;
+  }
+  if (i > 0 && f.tokens[i - 1].kind == TokKind::kPunct &&
+      (f.tokens[i - 1].text == "." || f.tokens[i - 1].text == "->")) {
+    return false;  // member call (e.g. a stream's read()), not the syscall
+  }
+  return true;
+}
+
+}  // namespace
+
+void check_blocking_io(Context& ctx) {
+  for (const auto& [rel, file] : ctx.tree.files) {
+    if (rel.rfind("src/serve/", 0) != 0) continue;
+    for (std::size_t i = 0; i < file.tokens.size(); ++i) {
+      if (!is_raw_syscall(file, i)) continue;
+      const SourceFile::Func* fn = file.enclosing(i);
+      bool waived = false;
+      for (const Waiver& w : kWaivers) {
+        if (rel == w.file && fn != nullptr && fn->name == w.func) {
+          waived = true;
+          break;
+        }
+      }
+      if (!waived) {
+        ctx.report_at(
+            "PL014", "blocking-call-undeadlined", rel, file.tokens[i].line,
+            "raw ::" + file.tokens[i].text + "() in " +
+                (fn != nullptr ? fn->name + "()" : std::string("file scope")) +
+                " is not an audited deadline wrapper — route it through "
+                "read_exact/read_frame (poll-bounded) or add a justified "
+                "waiver in rules_io.cpp");
+      }
+    }
+  }
+
+  // Stale waivers: the excuse must die with the code it excused.
+  for (const Waiver& w : kWaivers) {
+    const SourceFile* f = ctx.file(w.file);
+    if (f == nullptr) continue;
+    const SourceFile::Func* fn = f->find_func(w.func);
+    if (fn == nullptr) continue;
+    bool any = false;
+    for (std::size_t i = fn->open_tok + 1; i < fn->close_tok; ++i) {
+      if (is_raw_syscall(*f, i)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) {
+      ctx.report_at("PL014", "blocking-call-undeadlined", w.file, fn->line,
+                    std::string("stale waiver: ") + w.func +
+                        "() no longer contains a raw blocking syscall — "
+                        "remove its entry from the PL014 allowlist");
+    }
+  }
+}
+
+}  // namespace pfact_lint

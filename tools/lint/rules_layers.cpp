@@ -1,0 +1,97 @@
+// PL016 layering-violation: the module include graph must stay the DAG the
+// architecture promises, or the CAQR/CALU task-graph scheduler and the GF(p)
+// substrate land on quicksand. The layer map is explicit — adding a module
+// means deciding its rank here, in review, not by accident at #include time.
+//
+// Ranks (low = foundational; an #include may only point at a strictly lower
+// rank, the same module, or a declared peer):
+//
+//   0  obs, parallel      (peers: the counter registry spans threads, the
+//                          thread layer bumps counters — a deliberate,
+//                          declared cycle at the very bottom)
+//   1  numeric, circuit
+//   2  matrix
+//   3  factor
+//   4  nc, core, analysis
+//   5  robustness
+//   6  serve
+//
+// Same-rank edges between DIFFERENT modules are violations too (rank ties
+// express "no dependency either way", not "free-for-all").
+
+#include <map>
+#include <string>
+
+#include "lint/rules.h"
+
+namespace pfact_lint {
+
+namespace {
+
+const std::map<std::string, int>& layer_map() {
+  static const std::map<std::string, int> kRanks = {
+      {"obs", 0},    {"parallel", 0}, {"numeric", 1}, {"circuit", 1},
+      {"matrix", 2}, {"factor", 3},   {"nc", 4},      {"core", 4},
+      {"analysis", 4}, {"robustness", 5}, {"serve", 6},
+  };
+  return kRanks;
+}
+
+// Declared peer edges (both directions), module pairs at the same rank that
+// ARE allowed to include each other.
+const std::pair<const char*, const char*> kPeers[] = {
+    {"obs", "parallel"},
+};
+
+// "src/obs/counters.h" -> "obs"; empty when the file sits directly in src/.
+std::string module_of(const std::string& rel) {
+  if (rel.rfind("src/", 0) != 0) return std::string();
+  const std::size_t slash = rel.find('/', 4);
+  if (slash == std::string::npos) return std::string();
+  return rel.substr(4, slash - 4);
+}
+
+bool is_peer(const std::string& a, const std::string& b) {
+  for (const auto& [x, y] : kPeers) {
+    if ((a == x && b == y) || (a == y && b == x)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void check_layering(Context& ctx) {
+  const auto& ranks = layer_map();
+  for (const auto& [rel, file] : ctx.tree.files) {
+    const std::string from = module_of(rel);
+    if (from.empty()) continue;
+    const auto from_rank = ranks.find(from);
+    if (from_rank == ranks.end()) {
+      ctx.report_at("PL016", "layering-violation", rel, 1,
+                    "module src/" + from +
+                        "/ is not in the layer map — assign it a rank in "
+                        "rules_layers.cpp before it grows includes");
+      continue;
+    }
+    for (const Include& inc : file.includes) {
+      if (inc.system) continue;  // <...>: toolchain/system, not ours
+      const std::size_t slash = inc.path.find('/');
+      if (slash == std::string::npos) continue;  // same-directory include
+      const std::string to = inc.path.substr(0, slash);
+      const auto to_rank = ranks.find(to);
+      if (to_rank == ranks.end()) continue;  // not one of our modules
+      if (to == from) continue;
+      if (to_rank->second < from_rank->second) continue;
+      if (is_peer(from, to)) continue;
+      ctx.report_at(
+          "PL016", "layering-violation", rel, inc.line,
+          "src/" + from + "/ (rank " + std::to_string(from_rank->second) +
+              ") includes \"" + inc.path + "\" from src/" + to + "/ (rank " +
+              std::to_string(to_rank->second) +
+              ") — a back edge in the module DAG; depend downward only or "
+              "declare an explicit peer pair in the layer map");
+    }
+  }
+}
+
+}  // namespace pfact_lint

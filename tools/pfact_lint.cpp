@@ -1,771 +1,68 @@
-// pfact_lint — domain-aware cross-file consistency checker.
+// pfact_lint — structural consistency linter for the pfact tree.
 //
-// The repo's dynamic layers hang off a handful of closed taxonomies:
-// obs::Counter / obs::Histogram (every enumerator needs a stable JSON name),
-// robustness::FaultClass (every fault must be sweepable and printable),
-// robustness::Diagnostic (every diagnostic must classify to exactly one
-// FailureKind), and the checkpoint field tags + "PFCK" version constant
-// (resume compatibility). Each taxonomy is DEFINED in one file and CONSUMED
-// in another, so a forgotten enumerator compiles cleanly and only fails at
-// runtime — if a test happens to reach it. This tool closes that gap at
-// lint time with rules no generic linter can express.
+// This is the thin CLI driver; the engine lives in tools/lint/ (tokenizer,
+// source tree, one rules_*.cpp module per rule family). It deliberately
+// does NOT link against pfact: it reads the tree as text, so it keeps
+// working even when the tree under inspection does not compile — which is
+// exactly when a structural linter earns its keep.
 //
-// Rule catalogue (stable IDs; each finding prints exactly one):
-//   PL001 counter-unnamed            Counter enumerator with no
-//                                    counter_name() case returning a string
-//   PL002 obs-name-collision         two Counter/Histogram enumerators map
-//                                    to the same name, or a name is not
-//                                    kebab-case
-//   PL003 histogram-unnamed          Histogram enumerator with no
-//                                    histogram_name() case
-//   PL004 fault-class-unhandled      FaultClass enumerator missing from
-//                                    fault_class_name() or (except kNone)
-//                                    from the all_fault_classes() sweep list
-//   PL005 diagnostic-unclassified    Diagnostic enumerator missing from
-//                                    classify_diagnostic() or
-//                                    diagnostic_name()
-//   PL006 checkpoint-tag-duplicate   two field_tag<T>() specializations
-//                                    return the same tag string
-//   PL007 checkpoint-version-stale   the field-tag set changed but
-//                                    kCheckpointVersion was not bumped
-//                                    against the committed manifest
-//   PL008 checkpoint-manifest-outdated  the committed manifest does not
-//                                    match the current (version, tag set);
-//                                    regenerate with --update-manifest
-//   PL009 worker-exit-unmapped       WorkerExit enumerator with no
-//                                    worker_exit_name() case, no
-//                                    diagnose_worker_exit() mapping to a
-//                                    Diagnostic, or missing from the
-//                                    all_worker_exits() soak-coverage sweep
-//   PL010 serve-rejection-unmapped   queue Admission or cache CacheProbe
-//                                    enumerator with no name case, no
-//                                    Diagnostic mapping, or missing from
-//                                    its sweep list (all_admissions() /
-//                                    all_cache_probes())
-//   PL011 sparse-tag-unregistered    sparse_field_tag<T>() specialization
-//                                    whose T has no dense field_tag<T>()
-//                                    counterpart, whose tag is not
-//                                    "sparse-" + the dense tag, or that is
-//                                    missing from the all_sparse_field_tags()
-//                                    sweep the codec corruption tests run over
-//   PL012 frontend-status-unmapped   FrontendStatus enumerator with no
-//                                    frontend_status_name() case, no
-//                                    diagnose_frontend_status() Diagnostic
-//                                    mapping, no frontend_status_counter()
-//                                    obs counter, or missing from the
-//                                    all_frontend_statuses() sweep the
-//                                    rejection matrix and --net soak cover
+//   pfact_lint --root <repo-root> [--manifest <file>] [--json]
+//   pfact_lint --root <repo-root> --update-manifest
+//   pfact_lint --list-rules
 //
-// Usage:
-//   pfact_lint --root <repo-root> [--manifest <file>] [--update-manifest]
+// Exit codes (aligned with pfact_soak): 0 clean, 1 findings, 2 usage or
+// I/O error. Text findings print one per line:
 //
-// Exit status: 0 clean, 1 findings, 2 usage or I/O failure.
+//   pfact_lint: PL004 fault-class-unhandled: <message>            (tree-wide)
+//   pfact_lint: src/a/b.cpp:17: PL014 blocking-call-undeadlined: <message>
+//
+// The located form matches the GitHub problem matcher committed under
+// .github/, so findings annotate PR diffs in place. --json emits the same
+// findings as a machine-readable document on stdout (CI uploads it as an
+// artifact).
 
-#include <algorithm>
-#include <cctype>
-#include <fstream>
 #include <iostream>
-#include <map>
-#include <optional>
-#include <regex>
-#include <set>
-#include <sstream>
 #include <string>
-#include <vector>
+
+#include "lint/engine.h"
 
 namespace {
 
-struct Finding {
-  std::string rule;     // "PL001"
-  std::string slug;     // "counter-unnamed"
-  std::string message;  // what and where
-};
-
-// Blanks out // and /* */ comments (preserving newlines) so that a function
-// or enum name mentioned in prose can never hijack a scraper's anchor. The
-// checked files keep comment markers out of string literals (house style,
-// pinned by the fixtures), so no string-awareness is needed.
-std::string strip_comments(const std::string& src) {
-  std::string out = src;
-  std::size_t i = 0;
-  while (i + 1 < out.size()) {
-    if (out[i] == '/' && out[i + 1] == '/') {
-      while (i < out.size() && out[i] != '\n') out[i++] = ' ';
-    } else if (out[i] == '/' && out[i + 1] == '*') {
-      out[i] = out[i + 1] = ' ';
-      i += 2;
-      while (i + 1 < out.size() && !(out[i] == '*' && out[i + 1] == '/')) {
-        if (out[i] != '\n') out[i] = ' ';
-        ++i;
-      }
-      if (i + 1 < out.size()) {
-        out[i] = out[i + 1] = ' ';
-        i += 2;
-      }
-    } else {
-      ++i;
-    }
-  }
-  return out;
+int usage() {
+  std::cerr << "usage: pfact_lint --root <repo-root> [--manifest <file>] "
+               "[--json] [--update-manifest] | --list-rules\n";
+  return 2;
 }
 
-struct Lint {
-  std::string root;
-  std::vector<Finding> findings;
-  bool io_error = false;
-
-  void report(const std::string& rule, const std::string& slug,
-              const std::string& message) {
-    findings.push_back({rule, slug, message});
+void print_text(const pfact_lint::Context& ctx, const std::string& root) {
+  for (const pfact_lint::Finding& f : ctx.findings) {
+    std::cout << "pfact_lint: ";
+    if (!f.file.empty()) std::cout << f.file << ":" << f.line << ": ";
+    std::cout << f.rule << " " << f.slug << ": " << f.message << "\n";
   }
-
-  std::string read(const std::string& relpath) {
-    std::ifstream in(root + "/" + relpath, std::ios::binary);
-    if (!in) {
-      std::cerr << "pfact_lint: cannot read " << root << "/" << relpath
-                << "\n";
-      io_error = true;
-      return std::string();
-    }
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    return strip_comments(ss.str());
-  }
-};
-
-// --- tiny source scrapers ---------------------------------------------------
-// These parse the repo's own house style (clang-format'd, one enumerator per
-// line, switch cases of the form `case Enum::kX: ... return "...";`), not
-// arbitrary C++. That trade is deliberate: the checked files are part of
-// this repo, and the fixtures pin the accepted shapes.
-
-// Enumerators of `enum class <name>`, in declaration order, excluding the
-// kCount_ sentinel.
-std::vector<std::string> parse_enum(const std::string& src,
-                                    const std::string& name) {
-  std::vector<std::string> out;
-  const std::regex head("enum\\s+class\\s+" + name + "\\b[^{]*\\{");
-  std::smatch m;
-  if (!std::regex_search(src, m, head)) return out;
-  const std::size_t begin = static_cast<std::size_t>(m.position()) + m.length();
-  const std::size_t end = src.find("};", begin);
-  if (end == std::string::npos) return out;
-  const std::string body = src.substr(begin, end - begin);
-  const std::regex enumerator("(?:^|[\\n,{])\\s*(k[A-Za-z0-9_]+)\\s*[,=}]");
-  for (auto it = std::sregex_iterator(body.begin(), body.end(), enumerator);
-       it != std::sregex_iterator(); ++it) {
-    const std::string id = (*it)[1].str();
-    if (id != "kCount_") out.push_back(id);
-  }
-  return out;
-}
-
-// The brace-matched body of the function named `name`: the text between the
-// '{' that opens its definition and the matching '}'. A definition site is
-// an occurrence of `name` that is a whole token, is followed by '(', and
-// reaches a '{' before any ';' (which would make it a declaration or a
-// call) — so mentions in comments or call sites don't hijack the anchor.
-// Empty when no such body is found. String/char literals in the checked
-// files never contain braces, so plain counting is sufficient (the fixtures
-// pin this).
-std::string function_body(const std::string& src, const std::string& name) {
-  auto is_ident = [](char c) {
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-  };
-  for (std::size_t at = src.find(name); at != std::string::npos;
-       at = src.find(name, at + 1)) {
-    if (at > 0 && is_ident(src[at - 1])) continue;
-    std::size_t after = at + name.size();
-    while (after < src.size() &&
-           std::isspace(static_cast<unsigned char>(src[after]))) {
-      ++after;
-    }
-    if (after >= src.size() || src[after] != '(') continue;
-    const std::size_t open = src.find('{', after);
-    const std::size_t semi = src.find(';', after);
-    if (open == std::string::npos || (semi != std::string::npos && semi < open))
-      continue;
-    int depth = 0;
-    for (std::size_t i = open; i < src.size(); ++i) {
-      if (src[i] == '{') ++depth;
-      if (src[i] == '}' && --depth == 0) {
-        return src.substr(open, i - open + 1);
-      }
-    }
-    return std::string();
-  }
-  return std::string();
-}
-
-// `case <enum>::<id>:` sites, each mapped to the token that decides it: the
-// first `return <something>;` at or after the case label. Fall-through case
-// labels share their group's return, which is exactly the classifier's
-// shape. Returns enumerator -> returned expression text (trimmed).
-std::map<std::string, std::string> parse_switch_returns(
-    const std::string& src, const std::string& enum_name) {
-  std::map<std::string, std::string> out;
-  const std::regex label("case\\s+" + enum_name + "::(k[A-Za-z0-9_]+)\\s*:");
-  const std::regex ret("return\\s+([^;]+);");
-  for (auto it = std::sregex_iterator(src.begin(), src.end(), label);
-       it != std::sregex_iterator(); ++it) {
-    const std::string id = (*it)[1].str();
-    const std::size_t from =
-        static_cast<std::size_t>(it->position()) + it->length();
-    // `break;` before the next return means the case deliberately returns
-    // nothing (the sentinel's escape) — record it as empty.
-    const std::size_t brk = src.find("break;", from);
-    std::smatch r;
-    const std::string rest = src.substr(from);
-    if (std::regex_search(rest, r, ret)) {
-      const std::size_t rpos = from + static_cast<std::size_t>(r.position());
-      if (brk != std::string::npos && brk < rpos) {
-        out[id] = "";
-      } else {
-        out[id] = r[1].str();
-      }
-    } else {
-      out[id] = "";
-    }
-  }
-  return out;
-}
-
-// The quoted string inside a returned expression, if it is one.
-std::optional<std::string> quoted(const std::string& expr) {
-  const std::regex q("^\\s*\"([^\"]*)\"\\s*$");
-  std::smatch m;
-  if (std::regex_match(expr, m, q)) return m[1].str();
-  return std::nullopt;
-}
-
-bool is_kebab_case(const std::string& s) {
-  if (s.empty() || s.front() == '-' || s.back() == '-') return false;
-  for (char c : s) {
-    if (!(std::islower(static_cast<unsigned char>(c)) ||
-          std::isdigit(static_cast<unsigned char>(c)) || c == '-')) {
-      return false;
-    }
-  }
-  return true;
-}
-
-// --- per-taxonomy rules -----------------------------------------------------
-
-// PL001/PL002/PL003: every Counter/Histogram enumerator carries a unique
-// kebab-case name string in the name-switch.
-void check_obs_names(Lint& lint) {
-  const std::string header = lint.read("src/obs/counters.h");
-  const std::string impl = lint.read("src/obs/counters.cpp");
-  if (header.empty() || impl.empty()) return;
-
-  std::map<std::string, std::string> seen;  // name -> "Enum::kId"
-  const struct {
-    const char* enum_name;
-    const char* fn_name;
-    const char* rule;
-    const char* slug;
-  } taxa[] = {{"Counter", "counter_name", "PL001", "counter-unnamed"},
-              {"Histogram", "histogram_name", "PL003", "histogram-unnamed"}};
-  for (const auto& taxon : taxa) {
-    const std::vector<std::string> ids = parse_enum(header, taxon.enum_name);
-    if (ids.empty()) {
-      lint.report(taxon.rule, taxon.slug,
-                  std::string("enum class ") + taxon.enum_name +
-                      " not found in src/obs/counters.h");
-      continue;
-    }
-    const std::map<std::string, std::string> cases = parse_switch_returns(
-        function_body(impl, taxon.fn_name), taxon.enum_name);
-    for (const std::string& id : ids) {
-      const auto it = cases.find(id);
-      const std::optional<std::string> name =
-          it == cases.end() ? std::nullopt : quoted(it->second);
-      if (!name.has_value()) {
-        lint.report(taxon.rule, taxon.slug,
-                    std::string(taxon.enum_name) + "::" + id +
-                        " has no name-string case in src/obs/counters.cpp");
-        continue;
-      }
-      const std::string qualified =
-          std::string(taxon.enum_name) + "::" + id;
-      if (!is_kebab_case(*name)) {
-        lint.report("PL002", "obs-name-collision",
-                    qualified + " name \"" + *name + "\" is not kebab-case");
-      }
-      const auto [pos, inserted] = seen.emplace(*name, qualified);
-      if (!inserted) {
-        lint.report("PL002", "obs-name-collision",
-                    qualified + " reuses name \"" + *name + "\" already "
-                    "taken by " + pos->second);
-      }
-    }
+  if (ctx.findings.empty()) {
+    std::cout << "pfact_lint: clean (" << root << ")\n";
+  } else {
+    std::cout << "pfact_lint: " << ctx.findings.size() << " finding(s)\n";
   }
 }
 
-// PL004: the fault taxonomy is printable and sweepable.
-void check_fault_classes(Lint& lint) {
-  const std::string src = lint.read("src/robustness/fault_injector.h");
-  if (src.empty()) return;
-  const std::vector<std::string> ids = parse_enum(src, "FaultClass");
-  if (ids.empty()) {
-    lint.report("PL004", "fault-class-unhandled",
-                "enum class FaultClass not found in "
-                "src/robustness/fault_injector.h");
-    return;
+void print_json(const pfact_lint::Context& ctx, const std::string& root) {
+  using pfact_lint::json_escape;
+  std::cout << "{\n  \"root\": \"" << json_escape(root) << "\",\n"
+            << "  \"count\": " << ctx.findings.size() << ",\n"
+            << "  \"findings\": [";
+  bool first = true;
+  for (const pfact_lint::Finding& f : ctx.findings) {
+    std::cout << (first ? "\n" : ",\n");
+    first = false;
+    std::cout << "    {\"rule\": \"" << json_escape(f.rule)
+              << "\", \"slug\": \"" << json_escape(f.slug)
+              << "\", \"file\": \"" << json_escape(f.file)
+              << "\", \"line\": " << f.line << ", \"message\": \""
+              << json_escape(f.message) << "\"}";
   }
-  const std::map<std::string, std::string> names = parse_switch_returns(
-      function_body(src, "fault_class_name"), "FaultClass");
-
-  // The all_fault_classes() sweep list: every FaultClass:: mention inside
-  // the function body (the static vector's brace-initializer).
-  std::set<std::string> swept;
-  const std::string sweep_body = function_body(src, "all_fault_classes");
-  const std::regex mention("FaultClass::(k[A-Za-z0-9_]+)");
-  for (auto it =
-           std::sregex_iterator(sweep_body.begin(), sweep_body.end(), mention);
-       it != std::sregex_iterator(); ++it) {
-    swept.insert((*it)[1].str());
-  }
-  for (const std::string& id : ids) {
-    const auto it = names.find(id);
-    if (it == names.end() || !quoted(it->second).has_value()) {
-      lint.report("PL004", "fault-class-unhandled",
-                  "FaultClass::" + id +
-                      " has no name case in fault_class_name()");
-    }
-    if (id != "kNone" && swept.count(id) == 0) {
-      lint.report("PL004", "fault-class-unhandled",
-                  "FaultClass::" + id +
-                      " is missing from the all_fault_classes() sweep list — "
-                      "the robustness suite would never inject it");
-    }
-  }
-}
-
-// PL005: every Diagnostic both prints and classifies.
-void check_diagnostics(Lint& lint) {
-  const std::string header = lint.read("src/robustness/diagnostics.h");
-  const std::string classifier = lint.read("src/robustness/retry.cpp");
-  if (header.empty() || classifier.empty()) return;
-  const std::vector<std::string> ids = parse_enum(header, "Diagnostic");
-  if (ids.empty()) {
-    lint.report("PL005", "diagnostic-unclassified",
-                "enum class Diagnostic not found in "
-                "src/robustness/diagnostics.h");
-    return;
-  }
-  const std::map<std::string, std::string> names = parse_switch_returns(
-      function_body(header, "diagnostic_name"), "Diagnostic");
-  const std::map<std::string, std::string> kinds = parse_switch_returns(
-      function_body(classifier, "classify_diagnostic"), "Diagnostic");
-  for (const std::string& id : ids) {
-    const auto n = names.find(id);
-    if (n == names.end() || !quoted(n->second).has_value()) {
-      lint.report("PL005", "diagnostic-unclassified",
-                  "Diagnostic::" + id +
-                      " has no name case in diagnostic_name()");
-    }
-    const auto k = kinds.find(id);
-    if (k == kinds.end() || k->second.find("FailureKind::") ==
-                                std::string::npos) {
-      lint.report("PL005", "diagnostic-unclassified",
-                  "Diagnostic::" + id +
-                      " is not mapped to a FailureKind in "
-                      "classify_diagnostic() (src/robustness/retry.cpp)");
-    }
-  }
-}
-
-// PL009: the worker-death taxonomy is printable, diagnosable, and swept.
-// WorkerExit is DEFINED in src/serve/worker_pool.h (with its name switch and
-// the all_worker_exits() sweep the soak harness certifies coverage against)
-// but DIAGNOSED in src/serve/supervisor.h — the classic cross-file gap this
-// tool exists for: a new death class compiles everywhere and silently falls
-// through to the kInternalError backstop at the first real crash.
-void check_worker_exits(Lint& lint) {
-  const std::string pool = lint.read("src/serve/worker_pool.h");
-  const std::string sup = lint.read("src/serve/supervisor.h");
-  if (pool.empty() || sup.empty()) return;
-  const std::vector<std::string> ids = parse_enum(pool, "WorkerExit");
-  if (ids.empty()) {
-    lint.report("PL009", "worker-exit-unmapped",
-                "enum class WorkerExit not found in src/serve/worker_pool.h");
-    return;
-  }
-  const std::map<std::string, std::string> names = parse_switch_returns(
-      function_body(pool, "worker_exit_name"), "WorkerExit");
-  const std::map<std::string, std::string> diags = parse_switch_returns(
-      function_body(sup, "diagnose_worker_exit"), "WorkerExit");
-
-  std::set<std::string> swept;
-  const std::string sweep_body = function_body(pool, "all_worker_exits");
-  const std::regex mention("WorkerExit::(k[A-Za-z0-9_]+)");
-  for (auto it =
-           std::sregex_iterator(sweep_body.begin(), sweep_body.end(), mention);
-       it != std::sregex_iterator(); ++it) {
-    swept.insert((*it)[1].str());
-  }
-  for (const std::string& id : ids) {
-    const auto n = names.find(id);
-    if (n == names.end() || !quoted(n->second).has_value()) {
-      lint.report("PL009", "worker-exit-unmapped",
-                  "WorkerExit::" + id +
-                      " has no name case in worker_exit_name()");
-    }
-    const auto d = diags.find(id);
-    if (d == diags.end() ||
-        d->second.find("Diagnostic::") == std::string::npos) {
-      lint.report("PL009", "worker-exit-unmapped",
-                  "WorkerExit::" + id +
-                      " is not mapped to a Diagnostic in "
-                      "diagnose_worker_exit() (src/serve/supervisor.h) — a "
-                      "worker dying this way would hit the kInternalError "
-                      "backstop instead of the retry taxonomy");
-    }
-    if (swept.count(id) == 0) {
-      lint.report("PL009", "worker-exit-unmapped",
-                  "WorkerExit::" + id +
-                      " is missing from the all_worker_exits() sweep list — "
-                      "the real-kill soak could never certify coverage of it");
-    }
-  }
-}
-
-// PL010: the serving layer's rejection taxonomies — queue Admission and
-// cache CacheProbe — are printable, diagnosable, and swept. Each lives in a
-// single header, but the silent-fallthrough failure PL009 guards against
-// applies just the same: a new shed or probe class compiles cleanly, prints
-// as "?", and falls through to the kInternalError backstop the first time
-// real overload (or a corrupt cache entry) reaches it. The sweep lists are
-// what the service tests and the --serve soak certify coverage against.
-void check_serve_rejections(Lint& lint) {
-  struct Taxonomy {
-    const char* file;
-    const char* enum_name;
-    const char* name_fn;
-    const char* sweep_fn;
-    const char* diag_fn;
-  };
-  static const Taxonomy kTaxonomies[] = {
-      {"src/serve/queue.h", "Admission", "admission_name", "all_admissions",
-       "diagnose_admission"},
-      {"src/serve/result_cache.h", "CacheProbe", "cache_probe_name",
-       "all_cache_probes", "diagnose_cache_probe"},
-  };
-  for (const Taxonomy& t : kTaxonomies) {
-    const std::string text = lint.read(t.file);
-    if (text.empty()) continue;
-    const std::vector<std::string> ids = parse_enum(text, t.enum_name);
-    if (ids.empty()) {
-      lint.report("PL010", "serve-rejection-unmapped",
-                  std::string("enum class ") + t.enum_name + " not found in " +
-                      t.file);
-      continue;
-    }
-    const std::map<std::string, std::string> names =
-        parse_switch_returns(function_body(text, t.name_fn), t.enum_name);
-    const std::map<std::string, std::string> diags =
-        parse_switch_returns(function_body(text, t.diag_fn), t.enum_name);
-
-    std::set<std::string> swept;
-    const std::string sweep_body = function_body(text, t.sweep_fn);
-    const std::regex mention(std::string(t.enum_name) + "::(k[A-Za-z0-9_]+)");
-    for (auto it = std::sregex_iterator(sweep_body.begin(), sweep_body.end(),
-                                        mention);
-         it != std::sregex_iterator(); ++it) {
-      swept.insert((*it)[1].str());
-    }
-    for (const std::string& id : ids) {
-      const std::string qualified = std::string(t.enum_name) + "::" + id;
-      const auto n = names.find(id);
-      if (n == names.end() || !quoted(n->second).has_value()) {
-        lint.report("PL010", "serve-rejection-unmapped",
-                    qualified + " has no name case in " + t.name_fn + "()");
-      }
-      const auto d = diags.find(id);
-      if (d == diags.end() ||
-          d->second.find("Diagnostic::") == std::string::npos) {
-        lint.report("PL010", "serve-rejection-unmapped",
-                    qualified + " is not mapped to a Diagnostic in " +
-                        t.diag_fn + "() (" + t.file +
-                        ") — this rejection would reach clients as the "
-                        "kInternalError backstop instead of a classified, "
-                        "retryable shed");
-      }
-      if (swept.count(id) == 0) {
-        lint.report("PL010", "serve-rejection-unmapped",
-                    qualified + " is missing from the " + t.sweep_fn +
-                        "() sweep list — the service tests and --serve soak "
-                        "could never certify coverage of it");
-      }
-    }
-  }
-}
-
-// PL012: the socket front end's conversation taxonomy is total FOUR ways —
-// named (log lines), counted (obs counters), diagnosed (the client's retry
-// table), and swept (the rejection-matrix test and the --net soak's
-// full-coverage contract iterate all_frontend_statuses()). A FrontendStatus
-// added without all four legs compiles cleanly and only shows up as an
-// unexplained client hang-up under real network weather.
-void check_frontend_statuses(Lint& lint) {
-  const char* file = "src/serve/frontend.h";
-  const std::string text = lint.read(file);
-  if (text.empty()) return;
-  const std::vector<std::string> ids = parse_enum(text, "FrontendStatus");
-  if (ids.empty()) {
-    lint.report("PL012", "frontend-status-unmapped",
-                std::string("enum class FrontendStatus not found in ") + file);
-    return;
-  }
-  const std::map<std::string, std::string> names = parse_switch_returns(
-      function_body(text, "frontend_status_name"), "FrontendStatus");
-  const std::map<std::string, std::string> diags = parse_switch_returns(
-      function_body(text, "diagnose_frontend_status"), "FrontendStatus");
-  const std::map<std::string, std::string> counters = parse_switch_returns(
-      function_body(text, "frontend_status_counter"), "FrontendStatus");
-
-  std::set<std::string> swept;
-  const std::string sweep_body =
-      function_body(text, "all_frontend_statuses");
-  const std::regex mention("FrontendStatus::(k[A-Za-z0-9_]+)");
-  for (auto it =
-           std::sregex_iterator(sweep_body.begin(), sweep_body.end(), mention);
-       it != std::sregex_iterator(); ++it) {
-    swept.insert((*it)[1].str());
-  }
-  for (const std::string& id : ids) {
-    const std::string qualified = "FrontendStatus::" + id;
-    const auto n = names.find(id);
-    if (n == names.end() || !quoted(n->second).has_value() ||
-        !is_kebab_case(*quoted(n->second))) {
-      lint.report("PL012", "frontend-status-unmapped",
-                  qualified +
-                      " has no kebab-case name case in "
-                      "frontend_status_name()");
-    }
-    const auto d = diags.find(id);
-    if (d == diags.end() ||
-        d->second.find("Diagnostic::") == std::string::npos) {
-      lint.report("PL012", "frontend-status-unmapped",
-                  qualified + " is not mapped to a Diagnostic in "
-                              "diagnose_frontend_status() — the client "
-                              "library could not decide retry vs fail-fast "
-                              "for it");
-    }
-    const auto c = counters.find(id);
-    if (c == counters.end() ||
-        c->second.find("Counter::") == std::string::npos) {
-      lint.report("PL012", "frontend-status-unmapped",
-                  qualified + " has no obs counter in "
-                              "frontend_status_counter() — conversations "
-                              "ending this way would be invisible to "
-                              "monitoring");
-    }
-    if (swept.count(id) == 0) {
-      lint.report("PL012", "frontend-status-unmapped",
-                  qualified + " is missing from the all_frontend_statuses() "
-                              "sweep list — the rejection-matrix test and "
-                              "the --net soak could never certify coverage "
-                              "of it");
-    }
-  }
-}
-
-// --- checkpoint schema: tags, version, manifest -----------------------------
-
-struct CheckpointSchema {
-  std::vector<std::string> tags;  // sorted, as parsed
-  std::optional<long> version;
-};
-
-CheckpointSchema parse_checkpoint_schema(Lint& lint) {
-  CheckpointSchema schema;
-  const std::string src = lint.read("src/robustness/checkpoint.h");
-  if (src.empty()) return schema;
-  const std::regex tag(
-      "field_tag<[^>]+>\\(\\)\\s*\\{\\s*return\\s*\"([^\"]+)\"");
-  for (auto it = std::sregex_iterator(src.begin(), src.end(), tag);
-       it != std::sregex_iterator(); ++it) {
-    schema.tags.push_back((*it)[1].str());
-  }
-  const std::regex ver("kCheckpointVersion\\s*=\\s*([0-9]+)");
-  std::smatch m;
-  if (std::regex_search(src, m, ver)) schema.version = std::stol(m[1].str());
-  return schema;
-}
-
-// PL006: duplicate tags (checked before sorting loses multiplicity).
-void check_tag_uniqueness(Lint& lint, const CheckpointSchema& schema) {
-  std::set<std::string> seen;
-  for (const std::string& t : schema.tags) {
-    if (!seen.insert(t).second) {
-      lint.report("PL006", "checkpoint-tag-duplicate",
-                  "field_tag \"" + t +
-                      "\" is returned by more than one specialization in "
-                      "src/robustness/checkpoint.h — resume could validate "
-                      "a blob from the wrong field");
-    }
-  }
-}
-
-// PL011: the sparse tag namespace is derived, not free-form. Every
-// sparse_field_tag<T>() specialization must (a) shadow an existing dense
-// field_tag<T>() for the SAME scalar T — a sparse codec for a field the
-// dense world cannot decode would strand blobs on backend escalation,
-// (b) spell its tag as "sparse-" + the dense tag, so tag pairs stay
-// mechanically relatable across the manifest ratchet, and (c) appear in the
-// all_sparse_field_tags() sweep list, which the checkpoint corruption tests
-// (tests/robustness/test_checkpoint_sparse.cpp) iterate — an unswept tag is
-// a codec no rejection matrix ever exercises.
-void check_sparse_tags(Lint& lint) {
-  const std::string src = lint.read("src/robustness/checkpoint.h");
-  if (src.empty()) return;
-
-  const auto normalize = [](const std::string& s) {
-    std::string out;
-    for (char c : s) {
-      if (!std::isspace(static_cast<unsigned char>(c))) out += c;
-    }
-    return out;
-  };
-
-  // Group 1 distinguishes the namespaces: "sparse_" for the sparse
-  // specializations, empty for the dense ones (any other identifier prefix
-  // would be a third tag family this rule does not govern).
-  const std::regex spec(
-      "(\\w*)field_tag<([^>]+)>\\(\\)\\s*\\{\\s*return\\s*\"([^\"]+)\"");
-  std::map<std::string, std::string> dense_tags;   // scalar arg -> tag
-  std::map<std::string, std::string> sparse_tags;  // scalar arg -> tag
-  for (auto it = std::sregex_iterator(src.begin(), src.end(), spec);
-       it != std::sregex_iterator(); ++it) {
-    const std::string prefix = (*it)[1].str();
-    const std::string arg = normalize((*it)[2].str());
-    const std::string tag = (*it)[3].str();
-    if (prefix == "sparse_") {
-      sparse_tags[arg] = tag;
-    } else if (prefix.empty()) {
-      dense_tags[arg] = tag;
-    }
-  }
-
-  std::set<std::string> swept;  // scalar args mentioned in the sweep list
-  const std::string sweep_body = function_body(src, "all_sparse_field_tags");
-  const std::regex mention("sparse_field_tag<([^>]+)>");
-  for (auto it =
-           std::sregex_iterator(sweep_body.begin(), sweep_body.end(), mention);
-       it != std::sregex_iterator(); ++it) {
-    swept.insert(normalize((*it)[1].str()));
-  }
-
-  for (const auto& [arg, tag] : sparse_tags) {
-    const std::string spelled = "sparse_field_tag<" + arg + ">";
-    const auto dense = dense_tags.find(arg);
-    if (dense == dense_tags.end()) {
-      lint.report("PL011", "sparse-tag-unregistered",
-                  spelled + " (\"" + tag +
-                      "\") has no dense field_tag<" + arg +
-                      "> counterpart in src/robustness/checkpoint.h — a "
-                      "sparse blob of this field could never be cross-checked "
-                      "or resumed densely");
-    } else if (tag != "sparse-" + dense->second) {
-      lint.report("PL011", "sparse-tag-unregistered",
-                  spelled + " returns \"" + tag + "\" but the naming law "
-                      "requires \"sparse-" + dense->second +
-                      "\" (the dense tag with the sparse- prefix)");
-    }
-    if (swept.count(arg) == 0) {
-      lint.report("PL011", "sparse-tag-unregistered",
-                  spelled +
-                      " is missing from the all_sparse_field_tags() sweep "
-                      "list — the checkpoint corruption matrix would never "
-                      "exercise its codec");
-    }
-  }
-}
-
-struct Manifest {
-  std::optional<long> version;
-  std::vector<std::string> tags;  // sorted
-  bool present = false;
-};
-
-Manifest read_manifest(const std::string& path) {
-  Manifest m;
-  std::ifstream in(path);
-  if (!in) return m;
-  m.present = true;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream ls(line);
-    std::string key, value;
-    ls >> key >> value;
-    if (key == "version") m.version = std::stol(value);
-    if (key == "tag") m.tags.push_back(value);
-  }
-  std::sort(m.tags.begin(), m.tags.end());
-  return m;
-}
-
-bool write_manifest(const std::string& path, const CheckpointSchema& s) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return false;
-  out << "# pfact_lint checkpoint manifest — the committed record of the\n"
-         "# \"PFCK\" blob schema. Regenerate ONLY together with a\n"
-         "# kCheckpointVersion bump:  pfact_lint --root . --update-manifest\n";
-  out << "version " << (s.version ? *s.version : 0) << "\n";
-  std::vector<std::string> tags = s.tags;
-  std::sort(tags.begin(), tags.end());
-  for (const std::string& t : tags) out << "tag " << t << "\n";
-  return static_cast<bool>(out);
-}
-
-// PL007/PL008: the tag set may only change together with a version bump,
-// and the manifest must record the current state.
-void check_manifest(Lint& lint, const CheckpointSchema& schema,
-                    const std::string& manifest_path) {
-  const Manifest m = read_manifest(manifest_path);
-  if (!m.present || !m.version.has_value()) {
-    lint.report("PL008", "checkpoint-manifest-outdated",
-                "manifest " + manifest_path +
-                    " is missing or unparsable — regenerate with "
-                    "--update-manifest");
-    return;
-  }
-  std::vector<std::string> tags = schema.tags;
-  std::sort(tags.begin(), tags.end());
-  const bool tags_changed = tags != m.tags;
-  const bool version_changed = schema.version != m.version;
-  if (tags_changed && !version_changed) {
-    std::string delta;
-    for (const std::string& t : tags) {
-      if (!std::binary_search(m.tags.begin(), m.tags.end(), t)) {
-        delta += " +" + t;
-      }
-    }
-    for (const std::string& t : m.tags) {
-      if (!std::binary_search(tags.begin(), tags.end(), t)) delta += " -" + t;
-    }
-    lint.report("PL007", "checkpoint-version-stale",
-                "the checkpoint field-tag set changed (" +
-                    (delta.empty() ? std::string(" reordered") : delta) +
-                    " ) but kCheckpointVersion is still " +
-                    std::to_string(m.version.value()) +
-                    " — old blobs would decode under the new schema; bump "
-                    "the version, then --update-manifest");
-  } else if (tags_changed || version_changed) {
-    lint.report("PL008", "checkpoint-manifest-outdated",
-                "manifest records version " +
-                    std::to_string(m.version.value()) + " with " +
-                    std::to_string(m.tags.size()) +
-                    " tag(s), but src/robustness/checkpoint.h now has "
-                    "version " +
-                    (schema.version ? std::to_string(*schema.version)
-                                    : std::string("?")) +
-                    " with " + std::to_string(schema.tags.size()) +
-                    " tag(s) — regenerate with --update-manifest");
-  }
+  std::cout << (ctx.findings.empty() ? "]\n" : "\n  ]\n") << "}\n";
 }
 
 }  // namespace
@@ -774,6 +71,8 @@ int main(int argc, char** argv) {
   std::string root;
   std::string manifest_path;
   bool update_manifest = false;
+  bool json = false;
+  bool list_rules = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
@@ -782,11 +81,20 @@ int main(int argc, char** argv) {
       manifest_path = argv[++i];
     } else if (arg == "--update-manifest") {
       update_manifest = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
     } else {
-      std::cerr << "usage: pfact_lint --root <repo-root> "
-                   "[--manifest <file>] [--update-manifest]\n";
-      return 2;
+      return usage();
     }
+  }
+
+  if (list_rules) {
+    for (const pfact_lint::RuleInfo& r : pfact_lint::rule_catalogue()) {
+      std::cout << r.id << " " << r.slug << "  " << r.summary << "\n";
+    }
+    return 0;
   }
   if (root.empty()) {
     std::cerr << "pfact_lint: --root is required\n";
@@ -796,17 +104,18 @@ int main(int argc, char** argv) {
     manifest_path = root + "/tools/pfact_lint_manifest.txt";
   }
 
-  Lint lint;
-  lint.root = root;
+  const pfact_lint::SourceTree tree = pfact_lint::SourceTree::load(root);
+  pfact_lint::Context ctx(tree);
 
-  const CheckpointSchema schema = parse_checkpoint_schema(lint);
   if (update_manifest) {
+    const pfact_lint::CheckpointSchema schema =
+        pfact_lint::parse_checkpoint_schema(ctx);
     if (schema.tags.empty() || !schema.version.has_value()) {
       std::cerr << "pfact_lint: cannot regenerate manifest — no checkpoint "
                    "schema parsed from src/robustness/checkpoint.h\n";
       return 2;
     }
-    if (!write_manifest(manifest_path, schema)) {
+    if (!pfact_lint::write_manifest(manifest_path, schema)) {
       std::cerr << "pfact_lint: cannot write " << manifest_path << "\n";
       return 2;
     }
@@ -814,25 +123,13 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  check_obs_names(lint);
-  check_fault_classes(lint);
-  check_diagnostics(lint);
-  check_worker_exits(lint);
-  check_serve_rejections(lint);
-  check_frontend_statuses(lint);
-  check_tag_uniqueness(lint, schema);
-  check_sparse_tags(lint);
-  check_manifest(lint, schema, manifest_path);
+  pfact_lint::run_all_rules(ctx, manifest_path);
+  if (tree.io_error || ctx.io_error) return 2;
 
-  if (lint.io_error) return 2;
-  for (const Finding& f : lint.findings) {
-    std::cout << "pfact_lint: " << f.rule << " " << f.slug << ": "
-              << f.message << "\n";
+  if (json) {
+    print_json(ctx, root);
+  } else {
+    print_text(ctx, root);
   }
-  if (lint.findings.empty()) {
-    std::cout << "pfact_lint: clean (" << root << ")\n";
-    return 0;
-  }
-  std::cout << "pfact_lint: " << lint.findings.size() << " finding(s)\n";
-  return 1;
+  return ctx.findings.empty() ? 0 : 1;
 }
