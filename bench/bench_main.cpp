@@ -8,6 +8,7 @@
 //   bench_main --json BENCH_pr2.json          # write the artifact
 //   bench_main --list                         # enumerate workloads
 //   bench_main --filter gqr --repeats 9       # explore interactively
+#include <signal.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -41,6 +42,7 @@
 #include "serve/client.h"
 #include "serve/frontend.h"
 #include "serve/queue.h"
+#include "serve/router.h"
 #include "serve/supervisor.h"
 #include "serve/warm_pool.h"
 #include "serve/wire.h"
@@ -492,6 +494,153 @@ void register_workloads(obs::BenchSuite& suite) {
               if (!*torn_rig) *torn_rig = make_socket_rig(128);
               socket_submit(**torn_rig, serve::NetFault::kTornFrame);
             });
+
+  // --- Sharded router (BENCH_pr10.json): the self-healing fleet bill ------
+  // The GEM xor suite once more, now through the ShardRouter: consistent-
+  // hash home pick + per-shard Unix socket + failover ring walk. Five rungs:
+  //   shard-gem-xor-cached-s1    one shard; delta against serve/socket-gem-
+  //                              xor-cached is the pure router bill (hash,
+  //                              admission ledger, status bookkeeping).
+  //   shard-gem-xor-cached-s3    three shards; delta against -s1 is the
+  //                              cost (or win) of spreading the same keys
+  //                              over a fleet of private caches.
+  //   shard-gem-xor-fresh-s3     caches off, every submit re-factors.
+  //   shard-failover-warm        SIGKILL the home shard, answer through a
+  //                              survivor, wait for the healed fleet: one
+  //                              full kill -> failover -> restart cycle.
+  //   shard-brownout-shed        one shard down with a long restart backoff:
+  //                              shed three fresh keys, serve one warm key,
+  //                              then heal — the degraded-mode service bill.
+  // Rigs are built lazily (first call = warmup pass) and shared across
+  // repeats, like the socket rigs above.
+  auto make_shard_rig = [](std::size_t shards, std::size_t cache_capacity,
+                           std::chrono::milliseconds restart_delay) {
+    serve::RouterOptions ro;
+    ro.shards = shards;
+    ro.service.dispatchers = 2;
+    ro.service.pool.workers = 2;
+    ro.service.cache_capacity = cache_capacity;
+    ro.service.supervisor.checkpoint_every = 8;
+    ro.restart.base_delay = restart_delay;
+    ro.restart.max_delay = restart_delay * 8;
+    auto router = std::make_unique<serve::ShardRouter>(ro);
+    if (!router->wait_all_serving(std::chrono::seconds(10))) std::abort();
+    return router;
+  };
+  auto route_all = [gem_xor_tasks](serve::ShardRouter& router) {
+    for (const robustness::ReductionTask& task : gem_xor_tasks()) {
+      const serve::RouteResult res = router.submit(task);
+      if ((res.status != serve::RouterStatus::kRouted &&
+           res.status != serve::RouterStatus::kFailedOver) ||
+          !res.response.certified ||
+          res.response.value != task.expected()) {
+        std::abort();
+      }
+    }
+  };
+  auto shard_s1 = std::make_shared<std::unique_ptr<serve::ShardRouter>>();
+  suite.add("serve/shard-gem-xor-cached-s1", "pr10",
+            [make_shard_rig, route_all, shard_s1] {
+              if (!*shard_s1)
+                *shard_s1 = make_shard_rig(1, 128, std::chrono::milliseconds{1});
+              route_all(**shard_s1);
+            });
+  auto shard_s3 = std::make_shared<std::unique_ptr<serve::ShardRouter>>();
+  suite.add("serve/shard-gem-xor-cached-s3", "pr10",
+            [make_shard_rig, route_all, shard_s3] {
+              if (!*shard_s3)
+                *shard_s3 = make_shard_rig(3, 128, std::chrono::milliseconds{1});
+              route_all(**shard_s3);
+            });
+  auto shard_fresh = std::make_shared<std::unique_ptr<serve::ShardRouter>>();
+  suite.add("serve/shard-gem-xor-fresh-s3", "pr10",
+            [make_shard_rig, route_all, shard_fresh] {
+              if (!*shard_fresh)
+                *shard_fresh =
+                    make_shard_rig(3, 0, std::chrono::milliseconds{1});
+              route_all(**shard_fresh);
+            });
+  auto shard_failover = std::make_shared<std::unique_ptr<serve::ShardRouter>>();
+  suite.add(
+      "serve/shard-failover-warm", "pr10",
+      [make_shard_rig, gem_xor_tasks, shard_failover] {
+        if (!*shard_failover)
+          *shard_failover =
+              make_shard_rig(3, 128, std::chrono::milliseconds{1});
+        serve::ShardRouter& router = **shard_failover;
+        const robustness::ReductionTask task = gem_xor_tasks()[0];
+        // The heal barrier below is eventually consistent, so the home can
+        // still be mid-respawn (pid -1) when the next repeat starts: retry
+        // until the kill lands on a live pid.
+        const std::size_t home = router.home_shard(task);
+        const auto kill_deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        for (;;) {
+          if (router.shard_pid(home) > 0 &&
+              router.kill_shard_for_testing(home, SIGKILL)) {
+            break;
+          }
+          if (std::chrono::steady_clock::now() > kill_deadline) std::abort();
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        const serve::RouteResult res = router.submit(task);
+        if ((res.status != serve::RouterStatus::kRouted &&
+             res.status != serve::RouterStatus::kFailedOver) ||
+            !res.response.certified ||
+            res.response.value != task.expected()) {
+          std::abort();
+        }
+        if (!router.wait_all_serving(std::chrono::seconds(10))) std::abort();
+      });
+  auto shard_brownout = std::make_shared<std::unique_ptr<serve::ShardRouter>>();
+  suite.add(
+      "serve/shard-brownout-shed", "pr10",
+      [make_shard_rig, gem_xor_tasks, shard_brownout] {
+        const std::vector<robustness::ReductionTask> tasks = gem_xor_tasks();
+        if (!*shard_brownout) {
+          // A long restart backoff holds the fleet degraded for the whole
+          // shed batch; the warm key is cached on its home before any kill.
+          *shard_brownout =
+              make_shard_rig(3, 128, std::chrono::milliseconds{200});
+          const serve::RouteResult warm = (*shard_brownout)->submit(tasks[0]);
+          if (warm.status != serve::RouterStatus::kRouted) std::abort();
+        }
+        serve::ShardRouter& router = **shard_brownout;
+        // Down a shard that is NOT the warm key's home, then wait for the
+        // supervision tick to notice the corpse and latch the brownout.
+        const std::size_t victim =
+            (router.home_shard(tasks[0]) + 1) % router.shard_count();
+        const auto kill_deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        for (;;) {
+          if (router.shard_pid(victim) > 0 &&
+              router.kill_shard_for_testing(victim, SIGKILL)) {
+            break;
+          }
+          if (std::chrono::steady_clock::now() > kill_deadline) std::abort();
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        const auto latch_deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(2);
+        while (!router.browned_out()) {
+          if (std::chrono::steady_clock::now() > latch_deadline) std::abort();
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        for (std::size_t i = 1; i < tasks.size(); ++i) {
+          const serve::RouteResult shed = router.submit(tasks[i]);
+          if (shed.status != serve::RouterStatus::kBrownoutShed ||
+              shed.response.status != serve::FrontendStatus::kOverloaded) {
+            std::abort();
+          }
+        }
+        const serve::RouteResult warm = router.submit(tasks[0]);
+        if (warm.status != serve::RouterStatus::kRouted ||
+            !warm.response.certified ||
+            warm.response.value != tasks[0].expected()) {
+          std::abort();
+        }
+        if (!router.wait_all_serving(std::chrono::seconds(10))) std::abort();
+      });
 
   // --- Sparse backend (BENCH_pr7.json): dense-vs-sparse deltas ------------
   // The same guarded GEM workload (deep NAND chain, depth 40 — the largest

@@ -79,6 +79,18 @@ const char* counter_name(Counter c) {
     case Counter::kFrontendBytesRead: return "frontend-bytes-read";
     case Counter::kFrontendBytesWritten: return "frontend-bytes-written";
     case Counter::kClientRetries: return "client-retries";
+    case Counter::kFrontendProbes: return "frontend-probes";
+    case Counter::kRouterRoutes: return "router-routes";
+    case Counter::kRouterFailovers: return "router-failovers";
+    case Counter::kRouterBrownoutSheds: return "router-brownout-sheds";
+    case Counter::kRouterAllShardsDown: return "router-all-shards-down";
+    case Counter::kRouterRestarts: return "router-restarts";
+    case Counter::kRouterProbes: return "router-probes";
+    case Counter::kShardServing: return "shard-serving";
+    case Counter::kShardStarting: return "shard-starting";
+    case Counter::kShardUnresponsive: return "shard-unresponsive";
+    case Counter::kShardDead: return "shard-dead";
+    case Counter::kShardRestarting: return "shard-restarting";
     case Counter::kCount_: break;
   }
   return "?";

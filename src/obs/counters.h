@@ -133,6 +133,20 @@ enum class Counter : std::size_t {
   kFrontendBytesWritten,      // response-side bytes written to client sockets
   kClientRetries,             // client library retry attempts (transient)
 
+  // --- serve/: shard router -------------------------------------------------
+  kFrontendProbes,            // health heartbeats echoed by the event loop
+  kRouterRoutes,              // requests routed to their home shard
+  kRouterFailovers,           // requests rerouted around a dead/evicted shard
+  kRouterBrownoutSheds,       // fresh work shed while degraded (brownout)
+  kRouterAllShardsDown,       // requests refused with no shard alive
+  kRouterRestarts,            // shard processes respawned after a death
+  kRouterProbes,              // health probes the router sent
+  kShardServing,              // shard observed healthy (probe acked)
+  kShardStarting,             // shard observed still booting
+  kShardUnresponsive,         // shard evicted: probe deadline expired
+  kShardDead,                 // shard reaped by waitpid (any death class)
+  kShardRestarting,           // shard waiting out its seeded restart backoff
+
   kCount_,  // sentinel: number of counters
 };
 

@@ -19,6 +19,7 @@
 //
 // Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -113,6 +114,16 @@ class PFACT_SCOPED_CAPABILITY MutexLock {
   // function to the analysis, so guarded reads inside it would not see the
   // held capability — callers write the while-loop in their own body.
   void wait(std::condition_variable& cv) { cv.wait(lock_); }
+
+  // Timed variant, for supervision loops that tick on a cadence but must
+  // wake immediately on shutdown. A cv wait is the lawful replacement for a
+  // blind sleep in such loops: it holds no capability the analysis cannot
+  // see, and a notify cuts the latency to zero.
+  template <class Rep, class Period>
+  std::cv_status wait_for(std::condition_variable& cv,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return cv.wait_for(lock_, d);
+  }
 
  private:
   std::unique_lock<std::mutex> lock_;

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <errno.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -50,6 +51,28 @@ bool write_all(int fd, const char* data, std::size_t n) {
   return true;
 }
 
+// Completes a connect() that a signal interrupted. POSIX leaves the attempt
+// in flight after EINTR — the socket keeps connecting in the background —
+// so the right move is to wait for writability and read the real verdict
+// from SO_ERROR. Reporting the interruption itself as "refused" would turn
+// every SIGCHLD burst from the shard router's reaper into a spurious
+// kConnReset on an otherwise healthy connection.
+bool finish_connect(int fd) {
+  pollfd p{};
+  p.fd = fd;
+  p.events = POLLOUT;
+  for (;;) {
+    const int pr = ::poll(&p, 1, 1000);
+    if (pr < 0 && errno == EINTR) continue;
+    if (pr <= 0) return false;
+    break;
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) return false;
+  return err == 0;
+}
+
 FrontendStatus status_for_wire(WireStatus s) {
   // Transport verdicts collapse into the two client-inferable statuses: a
   // deadline is a deadline; everything else that stopped a response from
@@ -78,7 +101,8 @@ int Client::connect_once() {
     const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd < 0) return -1;
     if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) != 0) {
+                  sizeof(addr)) != 0 &&
+        !(errno == EINTR && finish_connect(fd))) {
       ::close(fd);
       return -1;
     }
@@ -92,7 +116,8 @@ int Client::connect_once() {
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(options_.tcp_port);
     if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) != 0) {
+                  sizeof(addr)) != 0 &&
+        !(errno == EINTR && finish_connect(fd))) {
       ::close(fd);
       return -1;
     }

@@ -483,6 +483,30 @@ bool Frontend::conn_readable(Conn& c) {
       c.frame_type = r.get_u8();
       c.frame_len = r.get_u64();
       c.frame_crc = r.get_u32();
+      if (magic == kFrameMagic &&
+          c.frame_type == static_cast<std::uint8_t>(FrameType::kProbe) &&
+          c.frame_len == 0 && c.frame_crc == robustness::crc32("", 0)) {
+        // Router heartbeat: echo an empty kProbe frame straight from the
+        // event loop, never touching the admission queue — liveness of this
+        // poll loop is exactly what the prober wants to measure, and a
+        // saturated queue must not make a healthy shard look dead. The
+        // connection stays open for the next probe.
+        ByteWriter w;
+        w.reserve(kFrameHeaderBytes);
+        w.put_u32(kFrameMagic);
+        w.put_u8(static_cast<std::uint8_t>(FrameType::kProbe));
+        w.put_u64(0);
+        w.put_u32(robustness::crc32("", 0));
+        c.outbuf = w.take();
+        c.out_off = 0;
+        c.inbuf.clear();
+        c.phase = Conn::Phase::kWrite;
+        c.deadline = std::chrono::steady_clock::now() +
+                     options_.write_deadline;
+        c.close_after_write = false;
+        PFACT_COUNT(kFrontendProbes);
+        return true;
+      }
       if (magic != kFrameMagic ||
           c.frame_type != static_cast<std::uint8_t>(FrameType::kRequest) ||
           c.frame_len > kMaxFramePayload) {

@@ -1,0 +1,100 @@
+#include "serve/shard.h"
+
+#include <errno.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/syscall.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <memory>
+
+#include "serve/frontend.h"
+#include "serve/wire.h"
+
+namespace pfact::serve {
+
+namespace {
+
+// The shard child's whole life: build the private service stack, then park
+// until SIGTERM. The signal is consumed with sigwait — not a handler — so
+// shutdown needs no async-signal-safe gymnastics: the main thread simply
+// returns into the destructors, which drain the frontend and retire the
+// warm workers before _exit.
+// Drop every descriptor inherited from the router process. A shard forked
+// mid-campaign inherits whatever the parent had open at that moment —
+// crucially the pipe ends of OTHER services' warm workers. A duplicate
+// write end held here would keep those workers from ever seeing EOF at
+// their own pool's shutdown, turning an unrelated teardown into a hang.
+// The shard needs nothing from the parent but stdio: it builds its own
+// sockets, pipes, and workers from scratch.
+void close_inherited_fds() {
+#if defined(__linux__) && defined(SYS_close_range)
+  if (::syscall(SYS_close_range, 3u, ~0u, 0u) == 0) return;
+#endif
+  const long max_fd = ::sysconf(_SC_OPEN_MAX);
+  for (int fd = 3; fd < (max_fd > 0 ? max_fd : 1024); ++fd) ::close(fd);
+}
+
+[[noreturn]] void shard_child_main(const ShardSpec& spec) {
+  close_inherited_fds();
+  // Block SIGTERM before the service threads start so every thread inherits
+  // the mask and only the sigwait below can consume it.
+  sigset_t term;
+  sigemptyset(&term);
+  sigaddset(&term, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &term, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  {
+    ReductionService service(spec.service);
+    FrontendOptions fo;
+    fo.unix_path = spec.unix_path;
+    Frontend frontend(service, fo);
+    if (!frontend.running()) _exit(1);
+    int sig = 0;
+    while (sigwait(&term, &sig) != 0 || sig != SIGTERM) {
+    }
+    frontend.begin_drain();
+  }
+  _exit(0);
+}
+
+}  // namespace
+
+pid_t spawn_shard(const ShardSpec& spec) {
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) shard_child_main(spec);  // never returns
+  return pid;
+}
+
+bool probe_shard(const std::string& unix_path,
+                 std::chrono::milliseconds deadline) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (unix_path.empty() || unix_path.size() >= sizeof(addr.sun_path))
+    return false;
+  ::memcpy(addr.sun_path, unix_path.c_str(), unix_path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  bool acked = false;
+  if (write_frame(fd, FrameType::kProbe, {}) == WireStatus::kOk) {
+    FrameType type = FrameType::kRequest;
+    std::string payload;
+    const WireStatus st = read_frame(
+        fd, type, payload, std::chrono::steady_clock::now() + deadline);
+    acked = st == WireStatus::kOk && type == FrameType::kProbe &&
+            payload.empty();
+  }
+  ::close(fd);
+  return acked;
+}
+
+}  // namespace pfact::serve

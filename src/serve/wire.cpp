@@ -328,7 +328,7 @@ WireStatus read_frame(int fd, FrameType& type, std::string& payload,
   const std::uint32_t crc = r.get_u32();
   if (magic != kFrameMagic) return WireStatus::kBadMagic;
   if (raw_type < static_cast<std::uint8_t>(FrameType::kRequest) ||
-      raw_type > static_cast<std::uint8_t>(FrameType::kResponse)) {
+      raw_type > static_cast<std::uint8_t>(FrameType::kProbe)) {
     return WireStatus::kBadType;
   }
   if (length > kMaxFramePayload) return WireStatus::kMalformed;

@@ -53,6 +53,9 @@ enum class FrameType : std::uint8_t {
   kCheckpoint = 2,  // worker -> supervisor: step u64 + one PFCK blob
   kResult = 3,      // worker -> supervisor: one serialized RunReport
   kResponse = 4,    // frontend -> client: one serialized FrontendResponse
+  kProbe = 5,       // router <-> shard: empty-payload health heartbeat; the
+                    // frontend echoes it straight from its poll loop, so an
+                    // ack proves event-loop liveness, not queue capacity
 };
 
 enum class WireStatus {

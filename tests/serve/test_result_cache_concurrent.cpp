@@ -1,0 +1,155 @@
+// ResultCache under real contention (PR 10 satellite). Every shard runs its
+// cache with dispatcher threads filling and the frontend's jobs reading, so
+// the lock discipline must hold under genuine interleaving — this suite is
+// the TSan lane's witness. It rides the `robustness` ctest label ON PURPOSE:
+// the sanitizer lanes exclude `serve` (real forks and signals live there),
+// and this file has neither — just threads hammering one cache.
+//
+// The accounting assertions are PINNED, not "roughly": with unique keys,
+// every insert is a fill, the resident set ends exactly at capacity, and
+// therefore evictions == fills - capacity regardless of interleaving. A
+// concurrency bug that double-evicts or loses a fill breaks the arithmetic
+// even when TSan is off.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/result_cache.h"
+
+namespace pfact::serve {
+namespace {
+
+std::string nth_key(std::size_t t, std::size_t i) {
+  return "cache-key-" + std::to_string(t) + "-" + std::to_string(i);
+}
+
+CacheEntry nth_entry(std::size_t t, std::size_t i) {
+  CacheEntry e;
+  e.value = ((t + i) % 2) != 0;
+  // No final_checkpoint on purpose: the envelope leg has its own
+  // single-threaded suite; here every byte of contention goes to the
+  // LRU/CRC machinery.
+  return e;
+}
+
+TEST(ResultCacheConcurrent, PinnedEvictionArithmeticAcrossFillerThreads) {
+  constexpr std::size_t kCapacity = 64;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 64;
+  ResultCache cache(kCapacity);
+
+  std::vector<std::thread> fillers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    fillers.emplace_back([&cache, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        cache.insert(nth_key(t, i), nth_entry(t, i));
+      }
+    });
+  }
+  for (auto& th : fillers) th.join();
+
+  const ResultCache::Stats st = cache.stats();
+  EXPECT_EQ(st.fills, kThreads * kPerThread);
+  EXPECT_EQ(cache.size(), kCapacity);
+  // The pinned identity: unique keys, so every insert filled, and exactly
+  // fills - capacity of them must have been evicted to land at capacity.
+  EXPECT_EQ(st.evictions, kThreads * kPerThread - kCapacity);
+  EXPECT_EQ(st.corrupt, 0u);
+}
+
+TEST(ResultCacheConcurrent, FillHitEvictStormKeepsTheLedgerExact) {
+  constexpr std::size_t kCapacity = 32;
+  constexpr std::size_t kFillers = 3;
+  constexpr std::size_t kReaders = 3;
+  constexpr std::size_t kPerThread = 128;
+  ResultCache cache(kCapacity);
+
+  std::atomic<std::uint64_t> lookups{0};
+  std::atomic<std::uint64_t> hits_seen{0};
+  std::atomic<bool> checksum_sink{false};  // keeps the hit-path reads live
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kFillers; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        cache.insert(nth_key(t, i), nth_entry(t, i));
+      }
+    });
+  }
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      CacheEntry out;
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        // Probe keys the fillers are racing to insert and evict; every
+        // outcome is acceptable, but each must be classified.
+        const CacheProbe p = cache.lookup(nth_key(r % kFillers, i), out);
+        lookups.fetch_add(1, std::memory_order_relaxed);
+        if (p == CacheProbe::kHit) {
+          hits_seen.fetch_add(1, std::memory_order_relaxed);
+          // TSan witness: the returned entry is read after the lock is
+          // gone — a fill racing a hit on shared storage would fire here.
+          checksum_sink.store(out.value, std::memory_order_relaxed);
+        } else {
+          EXPECT_EQ(p, CacheProbe::kMiss);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const ResultCache::Stats st = cache.stats();
+  EXPECT_EQ(st.fills, kFillers * kPerThread);
+  EXPECT_EQ(st.evictions, kFillers * kPerThread - kCapacity);
+  EXPECT_EQ(cache.size(), kCapacity);
+  // The reader-side tally and the cache's own ledger must agree exactly.
+  EXPECT_EQ(st.hits, hits_seen.load());
+  EXPECT_EQ(st.hits + st.misses, lookups.load());
+  EXPECT_EQ(st.corrupt, 0u);
+}
+
+TEST(ResultCacheConcurrent, CorruptEntryIsClassifiedExactlyOnceUnderRacingReads) {
+  ResultCache cache(16);
+  const std::string key = "poisoned-key";
+  cache.insert(key, CacheEntry{true, robustness::Substrate::kDouble, ""});
+  ASSERT_TRUE(cache.corrupt_entry_for_testing(key));
+
+  // Many threads race to read the poisoned entry. The contract: the damage
+  // is classified (kCorruptEntry) by EXACTLY ONE reader — the drop-on-read
+  // must be atomic with the classification — and nobody is ever served the
+  // corrupt value. Everyone else sees a plain miss.
+  constexpr std::size_t kReaders = 8;
+  std::atomic<std::uint64_t> corrupt_seen{0};
+  std::atomic<std::uint64_t> hits_seen{0};
+  std::vector<std::thread> readers;
+  for (std::size_t r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      CacheEntry out;
+      const CacheProbe p = cache.lookup(key, out);
+      if (p == CacheProbe::kCorruptEntry)
+        corrupt_seen.fetch_add(1, std::memory_order_relaxed);
+      if (p == CacheProbe::kHit) hits_seen.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(corrupt_seen.load(), 1u);
+  EXPECT_EQ(hits_seen.load(), 0u);
+  const ResultCache::Stats st = cache.stats();
+  EXPECT_EQ(st.corrupt, 1u);
+  EXPECT_EQ(st.misses, kReaders - 1);
+  EXPECT_EQ(cache.size(), 0u) << "the poisoned entry must be gone";
+
+  // And the slot heals: a verified re-fill serves again.
+  cache.insert(key, CacheEntry{true, robustness::Substrate::kDouble, ""});
+  CacheEntry out;
+  EXPECT_EQ(cache.lookup(key, out), CacheProbe::kHit);
+  EXPECT_TRUE(out.value);
+}
+
+}  // namespace
+}  // namespace pfact::serve

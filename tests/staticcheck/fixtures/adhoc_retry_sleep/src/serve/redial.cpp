@@ -1,0 +1,20 @@
+// Seeded PL018 drift: a reconnect pacer that sleeps a hand-rolled schedule.
+// The delays never flowed through RetryPolicy::backoff, so they are outside
+// the seeded retry story — invisible to the soak's bit-equality checks and
+// free to drift from the schedule every other retry loop replays.
+
+#include <unistd.h>
+
+namespace pfact::serve {
+
+bool try_dial(int attempt);
+
+bool redial(int attempts) {
+  for (int i = 0; i < attempts; ++i) {
+    if (try_dial(i)) return true;
+    usleep(1000u * static_cast<unsigned>(i + 1));
+  }
+  return false;
+}
+
+}  // namespace pfact::serve

@@ -1,0 +1,59 @@
+#pragma once
+// Fixture copy of the RouterStatus taxonomy surface PL019 scrapes: the enum
+// plus its four legs — name, Diagnostic mapping, obs counter, sweep.
+// Trimmed to what the rule reads; the real header carries the ShardRouter
+// class too.
+
+#include <vector>
+
+namespace pfact::serve {
+
+enum class RouterStatus {
+  kRouted,
+  kFailedOver,
+  kBrownoutShed,
+  kAllShardsDown,
+};
+
+inline const char* router_status_name(RouterStatus s) {
+  switch (s) {
+    case RouterStatus::kRouted: return "routed";
+    case RouterStatus::kFailedOver: return "failed-over";
+    case RouterStatus::kBrownoutShed: return "brownout-shed";
+    case RouterStatus::kAllShardsDown: return "all-shards-down";
+  }
+  return "?";
+}
+
+inline const std::vector<RouterStatus>& all_router_statuses() {
+  static const std::vector<RouterStatus> statuses = {
+      RouterStatus::kRouted, RouterStatus::kFailedOver,
+      RouterStatus::kBrownoutShed, RouterStatus::kAllShardsDown};
+  return statuses;
+}
+
+inline robustness::Diagnostic diagnose_router_status(RouterStatus s) {
+  switch (s) {
+    case RouterStatus::kRouted: return robustness::Diagnostic::kOk;
+    case RouterStatus::kFailedOver: return robustness::Diagnostic::kOk;
+    case RouterStatus::kBrownoutShed:
+      return robustness::Diagnostic::kOverloaded;
+    case RouterStatus::kAllShardsDown:
+      return robustness::Diagnostic::kConnReset;
+  }
+  return robustness::Diagnostic::kInternalError;
+}
+
+inline obs::Counter router_status_counter(RouterStatus s) {
+  switch (s) {
+    case RouterStatus::kRouted: return obs::Counter::kRouterRoutes;
+    case RouterStatus::kFailedOver: return obs::Counter::kRouterFailovers;
+    case RouterStatus::kBrownoutShed:
+      return obs::Counter::kRouterBrownoutSheds;
+    case RouterStatus::kAllShardsDown:
+      return obs::Counter::kRouterAllShardsDown;
+  }
+  return obs::Counter::kRouterAllShardsDown;
+}
+
+}  // namespace pfact::serve

@@ -1,0 +1,63 @@
+#pragma once
+// Fixture copy of the ShardStatus taxonomy surface PL019 scrapes: the enum
+// plus its four legs — name, Diagnostic mapping, obs counter, sweep.
+// Trimmed to what the rule reads; the real header carries the spawn/probe
+// helpers too.
+
+#include <vector>
+
+namespace pfact::serve {
+
+enum class ShardStatus {
+  kStarting,
+  kServing,
+  kUnresponsive,
+  kDead,
+  kRestarting,
+};
+
+inline const char* shard_status_name(ShardStatus s) {
+  switch (s) {
+    case ShardStatus::kStarting: return "starting";
+    case ShardStatus::kServing: return "serving";
+    case ShardStatus::kUnresponsive: return "unresponsive";
+    case ShardStatus::kDead: return "dead";
+    case ShardStatus::kRestarting: return "restarting";
+  }
+  return "?";
+}
+
+inline const std::vector<ShardStatus>& all_shard_statuses() {
+  static const std::vector<ShardStatus> statuses = {
+      ShardStatus::kStarting, ShardStatus::kServing,
+      ShardStatus::kUnresponsive, ShardStatus::kDead,
+      ShardStatus::kRestarting};
+  return statuses;
+}
+
+inline robustness::Diagnostic diagnose_shard_status(ShardStatus s) {
+  switch (s) {
+    case ShardStatus::kStarting: return robustness::Diagnostic::kConnReset;
+    case ShardStatus::kServing: return robustness::Diagnostic::kOk;
+    case ShardStatus::kUnresponsive:
+      return robustness::Diagnostic::kDeadlineExceeded;
+    case ShardStatus::kDead: return robustness::Diagnostic::kWorkerFailure;
+    case ShardStatus::kRestarting:
+      return robustness::Diagnostic::kConnReset;
+  }
+  return robustness::Diagnostic::kInternalError;
+}
+
+inline obs::Counter shard_status_counter(ShardStatus s) {
+  switch (s) {
+    case ShardStatus::kStarting: return obs::Counter::kShardStarting;
+    case ShardStatus::kServing: return obs::Counter::kShardServing;
+    case ShardStatus::kUnresponsive:
+      return obs::Counter::kShardUnresponsive;
+    case ShardStatus::kDead: return obs::Counter::kShardDead;
+    case ShardStatus::kRestarting: return obs::Counter::kShardRestarting;
+  }
+  return obs::Counter::kShardDead;
+}
+
+}  // namespace pfact::serve

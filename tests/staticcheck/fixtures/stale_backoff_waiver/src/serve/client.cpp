@@ -1,0 +1,11 @@
+// Seeded PL018 drift: run_attempt() carries a chaos-pacing waiver in the
+// PL018 allowlist, but the sleeps that waiver excused are gone — the stale
+// entry must be reported so waivers die with the code they excused.
+
+namespace pfact::serve {
+
+int run_attempt(int attempt) {
+  return attempt * 2;
+}
+
+}  // namespace pfact::serve

@@ -1,0 +1,61 @@
+#pragma once
+// Seeded PL019 drift: kUnresponsive is named, diagnosed, and counted, but
+// missing from the all_shard_statuses() sweep — so the --shard soak's
+// coverage contract could never certify the bulkhead-eviction state.
+
+#include <vector>
+
+namespace pfact::serve {
+
+enum class ShardStatus {
+  kStarting,
+  kServing,
+  kUnresponsive,
+  kDead,
+  kRestarting,
+};
+
+inline const char* shard_status_name(ShardStatus s) {
+  switch (s) {
+    case ShardStatus::kStarting: return "starting";
+    case ShardStatus::kServing: return "serving";
+    case ShardStatus::kUnresponsive: return "unresponsive";
+    case ShardStatus::kDead: return "dead";
+    case ShardStatus::kRestarting: return "restarting";
+  }
+  return "?";
+}
+
+inline const std::vector<ShardStatus>& all_shard_statuses() {
+  static const std::vector<ShardStatus> statuses = {
+      ShardStatus::kStarting, ShardStatus::kServing, ShardStatus::kDead,
+      ShardStatus::kRestarting};
+  return statuses;
+}
+
+inline robustness::Diagnostic diagnose_shard_status(ShardStatus s) {
+  switch (s) {
+    case ShardStatus::kStarting: return robustness::Diagnostic::kConnReset;
+    case ShardStatus::kServing: return robustness::Diagnostic::kOk;
+    case ShardStatus::kUnresponsive:
+      return robustness::Diagnostic::kDeadlineExceeded;
+    case ShardStatus::kDead: return robustness::Diagnostic::kWorkerFailure;
+    case ShardStatus::kRestarting:
+      return robustness::Diagnostic::kConnReset;
+  }
+  return robustness::Diagnostic::kInternalError;
+}
+
+inline obs::Counter shard_status_counter(ShardStatus s) {
+  switch (s) {
+    case ShardStatus::kStarting: return obs::Counter::kShardStarting;
+    case ShardStatus::kServing: return obs::Counter::kShardServing;
+    case ShardStatus::kUnresponsive:
+      return obs::Counter::kShardUnresponsive;
+    case ShardStatus::kDead: return obs::Counter::kShardDead;
+    case ShardStatus::kRestarting: return obs::Counter::kShardRestarting;
+  }
+  return obs::Counter::kShardDead;
+}
+
+}  // namespace pfact::serve

@@ -309,6 +309,60 @@ TEST(PfactLint, DeadCounterFailsPL017) {
   EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
 }
 
+TEST(PfactLint, AdhocRetrySleepFailsPL018) {
+  const fs::path root = materialize("adhoc_retry_sleep");
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 1) << res.output;
+  EXPECT_NE(res.output.find("PL018"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("usleep() in redial()"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("RetryPolicy::backoff"), std::string::npos)
+      << res.output;
+  // usleep is not a PL014 syscall and the file includes nothing project-
+  // side, so the ad-hoc pacing is the only finding.
+  EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
+}
+
+TEST(PfactLint, StaleBackoffWaiverFailsPL018) {
+  const fs::path root = materialize("stale_backoff_waiver");
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 1) << res.output;
+  EXPECT_NE(res.output.find("PL018"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("stale waiver: run_attempt()"), std::string::npos)
+      << res.output;
+  // The fixture client.cpp has neither raw syscalls nor the PL014-waived
+  // functions, so the stale PL018 entry is the only finding.
+  EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
+}
+
+TEST(PfactLint, UnsweptShardStatusFailsPL019) {
+  const fs::path root = materialize("unswept_shard_status");
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 1) << res.output;
+  EXPECT_NE(res.output.find("PL019"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("ShardStatus::kUnresponsive"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("all_shard_statuses"), std::string::npos)
+      << res.output;
+  // kUnresponsive IS named, diagnosed, and counted in this overlay, and the
+  // RouterStatus taxonomy is untouched: the sweep gap is the only finding.
+  EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
+}
+
+TEST(PfactLint, UncountedRouterStatusFailsPL019) {
+  const fs::path root = materialize("uncounted_router_status");
+  const LintResult res = run_lint("--root " + root.string());
+  EXPECT_EQ(res.exit_code, 1) << res.output;
+  EXPECT_NE(res.output.find("PL019"), std::string::npos) << res.output;
+  EXPECT_NE(res.output.find("RouterStatus::kBrownoutShed"), std::string::npos)
+      << res.output;
+  EXPECT_NE(res.output.find("router_status_counter"), std::string::npos)
+      << res.output;
+  // kBrownoutShed IS named, diagnosed, and swept in this overlay: the
+  // missing counter is the only finding.
+  EXPECT_NE(res.output.find("1 finding(s)"), std::string::npos) << res.output;
+}
+
 // --update-manifest is the sanctioned way out of PL007/PL008: after a
 // legitimate schema change plus version bump, regenerating the manifest
 // returns the tree to clean.

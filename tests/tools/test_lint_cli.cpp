@@ -141,7 +141,7 @@ TEST(LintCli, ListRulesEnumeratesTheCatalogue) {
     EXPECT_TRUE(std::regex_match(line, shape)) << "bad line: " << line;
     ++rules;
   }
-  EXPECT_GE(rules, 17u) << res.output;
+  EXPECT_GE(rules, 19u) << res.output;
 }
 
 // The registry meta-test. For every rule ID the binary advertises:
@@ -160,7 +160,7 @@ TEST(LintCli, EveryAdvertisedRuleHasAFixtureAndAManifestEntry) {
       advertised[id] = slug;
     }
   }
-  ASSERT_GE(advertised.size(), 17u) << listing.output;
+  ASSERT_GE(advertised.size(), 19u) << listing.output;
 
   std::set<std::string> produced;
   const std::regex finding_id(R"(\b(PL\d{3})\b)");

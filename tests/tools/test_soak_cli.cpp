@@ -78,8 +78,22 @@ TEST(SoakCli, InjectedViolationFailsServeMode) {
   expect_violation_fails("--serve");
 }
 
+TEST(SoakCli, CleanShortShardSoakExitsZero) {
+  // 6 campaigns = one full shape rotation (clean, two kills, wedge,
+  // brownout, fleet-kill), kept short because every shape forks and
+  // destroys real shard processes.
+  const SoakResult res = run_soak("--shard --campaigns 6 --seed 5");
+  EXPECT_EQ(res.exit_code, 0) << res.output;
+  EXPECT_NE(res.output.find("held the contract"), std::string::npos)
+      << res.output;
+}
+
 TEST(SoakCli, InjectedViolationFailsNetMode) {
   expect_violation_fails("--net");
+}
+
+TEST(SoakCli, InjectedViolationFailsShardMode) {
+  expect_violation_fails("--shard");
 }
 
 TEST(SoakCli, UnknownFlagExitsTwoWithUsage) {

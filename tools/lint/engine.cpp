@@ -87,6 +87,13 @@ const std::vector<RuleInfo>& rule_catalogue() {
       {"PL017", "counter-dead",
        "a registered Counter/Histogram enumerator that is never incremented "
        "in src/, or never observed by any test or bench source"},
+      {"PL018", "adhoc-backoff",
+       "a sleep in src/serve/ whose duration never flowed through "
+       "RetryPolicy::backoff — hand-rolled pacing outside the seeded retry "
+       "schedule"},
+      {"PL019", "shard-status-unmapped",
+       "a ShardStatus or RouterStatus enumerator missing a kebab name, "
+       "Diagnostic mapping, obs counter, or sweep-list entry"},
   };
   return kRules;
 }
@@ -160,6 +167,8 @@ void run_all_rules(Context& ctx, const std::string& manifest_path) {
   check_signal_safety(ctx);
   check_layering(ctx);
   check_counter_liveness(ctx);
+  check_adhoc_backoff(ctx);
+  check_shard_statuses(ctx);
 }
 
 std::string json_escape(const std::string& s) {

@@ -12,6 +12,7 @@ void check_diagnostics(Context& ctx);        // PL005
 void check_worker_exits(Context& ctx);       // PL009
 void check_serve_rejections(Context& ctx);   // PL010
 void check_frontend_statuses(Context& ctx);  // PL012
+void check_shard_statuses(Context& ctx);     // PL019
 
 // rules_checkpoint.cpp — the PFCK schema ratchet.
 void check_tag_uniqueness(Context& ctx, const CheckpointSchema& s);  // PL006
@@ -33,5 +34,8 @@ void check_layering(Context& ctx);
 
 // rules_obs.cpp — PL017 counter-dead.
 void check_counter_liveness(Context& ctx);
+
+// rules_backoff.cpp — PL018 adhoc-backoff.
+void check_adhoc_backoff(Context& ctx);
 
 }  // namespace pfact_lint

@@ -1,0 +1,119 @@
+// PL018 adhoc-backoff: a sleep in src/serve/ is only lawful when the slept
+// duration flows through RetryPolicy::backoff — i.e. the enclosing function
+// also calls backoff() — or when the site carries an audited waiver. The
+// serving layer's whole reproducibility story rests on ONE seeded backoff
+// schedule (client retries, shard restarts); a hand-rolled
+// sleep_for(100ms)-and-retry loop silently forks that story: it works in a
+// demo, drifts in production, and is invisible to the soak's bit-equality
+// checks because it never touches the RetryPolicy seed.
+//
+// The allowlist is (file, function, why), checked both ways exactly like
+// PL014: an unwaived sleep with no backoff() in scope is a finding, and a
+// waived function that no longer sleeps is a STALE WAIVER finding.
+
+#include <set>
+#include <string>
+
+#include "lint/rules.h"
+
+namespace pfact_lint {
+
+namespace {
+
+// The ways C++ in this repo can block a thread for a duration. Condition
+// waits (wait_for/wait_until) are deliberately absent: they park on a
+// predicate, not a schedule, so they are not retry pacing.
+const std::set<std::string> kSleepCalls = {
+    "sleep_for", "sleep_until", "usleep", "nanosleep", "sleep",
+};
+
+struct Waiver {
+  const char* file;
+  const char* func;
+  const char* why;
+};
+
+const Waiver kWaivers[] = {
+    {"src/serve/client.cpp", "run_attempt",
+     "chaos-injection pacing: the dribble shape's per-byte delay and the "
+     "slowloris stall are the FAULT being injected, not retry logic — their "
+     "durations are part of the NetFault plan, already seeded upstream"},
+};
+
+bool is_sleep_call(const SourceFile& f, std::size_t i) {
+  if (f.tokens[i].kind != TokKind::kIdent) return false;
+  if (kSleepCalls.count(f.tokens[i].text) == 0) return false;
+  if (i + 1 >= f.tokens.size() || f.tokens[i + 1].kind != TokKind::kPunct ||
+      f.tokens[i + 1].text != "(") {
+    return false;
+  }
+  return true;  // std::this_thread::sleep_for and ::usleep both qualify
+}
+
+// True when fn's body calls backoff(...) — the RetryPolicy seam. Matching
+// the bare member name is deliberate: client retries spell it
+// options_.retry.backoff, the router spells it options_.restart.backoff,
+// and both are the same audited schedule.
+bool calls_backoff(const SourceFile& f, const SourceFile::Func& fn) {
+  for (std::size_t i = fn.open_tok + 1; i < fn.close_tok; ++i) {
+    if (f.tokens[i].kind == TokKind::kIdent && f.tokens[i].text == "backoff" &&
+        i + 1 < f.tokens.size() && f.tokens[i + 1].kind == TokKind::kPunct &&
+        f.tokens[i + 1].text == "(") {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void check_adhoc_backoff(Context& ctx) {
+  for (const auto& [rel, file] : ctx.tree.files) {
+    if (rel.rfind("src/serve/", 0) != 0) continue;
+    for (std::size_t i = 0; i < file.tokens.size(); ++i) {
+      if (!is_sleep_call(file, i)) continue;
+      const SourceFile::Func* fn = file.enclosing(i);
+      if (fn != nullptr && calls_backoff(file, *fn)) continue;
+      bool waived = false;
+      for (const Waiver& w : kWaivers) {
+        if (rel == w.file && fn != nullptr && fn->name == w.func) {
+          waived = true;
+          break;
+        }
+      }
+      if (!waived) {
+        ctx.report_at(
+            "PL018", "adhoc-backoff", rel, file.tokens[i].line,
+            file.tokens[i].text + "() in " +
+                (fn != nullptr ? fn->name + "()" : std::string("file scope")) +
+                " sleeps a duration that never flowed through "
+                "RetryPolicy::backoff — hand-rolled pacing forks the seeded "
+                "retry schedule; route the delay through a RetryPolicy or "
+                "add a justified waiver in rules_backoff.cpp");
+      }
+    }
+  }
+
+  // Stale waivers: the excuse must die with the code it excused.
+  for (const Waiver& w : kWaivers) {
+    const SourceFile* f = ctx.file(w.file);
+    if (f == nullptr) continue;
+    const SourceFile::Func* fn = f->find_func(w.func);
+    if (fn == nullptr) continue;
+    bool any = false;
+    for (std::size_t i = fn->open_tok + 1; i < fn->close_tok; ++i) {
+      if (is_sleep_call(*f, i)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) {
+      ctx.report_at("PL018", "adhoc-backoff", w.file, fn->line,
+                    std::string("stale waiver: ") + w.func +
+                        "() no longer contains a sleep call — remove its "
+                        "entry from the PL018 allowlist");
+    }
+  }
+}
+
+}  // namespace pfact_lint

@@ -42,6 +42,9 @@ const Waiver kWaivers[] = {
     {"src/serve/client.cpp", "write_all",
      "client-side frame write; the conversation deadline is enforced by the "
      "read_frame that follows"},
+    {"src/serve/client.cpp", "finish_connect",
+     "EINTR-looped poll completing an interrupted connect(); hard-bounded "
+     "by the 1s poll timeout, so a signal burst cannot wedge the dial"},
     {"src/serve/frontend.cpp", "pfact_frontend_sigterm",
      "async-signal-safe self-pipe wake; O_NONBLOCK pipe, never blocks"},
     {"src/serve/frontend.cpp", "drain_and_close",

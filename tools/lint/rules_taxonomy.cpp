@@ -340,4 +340,88 @@ void check_frontend_statuses(Context& ctx) {
   }
 }
 
+// PL019: the sharded-serving taxonomies — the router's view of a shard's
+// lifecycle (ShardStatus) and the four ways a routed submit can end
+// (RouterStatus) — must each keep all four legs: kebab name, Diagnostic
+// mapping, obs counter, sweep membership. The --shard soak's coverage
+// contract iterates the sweep lists; an enumerator missing a leg compiles
+// clean and only surfaces when a chaos campaign happens to produce it.
+void check_shard_statuses(Context& ctx) {
+  const struct {
+    const char* file;
+    const char* enum_name;
+    const char* name_fn;
+    const char* diag_fn;
+    const char* counter_fn;
+    const char* sweep_fn;
+  } taxa[] = {
+      {"src/serve/shard.h", "ShardStatus", "shard_status_name",
+       "diagnose_shard_status", "shard_status_counter", "all_shard_statuses"},
+      {"src/serve/router.h", "RouterStatus", "router_status_name",
+       "diagnose_router_status", "router_status_counter",
+       "all_router_statuses"},
+  };
+  for (const auto& taxon : taxa) {
+    const std::string text = ctx.scrub(taxon.file);
+    if (text.empty()) continue;
+    const std::vector<std::string> ids = parse_enum(text, taxon.enum_name);
+    if (ids.empty()) {
+      ctx.report("PL019", "shard-status-unmapped",
+                 std::string("enum class ") + taxon.enum_name +
+                     " not found in " + taxon.file);
+      continue;
+    }
+    const std::map<std::string, std::string> names = parse_switch_returns(
+        function_body(text, taxon.name_fn), taxon.enum_name);
+    const std::map<std::string, std::string> diags = parse_switch_returns(
+        function_body(text, taxon.diag_fn), taxon.enum_name);
+    const std::map<std::string, std::string> counters = parse_switch_returns(
+        function_body(text, taxon.counter_fn), taxon.enum_name);
+
+    std::set<std::string> swept;
+    const std::string sweep_body = function_body(text, taxon.sweep_fn);
+    const std::regex mention(std::string(taxon.enum_name) +
+                             "::(k[A-Za-z0-9_]+)");
+    for (auto it = std::sregex_iterator(sweep_body.begin(), sweep_body.end(),
+                                        mention);
+         it != std::sregex_iterator(); ++it) {
+      swept.insert((*it)[1].str());
+    }
+    for (const std::string& id : ids) {
+      const std::string qualified =
+          std::string(taxon.enum_name) + "::" + id;
+      const auto n = names.find(id);
+      if (n == names.end() || !quoted(n->second).has_value() ||
+          !is_kebab_case(*quoted(n->second))) {
+        ctx.report("PL019", "shard-status-unmapped",
+                   qualified + " has no kebab-case name case in " +
+                       taxon.name_fn + "()");
+      }
+      const auto d = diags.find(id);
+      if (d == diags.end() ||
+          d->second.find("Diagnostic::") == std::string::npos) {
+        ctx.report("PL019", "shard-status-unmapped",
+                   qualified + " is not mapped to a Diagnostic in " +
+                       taxon.diag_fn +
+                       "() — the router could not classify retry vs "
+                       "fail-fast for requests that meet it");
+      }
+      const auto c = counters.find(id);
+      if (c == counters.end() ||
+          c->second.find("Counter::") == std::string::npos) {
+        ctx.report("PL019", "shard-status-unmapped",
+                   qualified + " has no obs counter in " + taxon.counter_fn +
+                       "() — restart storms and shed spikes ending in this "
+                       "state would be invisible to monitoring");
+      }
+      if (swept.count(id) == 0) {
+        ctx.report("PL019", "shard-status-unmapped",
+                   qualified + " is missing from the " + taxon.sweep_fn +
+                       "() sweep list — the --shard soak's coverage "
+                       "contract could never certify it");
+      }
+    }
+  }
+}
+
 }  // namespace pfact_lint

@@ -64,9 +64,24 @@
 // one FrontendStatus, FULL FrontendStatus coverage across the campaign set,
 // and the warm pool intact at the end.
 //
+// With --shard the soak attacks the sharded self-healing router: a
+// ShardRouter over three forked shard processes (each a private
+// ReductionService behind its own Unix socket) takes consistent-hash-routed
+// traffic while campaigns SIGKILL and SIGSEGV home shards mid-stream, wedge
+// shards with SIGSTOP until the probe deadline evicts them, stage brownout
+// entry/exit (fresh keys shed as classified kOverloaded while warm keys
+// keep answering), and kill the whole fleet at once to force the
+// all-shards-down refusal and a restart storm. Contracts: zero wrong
+// answers — every fresh certified answer matches an unsharded baseline
+// service bit for bit, value AND pivot trace; every submit classified as
+// exactly one RouterStatus (the ledger must sum); full ShardStatus AND
+// RouterStatus coverage; the fleet back at full serving strength after
+// every campaign; and a cache-locality floor (at least a quarter of
+// answers come from the consistent-hash home shard despite the chaos).
+//
 // Usage: pfact_soak [--campaigns N] [--seed S] [--log FILE]
 //                   [--fail-dir DIR] [--kill-only] [--serve] [--net]
-//                   [--inject-violation N] [--verbose]
+//                   [--shard] [--inject-violation N] [--verbose]
 //
 // Exit code 0 iff every campaign held the contract; any violation exits
 // nonzero and prints the campaign seed so the run can be replayed.
@@ -75,6 +90,7 @@
 // (one line per campaign) and any failing checkpoint blobs (--fail-dir)
 // are the CI artifacts.
 
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -85,6 +101,7 @@
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -101,6 +118,8 @@
 #include "serve/client.h"
 #include "serve/frontend.h"
 #include "serve/queue.h"
+#include "serve/router.h"
+#include "serve/shard.h"
 #include "serve/supervisor.h"
 #include "serve/worker_pool.h"
 
@@ -117,6 +136,7 @@ struct Options {
   bool kill_only = false;
   bool serve = false;
   bool net = false;
+  bool shard = false;
   bool verbose = false;
   // Campaign index at which to fabricate a contract violation (SIZE_MAX =
   // never): the regression seam that keeps every violation path wired to a
@@ -1108,6 +1128,435 @@ int run_net_campaigns(const Options& opt, std::ofstream& log) {
   return 0;
 }
 
+// --- shard mode: chaos against the sharded self-healing router --------------
+
+// The kernel's verdict on a pid: the single state letter from
+// /proc/<pid>/stat ('R' running, 'T' stopped, 'Z' zombie, ...), or '?' if
+// the pid is gone. The wedge campaign needs this to prove its SIGSTOP froze
+// a live process rather than landing harmlessly on an unreaped corpse.
+char proc_state(pid_t pid) {
+  char path[64];
+  std::snprintf(path, sizeof(path), "/proc/%d/stat", static_cast<int>(pid));
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return '?';
+  char line[512] = {0};
+  char state = '?';
+  if (std::fgets(line, sizeof(line), f) != nullptr) {
+    // Field 3 follows the parenthesized comm, which may itself contain
+    // parens — scan from the LAST ')'.
+    const char* paren = std::strrchr(line, ')');
+    if (paren != nullptr && paren[1] != '\0' && paren[2] != '\0') {
+      state = paren[2];
+    }
+  }
+  std::fclose(f);
+  return state;
+}
+
+int run_shard_campaigns(const Options& opt, std::ofstream& log) {
+  const std::vector<ReductionTask> repeat_tasks = build_task_pool();
+
+  serve::RouterOptions ro;
+  ro.shards = 3;
+  ro.service.dispatchers = 1;
+  ro.service.queue_depth = 8;
+  ro.service.cache_capacity = 32;
+  ro.service.pool.workers = 1;
+  ro.service.supervisor.retry.max_attempts = 3;
+  ro.service.supervisor.retry.base_delay = std::chrono::milliseconds{1};
+  ro.service.supervisor.checkpoint_every = 2;
+  ro.probe_interval = std::chrono::milliseconds{25};
+  ro.probe_deadline = std::chrono::milliseconds{300};
+  ro.restart.base_delay = std::chrono::milliseconds{5};
+  ro.restart.max_delay = std::chrono::milliseconds{50};
+  ro.restart.jitter_seed = opt.seed;
+  serve::ShardRouter router(ro);
+
+  // The unsharded baseline: the SAME service template in one process. Every
+  // fresh certified answer the router hands out must match it bit for bit —
+  // value AND pivot trace — whatever chaos the campaign staged, because a
+  // failover re-runs the whole deterministic reduction rather than resuming
+  // a half-trusted one. Memoized per content-address key so the baseline is
+  // computed fresh (with a full trace) exactly once per distinct task.
+  serve::ReductionService baseline(ro.service);
+  std::map<std::string, std::pair<bool, factor::PivotTrace>> expected_runs;
+
+  SoakStats stats;
+  bool ok = true;
+  std::uint64_t unique_id = 0;
+  std::size_t sheds_survived = 0;
+  std::size_t downs_survived = 0;
+
+  auto fail = [&](std::size_t campaign, const char* what,
+                  const std::string& body) {
+    ++stats.broken_contracts;
+    log << "campaign " << campaign << " " << what << "\n" << body << "\n";
+    if (!opt.fail_dir.empty()) {
+      std::ofstream dump(opt.fail_dir + "/shard_campaign" +
+                             std::to_string(campaign) + ".txt",
+                         std::ios::trunc);
+      dump << what << "\n" << body << "\n";
+    }
+    ok = false;
+  };
+
+  // One answered (routed or failed-over) result against ground truth and
+  // the unsharded baseline.
+  auto check_answer = [&](std::size_t campaign, const ReductionTask& task,
+                          const serve::RouteResult& r) {
+    if (!r.response.certified || r.response.value != task.expected()) {
+      if (r.response.certified) ++stats.wrong_answers;
+      fail(campaign,
+           r.response.certified ? "WRONG ANSWER through the router"
+                                : "ANSWER NOT CERTIFIED",
+           std::string("status=") + serve::router_status_name(r.status) +
+               " shard=" + std::to_string(r.shard) + " " + task.describe());
+      return false;
+    }
+    const std::string key =
+        serve::ResultCache::key_for(task, Substrate::kDouble);
+    auto it = expected_runs.find(key);
+    if (it == expected_runs.end()) {
+      const serve::ServiceResponse base = baseline.run(task);
+      if (!base.report.certified || base.report.value != task.expected()) {
+        fail(campaign, "UNSHARDED BASELINE NOT CERTIFIED",
+             base.report.to_string());
+        return false;
+      }
+      it = expected_runs
+               .emplace(key, std::make_pair(base.report.value,
+                                            base.report.final_report.trace))
+               .first;
+    }
+    if (r.response.value != it->second.first) {
+      ++stats.wrong_answers;
+      fail(campaign, "SHARDED VALUE DIVERGED FROM UNSHARDED BASELINE",
+           task.describe());
+      return false;
+    }
+    // Cache hits legitimately travel without a trace; every fresh answer
+    // must replay the baseline's pivot decisions event for event.
+    if (!r.response.from_cache &&
+        !traces_equal(r.response.report.trace, it->second.second)) {
+      ++stats.wrong_answers;
+      fail(campaign, "SHARDED TRACE DIVERGED FROM UNSHARDED BASELINE",
+           task.describe() + " baseline=" +
+               std::to_string(it->second.second.size()) + " events, sharded=" +
+               std::to_string(r.response.report.trace.size()) + " events");
+      return false;
+    }
+    ++stats.certified;
+    return true;
+  };
+
+  // Submits `task` until an answer arrives, however long the chaos takes.
+  // Every non-answer along the way must be a CLASSIFIED transient refusal —
+  // the availability half of the contract: a request is never lost, only
+  // answered or refused with a diagnostic a backoff loop can act on.
+  auto answer_through_chaos = [&](std::size_t campaign,
+                                  const ReductionTask& task) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const serve::RouteResult r = router.submit(task);
+      ++stats.attempts;
+      switch (r.status) {
+        case serve::RouterStatus::kRouted:
+        case serve::RouterStatus::kFailedOver:
+          return check_answer(campaign, task, r);
+        case serve::RouterStatus::kBrownoutShed:
+          if (r.response.report.diagnostic != Diagnostic::kOverloaded ||
+              r.response.certified) {
+            fail(campaign, "BROWNOUT SHED NOT CLASSIFIED",
+                 diagnostic_name(r.response.report.diagnostic));
+            return false;
+          }
+          ++sheds_survived;
+          break;
+        case serve::RouterStatus::kAllShardsDown:
+          if (classify_diagnostic(r.response.report.diagnostic) !=
+                  FailureKind::kTransient ||
+              r.response.certified) {
+            fail(campaign, "FULL-OUTAGE REFUSAL NOT TRANSIENT",
+                 diagnostic_name(r.response.report.diagnostic));
+            return false;
+          }
+          ++downs_survived;
+          break;
+      }
+      // A refusal is the router telling us to back off; oblige briefly so
+      // the supervision loop gets cycles to heal the fleet.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    fail(campaign, "NEVER ANSWERED", task.describe());
+    return false;
+  };
+
+  if (!router.wait_all_serving(std::chrono::seconds(30))) {
+    fail(0, "FLEET NEVER CAME UP", "initial wait_all_serving timed out");
+    return fail_exit(opt);
+  }
+
+  for (std::size_t campaign = 0; campaign < opt.campaigns && ok; ++campaign) {
+    if (injected_violation(opt, campaign, log, stats)) {
+      ok = false;
+      break;
+    }
+    // The self-healing contract, asserted between EVERY pair of campaigns:
+    // whatever the previous campaign destroyed, the fleet is back at full
+    // serving strength before the next one starts.
+    if (!router.wait_all_serving(std::chrono::seconds(30))) {
+      fail(campaign, "FLEET NEVER HEALED",
+           "wait_all_serving timed out between campaigns");
+      break;
+    }
+    Stream rng{opt.seed, campaign};
+    const std::size_t shape = campaign % 6;
+
+    if (shape == 0) {
+      // Clean cached round-trip: a healthy fleet routes a repeat task to
+      // its home shard twice; both answers certify.
+      const ReductionTask& task = repeat_tasks[rng.pick(repeat_tasks.size())];
+      if (!answer_through_chaos(campaign, task)) break;
+      if (!answer_through_chaos(campaign, task)) break;
+      log << "campaign " << campaign << " shard-clean "
+          << task.describe() << " ok\n";
+      if (opt.verbose) {
+        std::printf("campaign %zu shard-clean: ok\n", campaign);
+      }
+    } else if (shape == 1 || shape == 2) {
+      // Kill the HOME shard mid-stream — SIGKILL on odd shapes, a genuine
+      // SIGSEGV on even — and require the key to keep answering throughout
+      // the outage (failover) and after the heal.
+      const int sig = (shape == 1) ? SIGKILL : SIGSEGV;
+      const ReductionTask& task = repeat_tasks[rng.pick(repeat_tasks.size())];
+      if (!answer_through_chaos(campaign, task)) break;  // warm the key
+      router.kill_shard_for_testing(router.home_shard(task), sig);
+      if (!answer_through_chaos(campaign, task)) break;
+      log << "campaign " << campaign << " shard-kill-"
+          << (sig == SIGKILL ? "sigkill" : "sigsegv") << " "
+          << task.describe() << " survived\n";
+      if (opt.verbose) {
+        std::printf("campaign %zu shard-kill-%s: survived\n", campaign,
+                    sig == SIGKILL ? "sigkill" : "sigsegv");
+      }
+    } else if (shape == 3) {
+      // Wedge: SIGSTOP freezes a shard's event loop while waitpid sees a
+      // live child — only the probe deadline can catch it. The bulkhead
+      // contract: the wedge costs that shard's capacity, never the
+      // router's liveness, and the eviction SIGKILL leads to a heal.
+      //
+      // The inter-campaign wait_all_serving barrier is eventually
+      // consistent: a status can lag the previous campaign's kill by one
+      // supervision tick, so a first SIGSTOP may land on an unreaped corpse
+      // (kill() succeeds on a zombie, freezes nothing). The wedge contract
+      // is about LIVE shards, so confirm the stop actually froze a process
+      // (/proc state T) and retry while the supervisor settles the fleet.
+      const std::size_t victim = rng.pick(ro.shards);
+      const ReductionTask& task = repeat_tasks[rng.pick(repeat_tasks.size())];
+      if (!answer_through_chaos(campaign, task)) break;  // warm the key
+      const serve::ShardRouter::Stats before = router.stats();
+      bool wedged = false;
+      const auto stop_deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(15);
+      while (!wedged && std::chrono::steady_clock::now() < stop_deadline) {
+        const pid_t pid = router.shard_pid(victim);
+        if (pid > 0 && router.kill_shard_for_testing(victim, SIGSTOP) &&
+            router.shard_pid(victim) == pid && proc_state(pid) == 'T') {
+          wedged = true;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      if (!wedged) {
+        fail(campaign, "WEDGE NEVER LANDED",
+             "no live shard process entered /proc state T under SIGSTOP");
+        break;
+      }
+      if (!answer_through_chaos(campaign, task)) break;  // serve through it
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(15);
+      while (router.stats().evictions == before.evictions &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      if (router.stats().evictions == before.evictions) {
+        const serve::ShardRouter::Stats after = router.stats();
+        std::string detail =
+            "probe deadline did not SIGKILL the SIGSTOPped shard: victim=" +
+            std::to_string(victim) + " probes+" +
+            std::to_string(after.probes - before.probes) +
+            " probe-failures+" +
+            std::to_string(after.probe_failures - before.probe_failures) +
+            " restarts+" + std::to_string(after.restarts - before.restarts) +
+            " statuses=";
+        for (std::size_t i = 0; i < ro.shards; ++i) {
+          detail += std::string(i ? "," : "") +
+                    serve::shard_status_name(router.shard_status(i));
+        }
+        fail(campaign, "WEDGE NEVER EVICTED", detail);
+        break;
+      }
+      log << "campaign " << campaign << " shard-wedge victim=" << victim
+          << " evicted\n";
+      if (opt.verbose) {
+        std::printf("campaign %zu shard-wedge: evicted\n", campaign);
+      }
+    } else if (shape == 4) {
+      // Brownout entry/exit: with one shard down the router must shed a
+      // never-seen key as classified kOverloaded while a warm key keeps
+      // answering; once the fleet heals, the same fresh key is admitted.
+      const ReductionTask& warm = repeat_tasks[rng.pick(repeat_tasks.size())];
+      if (!answer_through_chaos(campaign, warm)) break;
+      router.kill_shard_for_testing(rng.pick(ro.shards), SIGKILL);
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(15);
+      while (!router.browned_out() &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (!router.browned_out()) {
+        fail(campaign, "BROWNOUT NEVER ENTERED",
+             "shard killed but browned_out() stayed false");
+        break;
+      }
+      const ReductionTask fresh = unique_chain_task(unique_id++);
+      const serve::RouteResult shed = router.submit(fresh);
+      if (shed.status == serve::RouterStatus::kBrownoutShed) {
+        if (shed.response.report.diagnostic != Diagnostic::kOverloaded ||
+            classify_diagnostic(shed.response.report.diagnostic) !=
+                FailureKind::kTransient) {
+          fail(campaign, "BROWNOUT SHED NOT CLASSIFIED",
+               diagnostic_name(shed.response.report.diagnostic));
+          break;
+        }
+        ++sheds_survived;
+      }  // a heal racing the submit is legal: the shed is best-effort here
+      if (!answer_through_chaos(campaign, warm)) break;  // warm keys survive
+      if (!router.wait_all_serving(std::chrono::seconds(30))) {
+        fail(campaign, "BROWNOUT NEVER EXITED",
+             "fleet did not heal after the brownout campaign");
+        break;
+      }
+      if (!answer_through_chaos(campaign, fresh)) break;  // admitted again
+      log << "campaign " << campaign << " shard-brownout "
+          << (shed.status == serve::RouterStatus::kBrownoutShed
+                  ? "shed-then-admitted"
+                  : "healed-before-shed")
+          << "\n";
+      if (opt.verbose) {
+        std::printf("campaign %zu shard-brownout: ok\n", campaign);
+      }
+    } else {
+      // Fleet kill / restart storm: SIGKILL every shard at once. The very
+      // next submit must be the classified all-shards-down refusal (or a
+      // lucky failover into an already-respawned shard — also legal), and
+      // the supervision loop must restart the whole fleet.
+      const std::uint64_t restarts_before = router.stats().restarts;
+      for (std::size_t i = 0; i < ro.shards; ++i) {
+        router.kill_shard_for_testing(i, SIGKILL);
+      }
+      const ReductionTask& task = repeat_tasks[rng.pick(repeat_tasks.size())];
+      if (!answer_through_chaos(campaign, task)) break;
+      if (!router.wait_all_serving(std::chrono::seconds(30))) {
+        fail(campaign, "RESTART STORM NEVER HEALED",
+             "fleet did not return to serving after a full kill");
+        break;
+      }
+      if (router.stats().restarts < restarts_before + ro.shards) {
+        fail(campaign, "RESTARTS NOT ACCOUNTED",
+             "fewer respawns than shards killed");
+        break;
+      }
+      log << "campaign " << campaign << " shard-fleet-kill survived\n";
+      if (opt.verbose) {
+        std::printf("campaign %zu shard-fleet-kill: survived\n", campaign);
+      }
+    }
+  }
+
+  const serve::ShardRouter::Stats rs = router.stats();
+  // Every submit classified as exactly one RouterStatus: the ledger sums.
+  std::uint64_t classified = 0;
+  for (serve::RouterStatus s : serve::all_router_statuses()) {
+    classified += rs.status(s);
+  }
+  if (ok && classified != rs.submits) {
+    ++stats.broken_contracts;
+    log << "LEDGER GAP: " << rs.submits << " submits but " << classified
+        << " classified endings\n";
+    ok = false;
+  }
+  if (ok && opt.campaigns >= 6) {
+    // Full taxonomy coverage, both enums: a class never observed means a
+    // chaos shape silently stopped exercising its path.
+    for (serve::ShardStatus s : serve::all_shard_statuses()) {
+      if (rs.shard_status_seen[static_cast<std::size_t>(s)] == 0) {
+        ++stats.broken_contracts;
+        log << "COVERAGE GAP: ShardStatus " << serve::shard_status_name(s)
+            << " never observed\n";
+        ok = false;
+      }
+    }
+    for (serve::RouterStatus s : serve::all_router_statuses()) {
+      if (rs.status(s) == 0) {
+        ++stats.broken_contracts;
+        log << "COVERAGE GAP: RouterStatus " << serve::router_status_name(s)
+            << " never observed\n";
+        ok = false;
+      }
+    }
+    // Cache locality: consistent hashing must keep most answers on their
+    // home shard even while campaigns keep killing it. The floor is
+    // deliberately loose (a quarter) — failover storms legitimately move
+    // traffic — but a broken ring (everything failing over) lands near 0.
+    if (rs.answered_by_home * 4 < rs.answered) {
+      ++stats.broken_contracts;
+      log << "LOCALITY GAP: only " << rs.answered_by_home << " of "
+          << rs.answered << " answers came from the home shard\n";
+      ok = false;
+    }
+  }
+
+  log << "summary certified=" << stats.certified
+      << " submits=" << rs.submits << " routed="
+      << rs.status(serve::RouterStatus::kRouted) << " failed-over="
+      << rs.status(serve::RouterStatus::kFailedOver) << " brownout-shed="
+      << rs.status(serve::RouterStatus::kBrownoutShed) << " all-shards-down="
+      << rs.status(serve::RouterStatus::kAllShardsDown)
+      << " failover-hops=" << rs.failover_hops << " restarts=" << rs.restarts
+      << " evictions=" << rs.evictions << " probes=" << rs.probes
+      << " probe-failures=" << rs.probe_failures
+      << " answered=" << rs.answered
+      << " answered-by-home=" << rs.answered_by_home
+      << " wrong-answers=" << stats.wrong_answers
+      << " broken-contracts=" << stats.broken_contracts << "\n";
+  std::printf(
+      "pfact_soak --shard: %zu certified, %llu submits "
+      "(routed %llu, failed-over %llu, brownout-shed %llu, "
+      "all-shards-down %llu), %llu restarts, %llu evictions, "
+      "%llu/%llu answers by home shard, %zu sheds survived, "
+      "%zu outages survived, %zu wrong answers, %zu broken contracts\n",
+      stats.certified, static_cast<unsigned long long>(rs.submits),
+      static_cast<unsigned long long>(rs.status(serve::RouterStatus::kRouted)),
+      static_cast<unsigned long long>(
+          rs.status(serve::RouterStatus::kFailedOver)),
+      static_cast<unsigned long long>(
+          rs.status(serve::RouterStatus::kBrownoutShed)),
+      static_cast<unsigned long long>(
+          rs.status(serve::RouterStatus::kAllShardsDown)),
+      static_cast<unsigned long long>(rs.restarts),
+      static_cast<unsigned long long>(rs.evictions),
+      static_cast<unsigned long long>(rs.answered_by_home),
+      static_cast<unsigned long long>(rs.answered), sheds_survived,
+      downs_survived, stats.wrong_answers, stats.broken_contracts);
+  if (!ok || stats.wrong_answers != 0 || stats.broken_contracts != 0) {
+    return fail_exit(opt);
+  }
+  std::printf("pfact_soak: all shard campaigns held the contract\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1135,6 +1584,8 @@ int main(int argc, char** argv) {
       opt.serve = true;
     } else if (arg == "--net") {
       opt.net = true;
+    } else if (arg == "--shard") {
+      opt.shard = true;
     } else if (arg == "--inject-violation") {
       opt.inject_violation =
           static_cast<std::size_t>(std::strtoull(value(), nullptr, 10));
@@ -1144,7 +1595,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: pfact_soak [--campaigns N] [--seed S] [--log FILE] "
                    "[--fail-dir DIR] [--kill-only] [--serve] [--net] "
-                   "[--inject-violation N] [--verbose]\n");
+                   "[--shard] [--inject-violation N] [--verbose]\n");
       return 2;
     }
   }
@@ -1156,8 +1607,9 @@ int main(int argc, char** argv) {
   }
   log << "pfact_soak seed=" << opt.seed << " campaigns=" << opt.campaigns
       << (opt.kill_only ? " kill-only" : "") << (opt.serve ? " serve" : "")
-      << (opt.net ? " net" : "") << "\n";
+      << (opt.net ? " net" : "") << (opt.shard ? " shard" : "") << "\n";
 
+  if (opt.shard) return run_shard_campaigns(opt, log);
   if (opt.net) return run_net_campaigns(opt, log);
   if (opt.serve) return run_serve_campaigns(opt, log);
   if (opt.kill_only) return run_kill_campaigns(opt, log);
